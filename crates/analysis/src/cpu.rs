@@ -1,0 +1,180 @@
+//! CPU requirements on a leave event (Section V-B of the paper).
+//!
+//! When a member leaves, how many members must install how many fresh
+//! keys? The paper's binary-tree arithmetic for 100,000 members:
+//! in LKH 50,000 members update one key, 25,000 update two, 12,500
+//! update three, …; in Mykil the same geometric series applies within
+//! one 5,000-member area (2,500 / 1,250 / 625 / …); in Iolus every
+//! member of the area updates exactly one key.
+
+use crate::Params;
+
+/// One bucket of the update distribution: `members` members each
+/// install `keys_updated` fresh keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateBucket {
+    /// Number of keys a member in this bucket installs.
+    pub keys_updated: u64,
+    /// How many members fall in this bucket.
+    pub members: u64,
+}
+
+/// Iolus: every member of the affected subgroup installs the one new
+/// subgroup key.
+pub fn iolus_leave_distribution(p: &Params) -> Vec<UpdateBucket> {
+    vec![UpdateBucket {
+        keys_updated: 1,
+        members: p.area_size().saturating_sub(1),
+    }]
+}
+
+/// Geometric distribution over a tree with `leaves` leaves: members in
+/// the sibling subtree at depth `d` (from the leaf) install `d` keys.
+fn tree_leave_distribution(p: &Params, leaves: u64) -> Vec<UpdateBucket> {
+    let mut out = Vec::new();
+    let mut remaining = leaves.saturating_sub(1);
+    let h = p.tree_height(leaves);
+    let mut share = leaves;
+    for depth in 1..=h {
+        // Members whose deepest refreshed ancestor is at height `depth`:
+        // the (arity-1)/arity fraction of the current share.
+        share /= p.arity;
+        let bucket = (share * (p.arity - 1)).min(remaining);
+        let members = if depth == h { remaining } else { bucket };
+        if members == 0 {
+            continue;
+        }
+        out.push(UpdateBucket {
+            keys_updated: depth,
+            members,
+        });
+        remaining -= members;
+        if remaining == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// LKH: geometric series over the whole group.
+pub fn lkh_leave_distribution(p: &Params) -> Vec<UpdateBucket> {
+    tree_leave_distribution(p, p.members)
+}
+
+/// Mykil: geometric series confined to the departed member's area;
+/// members of other areas do nothing.
+pub fn mykil_leave_distribution(p: &Params) -> Vec<UpdateBucket> {
+    tree_leave_distribution(p, p.area_size())
+}
+
+/// Total key installations across all members (the aggregate CPU cost).
+pub fn total_updates(dist: &[UpdateBucket]) -> u64 {
+    dist.iter().map(|b| b.keys_updated * b.members).sum()
+}
+
+/// Members affected at all by the leave.
+pub fn members_affected(dist: &[UpdateBucket]) -> u64 {
+    dist.iter().map(|b| b.members).sum()
+}
+
+/// Mean keys installed per *affected* member.
+pub fn mean_updates_per_affected(dist: &[UpdateBucket]) -> f64 {
+    let m = members_affected(dist);
+    if m == 0 {
+        0.0
+    } else {
+        total_updates(dist) as f64 / m as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Params {
+        Params::paper()
+    }
+
+    #[test]
+    fn iolus_touches_whole_area_once() {
+        let d = iolus_leave_distribution(&p());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].keys_updated, 1);
+        assert_eq!(d[0].members, 4_999);
+        assert_eq!(total_updates(&d), 4_999);
+    }
+
+    #[test]
+    fn lkh_matches_paper_series() {
+        // Paper: 50,000 update one key, 25,000 two, 12,500 three, ...
+        let d = lkh_leave_distribution(&p());
+        assert_eq!(d[0], UpdateBucket { keys_updated: 1, members: 50_000 });
+        assert_eq!(d[1], UpdateBucket { keys_updated: 2, members: 25_000 });
+        assert_eq!(d[2], UpdateBucket { keys_updated: 3, members: 12_500 });
+        assert_eq!(members_affected(&d), 99_999);
+    }
+
+    #[test]
+    fn mykil_series_confined_to_area() {
+        // Paper: 2,500 update one, 1,250 two, 625 three, ~313 four, ...
+        let d = mykil_leave_distribution(&p());
+        assert_eq!(d[0], UpdateBucket { keys_updated: 1, members: 2_500 });
+        assert_eq!(d[1], UpdateBucket { keys_updated: 2, members: 1_250 });
+        assert_eq!(d[2], UpdateBucket { keys_updated: 3, members: 625 });
+        assert_eq!(members_affected(&d), 4_999);
+    }
+
+    #[test]
+    fn ordering_iolus_le_mykil_lt_lkh_total_work() {
+        // Aggregate work: Iolus minimal per member but touches everyone
+        // in the area once; Mykil slightly more; LKH far more.
+        let i = total_updates(&iolus_leave_distribution(&p()));
+        let m = total_updates(&mykil_leave_distribution(&p()));
+        let l = total_updates(&lkh_leave_distribution(&p()));
+        assert!(i <= m, "{i} {m}");
+        assert!(m < l, "{m} {l}");
+    }
+
+    #[test]
+    fn mean_updates_near_two_for_binary() {
+        // Σ d/2^d = 2: the mean of the geometric series.
+        let d = lkh_leave_distribution(&p());
+        let mean = mean_updates_per_affected(&d);
+        assert!((1.8..2.2).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn distribution_conserves_members() {
+        for areas in [1, 2, 5, 10, 20] {
+            let p = p().with_areas(areas);
+            let d = mykil_leave_distribution(&p);
+            assert_eq!(
+                members_affected(&d),
+                p.area_size() - 1,
+                "areas={areas}"
+            );
+        }
+    }
+
+    #[test]
+    fn quad_tree_reduces_depth_buckets() {
+        let quad = Params { arity: 4, ..p() };
+        let d = lkh_leave_distribution(&quad);
+        // First bucket: 3/4 of members update one key.
+        assert_eq!(d[0].keys_updated, 1);
+        assert_eq!(d[0].members, 75_000);
+        assert!(d.len() <= 9);
+    }
+
+    #[test]
+    fn empty_for_singleton_group() {
+        let tiny = Params {
+            members: 1,
+            areas: 1,
+            ..p()
+        };
+        let d = lkh_leave_distribution(&tiny);
+        assert_eq!(members_affected(&d), 0);
+        assert_eq!(mean_updates_per_affected(&d), 0.0);
+    }
+}

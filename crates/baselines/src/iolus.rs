@@ -1,0 +1,187 @@
+//! The Iolus baseline (Mittra, SIGCOMM'97): a flat subgroup with a
+//! pairwise secret per member.
+//!
+//! On a leave, the subgroup controller picks a fresh subgroup key and
+//! re-encrypts it *separately under every remaining member's pairwise
+//! key* — the `area_size · 16` bytes that dominate Figure 8. On a join
+//! it multicasts the fresh key under the old one and unicasts the
+//! newcomer its two keys.
+//!
+//! One `IolusGroup` models one subgroup; the multi-subgroup deployment
+//! of the paper's comparison is a collection of these (see
+//! `mykil-bench`), since Iolus rekeying never crosses subgroups.
+
+use crate::traffic::RekeyTraffic;
+use crate::KeyManager;
+use mykil_crypto::keys::SymmetricKey;
+use mykil_tree::MemberId;
+use rand::RngCore;
+use std::collections::BTreeMap;
+
+/// One Iolus subgroup (the paper's "area" analogue).
+#[derive(Debug, Clone)]
+pub struct IolusGroup {
+    key_len: u64,
+    subgroup_key: SymmetricKey,
+    /// Pairwise secret per member (what the GSC stores).
+    pairwise: BTreeMap<MemberId, SymmetricKey>,
+}
+
+impl IolusGroup {
+    /// Creates an empty subgroup with the given key length in bytes
+    /// (the paper uses 16).
+    pub fn new(key_len: u64) -> IolusGroup {
+        IolusGroup {
+            key_len,
+            subgroup_key: SymmetricKey::from_label("iolus-initial"),
+            pairwise: BTreeMap::new(),
+        }
+    }
+
+    /// The current subgroup key.
+    pub fn subgroup_key(&self) -> SymmetricKey {
+        self.subgroup_key
+    }
+
+    /// Whether a member is present.
+    pub fn contains(&self, member: MemberId) -> bool {
+        self.pairwise.contains_key(&member)
+    }
+}
+
+impl KeyManager for IolusGroup {
+    fn join(&mut self, member: MemberId, rng: &mut dyn RngCore) -> RekeyTraffic {
+        self.pairwise.insert(member, SymmetricKey::random(rng));
+        self.subgroup_key = SymmetricKey::random(rng);
+        RekeyTraffic {
+            // E_old(new) to current members.
+            multicast_bytes: self.key_len,
+            multicast_messages: 1,
+            // Pairwise secret + subgroup key to the newcomer.
+            unicast_bytes: 2 * self.key_len,
+            unicast_messages: 1,
+        }
+    }
+
+    fn leave(&mut self, member: MemberId, rng: &mut dyn RngCore) -> RekeyTraffic {
+        if self.pairwise.remove(&member).is_none() {
+            return RekeyTraffic::default();
+        }
+        self.subgroup_key = SymmetricKey::random(rng);
+        let m = self.pairwise.len() as u64;
+        RekeyTraffic {
+            multicast_bytes: 0,
+            multicast_messages: 0,
+            // New subgroup key re-encrypted per remaining member.
+            unicast_bytes: m * self.key_len,
+            unicast_messages: m,
+        }
+    }
+
+    fn batch_leave(&mut self, members: &[MemberId], rng: &mut dyn RngCore) -> RekeyTraffic {
+        // Iolus can aggregate trivially: remove everyone, rekey once.
+        let mut removed = 0u64;
+        for &m in members {
+            if self.pairwise.remove(&m).is_some() {
+                removed += 1;
+            }
+        }
+        if removed == 0 {
+            return RekeyTraffic::default();
+        }
+        self.subgroup_key = SymmetricKey::random(rng);
+        let m = self.pairwise.len() as u64;
+        RekeyTraffic {
+            multicast_bytes: 0,
+            multicast_messages: 0,
+            unicast_bytes: m * self.key_len,
+            unicast_messages: m,
+        }
+    }
+
+    fn member_count(&self) -> usize {
+        self.pairwise.len()
+    }
+
+    fn member_storage_bytes(&self) -> u64 {
+        // Subgroup key + pairwise secret (the paper's 32 B).
+        2 * self.key_len
+    }
+
+    fn controller_storage_bytes(&self) -> u64 {
+        // One pairwise key per member plus the subgroup key.
+        (self.pairwise.len() as u64 + 1) * self.key_len
+    }
+
+    fn name(&self) -> &'static str {
+        "iolus"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mykil_crypto::drbg::Drbg;
+
+    #[test]
+    fn leave_costs_one_key_per_remaining_member() {
+        let mut rng = Drbg::from_seed(1);
+        let mut g = IolusGroup::new(16);
+        crate::populate(&mut g, 5000, &mut rng);
+        let t = g.leave(MemberId(17), &mut rng);
+        // The paper's 80,000-byte figure: ~5000 members × 16 B.
+        assert_eq!(t.total_key_bytes(), 4999 * 16);
+        assert_eq!(t.unicast_messages, 4999);
+    }
+
+    #[test]
+    fn join_is_cheap() {
+        let mut rng = Drbg::from_seed(2);
+        let mut g = IolusGroup::new(16);
+        crate::populate(&mut g, 100, &mut rng);
+        let t = g.join(MemberId(1000), &mut rng);
+        assert_eq!(t.multicast_bytes, 16);
+        assert_eq!(t.unicast_bytes, 32);
+    }
+
+    #[test]
+    fn keys_rotate_on_membership_change() {
+        let mut rng = Drbg::from_seed(3);
+        let mut g = IolusGroup::new(16);
+        let k0 = g.subgroup_key();
+        g.join(MemberId(1), &mut rng);
+        let k1 = g.subgroup_key();
+        assert_ne!(k0, k1);
+        g.leave(MemberId(1), &mut rng);
+        assert_ne!(g.subgroup_key(), k1);
+    }
+
+    #[test]
+    fn unknown_member_leave_is_free() {
+        let mut rng = Drbg::from_seed(4);
+        let mut g = IolusGroup::new(16);
+        crate::populate(&mut g, 10, &mut rng);
+        let key = g.subgroup_key();
+        assert_eq!(g.leave(MemberId(99), &mut rng), RekeyTraffic::default());
+        assert_eq!(g.subgroup_key(), key, "no spurious rekey");
+    }
+
+    #[test]
+    fn batch_leave_rekeys_once() {
+        let mut rng = Drbg::from_seed(5);
+        let mut g = IolusGroup::new(16);
+        crate::populate(&mut g, 100, &mut rng);
+        let t = g.batch_leave(&[MemberId(1), MemberId(2), MemberId(3)], &mut rng);
+        assert_eq!(t.unicast_messages, 97);
+        assert_eq!(g.member_count(), 97);
+    }
+
+    #[test]
+    fn storage_matches_paper() {
+        let mut rng = Drbg::from_seed(6);
+        let mut g = IolusGroup::new(16);
+        crate::populate(&mut g, 5000, &mut rng);
+        assert_eq!(g.member_storage_bytes(), 32);
+        assert_eq!(g.controller_storage_bytes(), 5001 * 16); // ~80 KB
+    }
+}

@@ -1,0 +1,38 @@
+//! Ablation: auxiliary-key-tree arity.
+//!
+//! The paper asserts (after Wong/Gouda/Lam) that four children per node
+//! "provides the best overall performance". This ablation measures
+//! leave-rekey bytes and wall-clock cost at arity 2, 4 and 8 so the
+//! claim can be checked against this implementation; the byte values
+//! per arity are printed by the `report` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mykil_crypto::drbg::Drbg;
+use mykil_tree::{KeyTree, MemberId, TreeConfig};
+
+const AREA: u64 = 5_000;
+
+fn bench_arity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_arity_leave");
+    for arity in [2usize, 4, 8] {
+        let mut rng = Drbg::from_seed(arity as u64);
+        let mut tree = KeyTree::new(TreeConfig::with_arity(arity), &mut rng);
+        for m in 0..AREA {
+            tree.join(MemberId(m), &mut rng).unwrap();
+        }
+        g.bench_with_input(BenchmarkId::new("leave", arity), &arity, |b, _| {
+            let mut next = AREA;
+            b.iter(|| {
+                let m = MemberId(next);
+                next += 1;
+                tree.join(m, &mut rng).unwrap();
+                let plan = tree.leave(m, &mut rng).unwrap();
+                std::hint::black_box(plan.multicast_bytes())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_arity);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation: Mykil's keep-empty-leaves rule.
+//!
+//! On a leave, Mykil does *not* prune the vacated leaf, betting that a
+//! future join will reuse it cheaply (Section III-D). This bench
+//! compares a join that lands on a vacant leaf (the Mykil fast path)
+//! against a join that must split an occupied leaf (what every join
+//! would pay if leaves were pruned).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mykil_crypto::drbg::Drbg;
+use mykil_tree::{KeyTree, MemberId, TreeConfig};
+
+const AREA: u64 = 5_000;
+
+fn bench_vacant_leaf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_vacant_leaf");
+
+    // Tree with a vacant leaf ready (a member just left).
+    g.bench_function("join_into_vacant_leaf", |b| {
+        let mut rng = Drbg::from_seed(1);
+        let mut tree = KeyTree::new(TreeConfig::binary(), &mut rng);
+        for m in 0..AREA {
+            tree.join(MemberId(m), &mut rng).unwrap();
+        }
+        let mut next = AREA;
+        b.iter(|| {
+            // leave then join: the join reuses the vacated slot.
+            tree.leave(MemberId(next - AREA / 2), &mut rng).ok();
+            let m = MemberId(next);
+            next += 1;
+            let plan = tree.join(m, &mut rng).unwrap();
+            std::hint::black_box(plan.unicast_bytes())
+        });
+    });
+
+    // Full tree: every join must split a leaf (the pruned-tree cost).
+    g.bench_function("join_requiring_split", |b| {
+        let mut rng = Drbg::from_seed(2);
+        let mut tree = KeyTree::new(TreeConfig::binary(), &mut rng);
+        for m in 0..AREA {
+            tree.join(MemberId(m), &mut rng).unwrap();
+        }
+        let mut next = AREA;
+        b.iter(|| {
+            let m = MemberId(next);
+            next += 1;
+            let plan = tree.join(m, &mut rng).unwrap();
+            std::hint::black_box(plan.unicast_bytes())
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_vacant_leaf);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Wall-clock cost of the cryptographic primitives underlying the
+//! protocol (the real-hardware analogue of the paper's OpenSSL layer).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mykil_crypto::drbg::Drbg;
+use mykil_crypto::envelope;
+use mykil_crypto::hmac::hmac_sha256;
+use mykil_crypto::keys::SymmetricKey;
+use mykil_crypto::rsa::RsaKeyPair;
+use mykil_crypto::sha256::Sha256;
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = Drbg::from_seed(1);
+    // The paper's key size. Generated once (keygen itself is seconds).
+    let pair = RsaKeyPair::generate(2048, &mut rng).unwrap();
+    let msg = [0x42u8; 64];
+    let ct = pair.public().encrypt(&msg, &mut rng).unwrap();
+    let sig = pair.sign(&msg);
+
+    let mut g = c.benchmark_group("rsa2048");
+    g.sample_size(20);
+    g.bench_function("encrypt", |b| {
+        b.iter(|| pair.public().encrypt(&msg, &mut rng).unwrap())
+    });
+    g.bench_function("decrypt", |b| b.iter(|| pair.decrypt(&ct).unwrap()));
+    g.bench_function("sign", |b| b.iter(|| pair.sign(&msg)));
+    g.bench_function("verify", |b| b.iter(|| pair.public().verify(&msg, &sig)));
+    g.finish();
+}
+
+fn bench_symmetric(c: &mut Criterion) {
+    let mut rng = Drbg::from_seed(2);
+    let key = SymmetricKey::from_label("bench");
+    let payload = vec![0u8; 4096];
+    let sealed = envelope::seal(&key, &payload, &mut rng);
+
+    let mut g = c.benchmark_group("symmetric");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("envelope_seal_4k", |b| {
+        b.iter(|| envelope::seal(&key, &payload, &mut rng))
+    });
+    g.bench_function("envelope_open_4k", |b| {
+        b.iter(|| envelope::open(&key, &sealed).unwrap())
+    });
+    g.bench_function("sha256_4k", |b| b.iter(|| Sha256::digest(&payload)));
+    g.bench_function("hmac_4k", |b| b.iter(|| hmac_sha256(key.as_bytes(), &payload)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_rsa, bench_symmetric);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 10: aggregated vs sequential rekeying for ten consecutive
+//! leave events (Section III-E batching).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mykil_crypto::drbg::Drbg;
+use mykil_tree::{KeyTree, MemberId, TreeConfig};
+
+const AREA: u64 = 5_000;
+const K: usize = 10;
+
+fn setup() -> (KeyTree, Vec<MemberId>, Drbg) {
+    let mut rng = Drbg::from_seed(10);
+    let mut tree = KeyTree::new(TreeConfig::binary(), &mut rng);
+    for m in 0..AREA {
+        tree.join(MemberId(m), &mut rng).unwrap();
+    }
+    let stride = AREA as usize / K;
+    let victims: Vec<MemberId> = (0..K).map(|i| MemberId((i * stride) as u64)).collect();
+    (tree, victims, rng)
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_ten_leaves");
+    let (tree, victims, mut rng) = setup();
+
+    group.bench_with_input(
+        BenchmarkId::new("aggregated_batch", K),
+        &K,
+        |b, _| {
+            b.iter(|| {
+                let mut t = tree.clone();
+                let out = t.batch_leave(&victims, &mut rng).unwrap();
+                std::hint::black_box(out.plan.multicast_bytes())
+            });
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("sequential_leaves", K),
+        &K,
+        |b, _| {
+            b.iter(|| {
+                let mut t = tree.clone();
+                let mut bytes = 0usize;
+                for &v in &victims {
+                    bytes += t.leave(v, &mut rng).unwrap().multicast_bytes();
+                }
+                std::hint::black_box(bytes)
+            });
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

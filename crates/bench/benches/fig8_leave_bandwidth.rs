@@ -1,0 +1,69 @@
+//! Figure 8/9: key-update bandwidth for one leave event, Iolus vs LKH
+//! vs Mykil, swept over the number of areas.
+//!
+//! Criterion times the *rekey computation* (plan building + byte
+//! accounting) per protocol; the figure's actual byte values are
+//! printed by `cargo run -p mykil-bench --bin report --release`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mykil_baselines::{FlatLkh, IolusGroup, KeyManager, MykilModel};
+use mykil_crypto::drbg::Drbg;
+use mykil_tree::{MemberId, TreeConfig};
+
+const GROUP: u64 = 20_000;
+
+fn bench_leave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_leave_event");
+    let mut rng = Drbg::from_seed(1);
+
+    let mut lkh = FlatLkh::new(TreeConfig::binary(), &mut rng);
+    mykil_baselines::populate(&mut lkh, GROUP, &mut rng);
+    group.bench_function("lkh_leave", |b| {
+        let mut next = 0u64;
+        b.iter(|| {
+            // Leave + rejoin keeps the tree at steady state.
+            let victim = MemberId(next % GROUP);
+            next += 1;
+            let t = lkh.leave(victim, &mut rng);
+            lkh.join(victim, &mut rng);
+            std::hint::black_box(t)
+        });
+    });
+
+    for areas in [4u64, 20] {
+        let mut mykil = MykilModel::new(areas as usize, TreeConfig::binary(), &mut rng);
+        mykil_baselines::populate(&mut mykil, GROUP, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("mykil_leave", areas),
+            &areas,
+            |b, _| {
+                let mut next = 0u64;
+                b.iter(|| {
+                    let victim = MemberId(next % GROUP);
+                    next += 1;
+                    let t = mykil.leave(victim, &mut rng);
+                    mykil.join(victim, &mut rng);
+                    std::hint::black_box(t)
+                });
+            },
+        );
+    }
+
+    let mut iolus = IolusGroup::new(16);
+    mykil_baselines::populate(&mut iolus, GROUP / 20, &mut rng);
+    group.bench_function("iolus_leave_area1000", |b| {
+        let mut next = 0u64;
+        b.iter(|| {
+            let victim = MemberId(next % (GROUP / 20));
+            next += 1;
+            let t = iolus.leave(victim, &mut rng);
+            iolus.join(victim, &mut rng);
+            std::hint::black_box(t)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_leave);
+criterion_main!(benches);

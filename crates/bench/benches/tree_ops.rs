@@ -1,0 +1,37 @@
+//! Auxiliary-key-tree operation costs at the paper's area size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mykil_crypto::drbg::Drbg;
+use mykil_tree::{KeyTree, MemberId, TreeConfig};
+
+const AREA: u64 = 5_000;
+
+fn bench_tree(c: &mut Criterion) {
+    let mut rng = Drbg::from_seed(1);
+    let mut tree = KeyTree::new(TreeConfig::quad(), &mut rng);
+    for m in 0..AREA {
+        tree.join(MemberId(m), &mut rng).unwrap();
+    }
+
+    let mut g = c.benchmark_group("tree_5000_members");
+    g.bench_function("join_leave_cycle", |b| {
+        let mut next = AREA;
+        b.iter(|| {
+            let m = MemberId(next);
+            next += 1;
+            let j = tree.join(m, &mut rng).unwrap();
+            let l = tree.leave(m, &mut rng).unwrap();
+            std::hint::black_box((j.multicast_bytes(), l.multicast_bytes()))
+        });
+    });
+    g.bench_function("path_keys", |b| {
+        b.iter(|| tree.path_keys(MemberId(AREA / 2)).unwrap())
+    });
+    g.bench_function("snapshot", |b| b.iter(|| tree.snapshot()));
+    let snap = tree.snapshot();
+    g.bench_function("restore", |b| b.iter(|| KeyTree::restore(&snap).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Section V-D: join/rejoin protocol latency.
+//!
+//! The paper's numbers (0.45 s join, 0.4 s rejoin, 0.28 s without
+//! steps 4–5) are *virtual-time* results of the deterministic
+//! simulation with the Pentium-III cost model — printed by the `report`
+//! binary. This criterion bench measures the *wall-clock* cost of
+//! executing one full join handshake simulation, which tracks the real
+//! cryptographic work the handshake performs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mykil::group::GroupBuilder;
+use mykil::member::Member;
+use mykil_net::Duration;
+
+fn bench_join_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vd_handshakes");
+    g.sample_size(10);
+    g.bench_function("join_protocol_full_sim", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut group = GroupBuilder::new(seed).areas(1).build();
+            let m = group.register_member_manual(1);
+            group
+                .sim
+                .invoke(m, |mm: &mut Member, ctx| mm.start_join(ctx));
+            group.run_for(Duration::from_secs(10));
+            assert!(group.is_member(m));
+            std::hint::black_box(group.member(m).timings)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_join_simulation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Section V-E: the hand-held-device feasibility test.
+//!
+//! The paper encrypted a 16 MB file with RC4 on a 600 MHz Celeron in
+//! ~0.32 s (≈50 MB/s) and concluded hand-held devices keep up with
+//! multimedia bit-rates. This bench reproduces the measurement (plus a
+//! ChaCha20 comparison as the modern-cipher ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mykil_crypto::chacha::ChaCha20;
+use mykil_crypto::rc4::Rc4;
+
+const SIZE: usize = 16 << 20; // the paper's 16 MB file
+
+fn bench_data_ciphers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ve_handheld");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(SIZE as u64));
+
+    g.bench_function("rc4_16mb", |b| {
+        let mut buf = vec![0x5au8; SIZE];
+        b.iter(|| {
+            Rc4::new(b"handheld-key-128").apply_keystream(&mut buf);
+            std::hint::black_box(buf[0])
+        });
+    });
+
+    g.bench_function("chacha20_16mb", |b| {
+        let mut buf = vec![0x5au8; SIZE];
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        b.iter(|| {
+            ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut buf);
+            std::hint::black_box(buf[0])
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_data_ciphers);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Experiment implementations shared by the `report` binary, the
+//! criterion benches, and the workspace integration tests.
+//!
+//! One function per paper artifact — see `DESIGN.md` §3 for the full
+//! experiment index and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub mod experiments;
+pub mod workload;
+
+pub use experiments::*;

@@ -1,0 +1,256 @@
+//! Join steps 4, 6 and 7 at the area controller, plus the shared
+//! admission path used by joins and rejoins.
+
+use super::{AreaController, MemberRecord, PendingAdmission};
+use crate::identity::{ClientId, DeviceId};
+use crate::msg::Msg;
+use crate::rekey::encode_path;
+use crate::ticket::Ticket;
+use crate::welcome::Welcome;
+use crate::wire::{Reader, Writer};
+use mykil_crypto::envelope::HybridCiphertext;
+use mykil_crypto::keys::SymmetricKey;
+use mykil_crypto::rsa::RsaPublicKey;
+use mykil_net::{Context, NodeId, Time};
+use mykil_tree::{MemberId, RekeyPlan};
+
+impl AreaController {
+    /// Join step 4: the RS introduces an authorized client.
+    pub(crate) fn handle_join4(&mut self, ctx: &mut Context<'_>, ct: &[u8], sig: &[u8]) {
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        if !self.rs_pub.verify(ct, sig) {
+            return;
+        }
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let Some(plain) = HybridCiphertext::from_bytes(ct)
+            .ok()
+            .and_then(|hc| hc.decrypt(&self.keypair).ok())
+        else {
+            return;
+        };
+        let parsed = (|| {
+            let mut r = Reader::new(&plain);
+            let nonce_ac = r.u64().ok()?;
+            let client = ClientId(r.u64().ok()?);
+            let ts = Time::from_micros(r.u64().ok()?);
+            let pubkey = r.bytes().ok()?.to_vec();
+            let duration = mykil_net::Duration::from_micros(r.u64().ok()?);
+            r.finish().ok()?;
+            Some((nonce_ac, client, ts, pubkey, duration))
+        })();
+        let Some((nonce_ac, client, ts, pubkey, duration)) = parsed else {
+            return;
+        };
+        // Timestamp window: catches the replay attack the paper calls
+        // out in its step-4 description.
+        if !self.fresh_timestamp(ctx.now(), ts) {
+            ctx.stats().bump("ac-replays-rejected", 1);
+            return;
+        }
+        let Ok(pubkey) = RsaPublicKey::from_bytes(&pubkey) else {
+            return;
+        };
+        self.pending_admissions.insert(
+            nonce_ac,
+            PendingAdmission {
+                client,
+                pubkey,
+                valid_until: ctx.now() + duration,
+            },
+        );
+    }
+
+    /// Join step 6: the client proves it holds `Nonce_AC` and presents
+    /// its challenge; step 7 (the welcome) is the reply.
+    pub(crate) fn handle_join6(&mut self, ctx: &mut Context<'_>, from: NodeId, ct: &[u8]) {
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let Some(plain) = HybridCiphertext::from_bytes(ct)
+            .ok()
+            .and_then(|hc| hc.decrypt(&self.keypair).ok())
+        else {
+            return;
+        };
+        let parsed = (|| {
+            let mut r = Reader::new(&plain);
+            let nonce_ac_2 = r.u64().ok()?;
+            let nonce_ca = r.u64().ok()?;
+            let device = DeviceId(r.array::<6>().ok()?);
+            r.finish().ok()?;
+            Some((nonce_ac_2, nonce_ca, device))
+        })();
+        let Some((nonce_ac_2, nonce_ca, device)) = parsed else {
+            return;
+        };
+        let Some(pending) = self
+            .pending_admissions
+            .remove(&nonce_ac_2.wrapping_sub(2))
+        else {
+            return;
+        };
+        let welcome = self.admit(
+            ctx,
+            pending.client,
+            pending.pubkey.clone(),
+            Some(device),
+            pending.valid_until,
+            from,
+            nonce_ca.wrapping_add(1),
+        );
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        let Ok(ct7) = HybridCiphertext::encrypt(&pending.pubkey, &welcome.to_bytes(), ctx.rng())
+        else {
+            return;
+        };
+        self.stats.joins_admitted += 1;
+        ctx.send(from, "join", Msg::Join7 { ct: ct7.to_bytes() }.to_bytes());
+        self.after_membership_change(ctx);
+    }
+
+    /// Shared admission path: updates the tree, buffers the key-update
+    /// multicast, unicasts fresh keys to any displaced member, issues a
+    /// ticket, and builds the welcome payload.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn admit(
+        &mut self,
+        ctx: &mut Context<'_>,
+        client: ClientId,
+        pubkey: RsaPublicKey,
+        device: Option<DeviceId>,
+        valid_until: Time,
+        node: NodeId,
+        nonce_echo: u64,
+    ) -> Welcome {
+        let member = MemberId(client.0);
+        self.note_area_key();
+        // Re-admission cancels any departure still queued in the batch
+        // window — otherwise the next flush would evict the fresh
+        // membership it just granted.
+        self.pending_leaves.retain(|c| *c != client);
+        // Re-admission after a missed eviction: clear the stale record.
+        if self.tree.contains(member) {
+            let _ = self.tree.leave(member, ctx.rng());
+            self.members.remove(&client);
+        }
+        let plan = self
+            .tree
+            .join(member, ctx.rng())
+            .expect("member absent after cleanup");
+        self.buffer_join_plan(&plan);
+        self.send_displaced_unicasts(ctx, &plan, member);
+
+        let path: Vec<(u32, SymmetricKey)> = plan
+            .unicasts
+            .iter()
+            .find(|u| u.member == member)
+            .map(|u| {
+                u.keys
+                    .iter()
+                    .map(|(n, k)| (n.raw() as u32, *k))
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        let ticket = Ticket {
+            join_time: ctx.now(),
+            valid_until,
+            client,
+            device: device.unwrap_or(DeviceId([0; 6])),
+            public_key: pubkey.to_bytes(),
+            last_area: self.deploy.area,
+            last_ac: ctx.id().index() as u32,
+        }
+        .seal(&self.k_shared, ctx.rng());
+
+        self.members.insert(
+            client,
+            MemberRecord {
+                node,
+                pubkey,
+                device,
+                valid_until,
+                last_heard: ctx.now(),
+            },
+        );
+        self.recorded_members.insert(client, self.epoch);
+        self.update_needed = true;
+
+        Welcome {
+            nonce_echo,
+            client,
+            area: self.deploy.area,
+            group_raw: self.deploy.group.index() as u32,
+            ac_node: ctx.id().index() as u32,
+            backup_node: self
+                .deploy
+                .backup
+                .map(|b| b.index() as u32)
+                .unwrap_or(u32::MAX),
+            backup_pubkey: self.deploy.backup_pubkey.clone(),
+            ticket: ticket.0,
+            path,
+            epoch: self.epoch,
+            valid_until_us: valid_until.as_micros(),
+        }
+    }
+
+    /// Unicasts fresh leaf keys to members displaced by a leaf split
+    /// (Figure 4: "unicast the list of new auxiliary keys appropriately
+    /// encrypted to m_c").
+    pub(crate) fn send_displaced_unicasts(
+        &mut self,
+        ctx: &mut Context<'_>,
+        plan: &RekeyPlan,
+        newcomer: MemberId,
+    ) {
+        for u in &plan.unicasts {
+            if u.member == newcomer {
+                continue;
+            }
+            // The displaced occupant is a client — or a child AC whose
+            // leaf in this tree was split.
+            let target = if let Some(rec) = self.members.get(&ClientId(u.member.0)) {
+                Some((rec.node, rec.pubkey.clone()))
+            } else {
+                self.child_ac_members.get(&u.member.0).and_then(|&node| {
+                    self.directory_pubkey(node).map(|pk| (node, pk))
+                })
+            };
+            let Some((node, pubkey)) = target else {
+                continue;
+            };
+            let path: Vec<(u32, SymmetricKey)> = u
+                .keys
+                .iter()
+                .map(|(n, k)| (n.raw() as u32, *k))
+                .collect();
+            ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+            if let Ok(ct) =
+                HybridCiphertext::encrypt(&pubkey, &encode_path(&path), ctx.rng())
+            {
+                ctx.send(node, "key-unicast", Msg::KeyUnicast { ct: ct.to_bytes() }.to_bytes());
+            }
+        }
+    }
+
+    /// Common tail of a membership change: flush immediately or leave
+    /// the batch pending, then sync the replica.
+    pub(crate) fn after_membership_change(&mut self, ctx: &mut Context<'_>) {
+        if self.batch_now() {
+            self.flush_key_updates(ctx);
+        }
+        self.sync_backup(ctx);
+    }
+
+    pub(crate) fn fresh_timestamp(&self, now: Time, ts: Time) -> bool {
+        let window = self.cfg.timestamp_window;
+        let (a, b) = if now >= ts { (now, ts) } else { (ts, now) };
+        a.since(b) <= window
+    }
+
+    /// Writer helper: the signed payload for key updates.
+    pub(crate) fn key_update_signed_bytes(&self, body: &[u8], epoch: u64) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(self.deploy.area.0).u64(epoch).raw(body);
+        w.into_bytes()
+    }
+}

@@ -1,0 +1,448 @@
+//! Failure detection and recovery at the area controller
+//! (Sections IV-A and IV-C of the paper).
+//!
+//! - the AC multicasts `alive` after `T_idle` of multicast silence;
+//! - members silent for `5·T_active` are unilaterally evicted (a
+//!   batched leave);
+//! - a parent area silent for `5·T_idle` triggers a parent switch: a
+//!   signed area-join exchange with a preferred alternative controller.
+
+use super::{AreaController, ParentLink, RejoinStage, TIMER_IDLE_ALIVE, TIMER_PARENT_CHECK, TIMER_REKEY, TIMER_SWEEP};
+use crate::identity::{AreaId, ClientId};
+use crate::msg::Msg;
+use crate::rekey::{decode_entries, decode_path};
+use crate::wire::{Reader, Writer};
+use mykil_crypto::envelope::HybridCiphertext;
+use mykil_crypto::keys::SymmetricKey;
+use mykil_net::{Context, GroupId, NodeId, Time};
+use mykil_tree::MemberId;
+
+impl AreaController {
+    /// `T_idle` tick: multicast `alive` when the area has been quiet.
+    pub(crate) fn tick_idle_alive(&mut self, ctx: &mut Context<'_>) {
+        if ctx.now().since(self.last_area_mcast) >= self.cfg.t_idle {
+            ctx.multicast(
+                self.deploy.group,
+                "alive",
+                Msg::AcAlive {
+                    area: self.deploy.area,
+                    epoch: self.epoch,
+                }
+                .to_bytes(),
+            );
+            self.last_area_mcast = ctx.now();
+        }
+        ctx.set_timer(self.cfg.t_idle, TIMER_IDLE_ALIVE);
+    }
+
+    /// Periodic sweep: evict silent or expired members, time out
+    /// rejoin-verification waits.
+    pub(crate) fn tick_sweep(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let evict_after = self.cfg.ac_evict_after();
+        let stale: Vec<ClientId> = self
+            .members
+            .iter()
+            .filter(|(_, rec)| {
+                now.since(rec.last_heard) >= evict_after || now > rec.valid_until
+            })
+            .map(|(c, _)| *c)
+            .collect();
+        let mut changed = false;
+        for client in stale {
+            self.queue_leave(client);
+            self.stats.evictions += 1;
+            ctx.stats().bump("ac-evictions", 1);
+            changed = true;
+        }
+        if changed {
+            self.after_membership_change(ctx);
+        }
+
+        // Rejoins stuck waiting on an unreachable previous AC.
+        let expired: Vec<NodeId> = self
+            .pending_rejoins
+            .iter()
+            .filter(|(_, p)| p.stage == RejoinStage::AwaitPrevAc && now >= p.deadline)
+            .map(|(n, _)| *n)
+            .collect();
+        for node in expired {
+            self.resolve_unverified_rejoin(ctx, node);
+        }
+
+        ctx.set_timer(self.cfg.t_active, TIMER_SWEEP);
+    }
+
+    /// Freshness timer: flush pending updates even without data traffic
+    /// (the second rekey trigger of Section III-E).
+    pub(crate) fn tick_rekey(&mut self, ctx: &mut Context<'_>) {
+        if self.update_needed {
+            self.flush_key_updates(ctx);
+            self.sync_backup(ctx);
+        } else if self.cfg.idle_freshness_rekey && self.tree.member_count() > 0 {
+            self.freshness_rotate(ctx);
+        }
+        ctx.set_timer(self.cfg.rekey_interval, TIMER_REKEY);
+    }
+
+    /// Rotates only the area key, multicast under its previous value —
+    /// the periodic freshness rekey of Section III-E.
+    pub(crate) fn freshness_rotate(&mut self, ctx: &mut Context<'_>) {
+        self.note_area_key();
+        let old = self.tree.area_key();
+        let plan = self.tree.rotate_area_key(ctx.rng());
+        let entries: Vec<crate::rekey::WireKeyEntry> = plan
+            .changes
+            .iter()
+            .map(|c| crate::rekey::WireKeyEntry {
+                node: c.node.raw() as u32,
+                under: crate::rekey::UnderTag::PrevSelf,
+                env: mykil_crypto::envelope::seal(&old, c.new_key.as_bytes(), ctx.rng()),
+            })
+            .collect();
+        self.epoch += 1;
+        let body = crate::rekey::encode_entries(&entries);
+        let signed = self.key_update_signed_bytes(&body, self.epoch);
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let sig = self.keypair.sign(&signed);
+        ctx.multicast(
+            self.deploy.group,
+            "key-update",
+            Msg::KeyUpdate {
+                area: self.deploy.area,
+                epoch: self.epoch,
+                body,
+                sig,
+            }
+            .to_bytes(),
+        );
+        self.last_area_mcast = ctx.now();
+        self.stats.rekeys += 1;
+        ctx.stats().bump("ac-freshness-rekeys", 1);
+        self.sync_backup(ctx);
+    }
+
+    /// Parent-liveness check: switch parents after `5·T_idle` of
+    /// silence.
+    pub(crate) fn tick_parent_check(&mut self, ctx: &mut Context<'_>) {
+        if self.parent.is_some()
+            && ctx.now().since(self.last_heard_parent) >= self.cfg.member_disconnect_after()
+        {
+            self.start_parent_switch(ctx);
+        }
+        ctx.set_timer(self.cfg.t_idle, TIMER_PARENT_CHECK);
+    }
+
+    /// Picks the next preferred parent and sends a signed area-join
+    /// request (Section IV-C).
+    pub(crate) fn start_parent_switch(&mut self, ctx: &mut Context<'_>) {
+        let current = self.parent.as_ref().map(|p| p.node);
+        let Some(next) = self
+            .deploy
+            .preferred_parents
+            .iter()
+            .find(|p| Some(p.node) != current && p.node != ctx.id())
+            .cloned()
+        else {
+            return;
+        };
+        let Some(next_pub) = self.directory_pubkey(next.node) else {
+            return;
+        };
+        let mut w = Writer::new();
+        w.u32(self.deploy.area.0).u64(ctx.now().as_micros());
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        let Ok(ct) = HybridCiphertext::encrypt(&next_pub, &w.into_bytes(), ctx.rng()) else {
+            return;
+        };
+        let ct = ct.to_bytes();
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let sig = self.keypair.sign(&ct);
+        ctx.stats().bump("ac-parent-switch-attempts", 1);
+        ctx.send(next.node, "area-join", Msg::AreaJoinReq { ct, sig }.to_bytes());
+        // Stop treating the dead parent as alive; the ack installs the
+        // replacement.
+        self.last_heard_parent = ctx.now();
+    }
+
+    /// Handles an area-join request from a prospective child controller.
+    pub(crate) fn handle_area_join_req(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        ct: &[u8],
+        sig: &[u8],
+    ) {
+        let Some(child_pub) = self.directory_pubkey(from) else {
+            return;
+        };
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        if !child_pub.verify(ct, sig) {
+            return;
+        }
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let Some(plain) = HybridCiphertext::from_bytes(ct)
+            .ok()
+            .and_then(|hc| hc.decrypt(&self.keypair).ok())
+        else {
+            return;
+        };
+        let parsed = (|| {
+            let mut r = Reader::new(&plain);
+            let child_area = AreaId(r.u32().ok()?);
+            let ts = Time::from_micros(r.u64().ok()?);
+            r.finish().ok()?;
+            Some((child_area, ts))
+        })();
+        let Some((child_area, ts)) = parsed else {
+            return;
+        };
+        if !self.fresh_timestamp(ctx.now(), ts) {
+            return;
+        }
+        // Enroll the child AC as a member of this area's tree.
+        self.note_area_key();
+        let member = MemberId(super::AC_MEMBER_BASE + child_area.0 as u64);
+        if self.tree.contains(member) {
+            let _ = self.tree.leave(member, ctx.rng());
+        }
+        let plan = self.tree.join(member, ctx.rng()).expect("child readmission");
+        self.child_ac_members.insert(member.0, from);
+        self.buffer_join_plan(&plan);
+        self.send_displaced_unicasts(ctx, &plan, member);
+        self.update_needed = true;
+        self.child_acs.insert(from);
+        let path: Vec<(u32, SymmetricKey)> = plan
+            .unicasts
+            .iter()
+            .find(|u| u.member == member)
+            .map(|u| u.keys.iter().map(|(n, k)| (n.raw() as u32, *k)).collect())
+            .unwrap_or_default();
+
+        // Ack: {my area, my group, my rekey epoch, the child's path
+        // keys, ts}, sealed to the child and signed.
+        let mut w = Writer::new();
+        w.u32(self.deploy.area.0)
+            .u32(self.deploy.group.index() as u32)
+            .u64(self.epoch)
+            .bytes(&crate::rekey::encode_path(&path))
+            .u64(ctx.now().as_micros());
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        let Ok(ack_ct) = HybridCiphertext::encrypt(&child_pub, &w.into_bytes(), ctx.rng())
+        else {
+            return;
+        };
+        let ack_ct = ack_ct.to_bytes();
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let ack_sig = self.keypair.sign(&ack_ct);
+        ctx.send(
+            from,
+            "area-join",
+            Msg::AreaJoinAck { ct: ack_ct, sig: ack_sig }.to_bytes(),
+        );
+        self.after_membership_change(ctx);
+    }
+
+    /// Installs a new parent from an area-join acknowledgement.
+    pub(crate) fn handle_area_join_ack(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        ct: &[u8],
+        sig: &[u8],
+    ) {
+        let Some(parent_pub) = self.directory_pubkey(from) else {
+            return;
+        };
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        if !parent_pub.verify(ct, sig) {
+            return;
+        }
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let Some(plain) = HybridCiphertext::from_bytes(ct)
+            .ok()
+            .and_then(|hc| hc.decrypt(&self.keypair).ok())
+        else {
+            return;
+        };
+        let parsed = (|| {
+            let mut r = Reader::new(&plain);
+            let parent_area = AreaId(r.u32().ok()?);
+            let group_raw = r.u32().ok()?;
+            let parent_epoch = r.u64().ok()?;
+            let path = decode_path(r.bytes().ok()?).ok()?;
+            let ts = Time::from_micros(r.u64().ok()?);
+            r.finish().ok()?;
+            Some((parent_area, group_raw, parent_epoch, path, ts))
+        })();
+        let Some((parent_area, group_raw, parent_epoch, path, ts)) = parsed else {
+            return;
+        };
+        if !self.fresh_timestamp(ctx.now(), ts) {
+            return;
+        }
+        // Leave the old parent's multicast group, join the new one.
+        if let Some(old) = &self.parent {
+            ctx.leave_group(old.group);
+        }
+        let link = ParentLink {
+            node: from,
+            area: parent_area,
+            group: GroupId::from_index(group_raw as usize),
+        };
+        ctx.join_group(link.group);
+        self.parent = Some(link);
+        self.parent_keys.clear();
+        self.parent_keys.install_path(&path);
+        self.parent_epoch = parent_epoch;
+        self.last_heard_parent = ctx.now();
+        self.stats.parent_switches += 1;
+        ctx.stats().bump("ac-parent-switches", 1);
+        self.sync_backup(ctx);
+    }
+
+    /// Key updates from the parent area (this AC is a member there).
+    pub(crate) fn handle_parent_key_update(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        area: AreaId,
+        epoch: u64,
+        body: &[u8],
+        sig: &[u8],
+    ) {
+        let Some(parent) = &self.parent else { return };
+        if parent.node != from || parent.area != area {
+            return;
+        }
+        let Some(parent_pub) = self.directory_pubkey(from) else {
+            return;
+        };
+        let mut signed = Writer::new();
+        signed.u32(area.0).u64(epoch).raw(body);
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        if !parent_pub.verify(&signed.into_bytes(), sig) {
+            return;
+        }
+        // Ordering guard: never let a reordered older update revert
+        // newer parent-area keys.
+        if epoch <= self.parent_epoch {
+            return;
+        }
+        let Ok(entries) = decode_entries(body) else {
+            return;
+        };
+        ctx.charge_compute(self.cost.symmetric_op.saturating_mul(entries.len() as u64));
+        let outcome = self.parent_keys.apply_entries(&entries);
+        if outcome.stale > 0 || outcome.learned == 0 || epoch > self.parent_epoch + 1 {
+            self.request_parent_key_refresh(ctx);
+        }
+        self.parent_epoch = epoch;
+    }
+
+    /// Asks the parent controller to re-send this AC's key path in the
+    /// parent tree (missed-update recovery).
+    pub(crate) fn request_parent_key_refresh(&mut self, ctx: &mut Context<'_>) {
+        let Some(parent) = &self.parent else { return };
+        let me = ClientId(super::AC_MEMBER_BASE + self.deploy.area.0 as u64);
+        ctx.send(
+            parent.node,
+            "key-unicast",
+            Msg::KeyRefreshRequest { client: me }.to_bytes(),
+        );
+    }
+
+    /// Serves key-refresh requests from area members and child ACs.
+    pub(crate) fn handle_key_refresh(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        client: ClientId,
+    ) {
+        if client.0 >= super::AC_MEMBER_BASE {
+            // A child controller: re-send its path in this tree.
+            if self.child_ac_members.get(&client.0) != Some(&from) {
+                return;
+            }
+            let Ok(path) = self.tree.path_keys(mykil_tree::MemberId(client.0)) else {
+                return;
+            };
+            let Some(pubkey) = self.directory_pubkey(from) else {
+                return;
+            };
+            let path: Vec<(u32, SymmetricKey)> =
+                path.iter().map(|(n, k)| (n.raw() as u32, *k)).collect();
+            ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+            if let Ok(ct) = HybridCiphertext::encrypt(
+                &pubkey,
+                &crate::rekey::encode_path(&path),
+                ctx.rng(),
+            ) {
+                ctx.send(
+                    from,
+                    "key-unicast",
+                    Msg::KeyUnicast { ct: ct.to_bytes() }.to_bytes(),
+                );
+            }
+            return;
+        }
+        if self.members.get(&client).is_some_and(|r| r.node == from) {
+            if let Some(rec) = self.members.get_mut(&client) {
+                rec.last_heard = ctx.now();
+            }
+            self.unicast_current_path(ctx, client);
+        }
+    }
+
+    /// Unicast key refreshes from the parent (displacement or batch
+    /// refresh — the AC is just another member of the parent area).
+    pub(crate) fn handle_parent_key_unicast(&mut self, ctx: &mut Context<'_>, ct: &[u8]) {
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let Some(plain) = HybridCiphertext::from_bytes(ct)
+            .ok()
+            .and_then(|hc| hc.decrypt(&self.keypair).ok())
+        else {
+            return;
+        };
+        if let Ok(path) = decode_path(&plain) {
+            self.parent_keys.install_path(&path);
+        }
+    }
+
+    /// A neighboring controller's backup took over; repoint the parent
+    /// link if it was our parent.
+    pub(crate) fn handle_neighbor_takeover(
+        &mut self,
+        _ctx: &mut Context<'_>,
+        from: NodeId,
+        area: AreaId,
+        sig: &[u8],
+        pubkey: &[u8],
+    ) {
+        let Some(parent) = &self.parent else { return };
+        if parent.area != area {
+            return;
+        }
+        // Validate against the deployment's backup key for that area —
+        // a takeover claim must come from the area's registered backup.
+        let Some(expected) = self.deploy.backups.by_area(area) else {
+            return;
+        };
+        if expected.pubkey != pubkey {
+            return;
+        }
+        let Ok(pk) = mykil_crypto::rsa::RsaPublicKey::from_bytes(pubkey) else {
+            return;
+        };
+        let mut w = Writer::new();
+        w.u32(area.0);
+        if !pk.verify(&w.into_bytes(), sig) {
+            return;
+        }
+        self.parent = Some(ParentLink {
+            node: from,
+            area,
+            group: parent.group,
+        });
+    }
+}

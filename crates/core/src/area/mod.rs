@@ -1,0 +1,510 @@
+//! The area controller — Mykil's workhorse node.
+//!
+//! An area controller (AC) owns one area: it manages the area's
+//! auxiliary-key tree, admits members (join step 7 and the rejoin
+//! protocol), batches and multicasts key updates, forwards multicast
+//! data up and down the area hierarchy, detects and evicts dead
+//! members, re-parents itself when its parent area fails, and
+//! synchronizes a backup replica (Sections III and IV of the paper).
+//!
+//! The implementation is split by concern:
+//!
+//! - `join` — handling join steps 4 and 6, admission, welcomes
+//! - `rejoin` — the six-step rejoin protocol (both AC roles)
+//! - `rekey_flow` — join-update buffering, leave batching, flushes
+//! - `data` — data-plane forwarding (Figure 2)
+//! - `liveness` — alive messages, eviction, parent failover
+//! - `replication` — primary-backup state sync and takeover
+
+mod data;
+mod join;
+mod liveness;
+mod rejoin;
+mod rekey_flow;
+mod replication;
+
+use crate::config::{BatchPolicy, MykilConfig};
+use crate::crypto_cost::CryptoCost;
+use crate::directory::AcDirectory;
+use crate::identity::{AreaId, ClientId, DeviceId};
+use crate::msg::Msg;
+use crate::rekey::KeyState;
+use mykil_crypto::keys::SymmetricKey;
+use mykil_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use mykil_net::{Context, GroupId, Node, NodeId, Time};
+use mykil_tree::{KeyTree, MemberId};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+pub(crate) const TIMER_IDLE_ALIVE: u64 = 1;
+pub(crate) const TIMER_SWEEP: u64 = 2;
+pub(crate) const TIMER_REKEY: u64 = 3;
+pub(crate) const TIMER_HEARTBEAT: u64 = 4;
+pub(crate) const TIMER_BACKUP_WATCH: u64 = 5;
+pub(crate) const TIMER_PARENT_CHECK: u64 = 6;
+
+/// Tree member ids for ACs enrolled in parent areas live above this
+/// base so they can never collide with client ids.
+pub const AC_MEMBER_BASE: u64 = 1 << 48;
+
+/// Whether this node currently runs the area or stands by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Active controller.
+    Primary,
+    /// Replica synchronized from the given primary (Section IV-C).
+    Backup {
+        /// The primary controller's address.
+        primary: NodeId,
+    },
+}
+
+/// A member as the AC sees it.
+#[derive(Debug, Clone)]
+pub(crate) struct MemberRecord {
+    pub node: NodeId,
+    pub pubkey: RsaPublicKey,
+    pub device: Option<DeviceId>,
+    pub valid_until: Time,
+    pub last_heard: Time,
+}
+
+/// A client admitted by the RS (join step 4) awaiting its step 6.
+#[derive(Debug)]
+pub(crate) struct PendingAdmission {
+    pub client: ClientId,
+    pub pubkey: RsaPublicKey,
+    pub valid_until: Time,
+}
+
+/// Rejoin handshake state at the new AC.
+#[derive(Debug)]
+pub(crate) struct PendingRejoin {
+    pub client: ClientId,
+    pub pubkey: RsaPublicKey,
+    pub device: DeviceId,
+    pub ticket_device: DeviceId,
+    pub valid_until: Time,
+    pub nonce_bc: u64,
+    pub stage: RejoinStage,
+    pub deadline: Time,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RejoinStage {
+    AwaitStep3,
+    AwaitPrevAc,
+}
+
+/// Link to the parent area (the AC is a member there).
+#[derive(Debug, Clone)]
+pub struct ParentLink {
+    /// The parent controller's address.
+    pub node: NodeId,
+    /// The parent's area.
+    pub area: AreaId,
+    /// The parent area's multicast group.
+    pub group: GroupId,
+}
+
+/// Static deployment configuration for one controller.
+#[derive(Debug, Clone)]
+pub struct AcDeployment {
+    /// The area this controller manages.
+    pub area: AreaId,
+    /// The area's multicast group.
+    pub group: GroupId,
+    /// Initial parent link, if not the root area.
+    pub parent: Option<ParentLink>,
+    /// Backup replica address, if replicated.
+    pub backup: Option<NodeId>,
+    /// Backup replica public key (encoded), if replicated.
+    pub backup_pubkey: Vec<u8>,
+    /// Primary/backup role.
+    pub role: Role,
+    /// Registration server address (takeover notifications).
+    pub rs_node: NodeId,
+    /// Directory of all (primary) ACs — the paper assumes controllers
+    /// know one another's public keys.
+    pub directory: AcDirectory,
+    /// Directory of backup controllers (area → backup node + key), used
+    /// to validate takeover announcements from neighbors.
+    pub backups: AcDirectory,
+    /// Preferred alternative parents for failover, in order.
+    pub preferred_parents: Vec<ParentLink>,
+}
+
+/// Operation counters exposed for tests and reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AcStats {
+    /// Members admitted through the join protocol.
+    pub joins_admitted: u64,
+    /// Members admitted through the rejoin protocol.
+    pub rejoins_admitted: u64,
+    /// Rejoins denied (any reason).
+    pub rejoins_denied: u64,
+    /// Members evicted by the failure detector or expiry.
+    pub evictions: u64,
+    /// Key-update multicasts sent.
+    pub rekeys: u64,
+    /// Data packets forwarded.
+    pub data_forwarded: u64,
+    /// Takeovers performed (backup role only).
+    pub takeovers: u64,
+    /// Parent switches performed.
+    pub parent_switches: u64,
+}
+
+/// The area controller node (primary or backup).
+pub struct AreaController {
+    pub(crate) cfg: MykilConfig,
+    pub(crate) cost: CryptoCost,
+    pub(crate) keypair: RsaKeyPair,
+    pub(crate) rs_pub: RsaPublicKey,
+    pub(crate) k_shared: SymmetricKey,
+    pub(crate) deploy: AcDeployment,
+    pub(crate) role: Role,
+
+    pub(crate) tree: KeyTree,
+    pub(crate) members: HashMap<ClientId, MemberRecord>,
+    pub(crate) pending_admissions: HashMap<u64, PendingAdmission>,
+    pub(crate) pending_rejoins: HashMap<NodeId, PendingRejoin>,
+    /// Per pending rejoin: the previous AC (node, area) from the ticket.
+    pub(crate) pending_rejoin_prev_ac: HashMap<NodeId, (u32, AreaId)>,
+
+    // Batching state (Section III-E).
+    pub(crate) epoch: u64,
+    pub(crate) update_needed: bool,
+    /// node → its key value before the first buffered join update.
+    pub(crate) buffered_join_updates: BTreeMap<u32, SymmetricKey>,
+    /// Members "whose path may have changed" — the paper refreshes them
+    /// by unicast at flush time. Value = the rekey epoch at admission;
+    /// a newcomer is refreshed at the first flush *after* its admission
+    /// flush, covering the window before it subscribed to the area
+    /// multicast.
+    pub(crate) recorded_members: BTreeMap<ClientId, u64>,
+    pub(crate) pending_leaves: Vec<ClientId>,
+
+    // Hierarchy state.
+    pub(crate) parent: Option<ParentLink>,
+    pub(crate) parent_keys: KeyState,
+    /// Last parent-area rekey epoch applied (ordering guard).
+    pub(crate) parent_epoch: u64,
+    pub(crate) last_heard_parent: Time,
+    pub(crate) child_acs: HashSet<NodeId>,
+    /// Tree member id → node address for enrolled child controllers.
+    pub(crate) child_ac_members: HashMap<u64, NodeId>,
+
+    // Data plane.
+    /// Recently superseded area keys (own tree), for unwrapping data
+    /// sealed just before a rotation.
+    pub(crate) prev_area_keys: VecDeque<SymmetricKey>,
+    pub(crate) seen_data: HashSet<(u64, u64)>,
+    pub(crate) seen_order: VecDeque<(u64, u64)>,
+    pub(crate) last_area_mcast: Time,
+
+    // Replication.
+    pub(crate) repl_key: SymmetricKey,
+    pub(crate) hb_seq: u64,
+    pub(crate) last_heartbeat: Time,
+    /// Latest decrypted state snapshot (backup role).
+    pub(crate) replica_state: Option<Vec<u8>>,
+
+    /// Operation counters.
+    pub stats: AcStats,
+}
+
+impl std::fmt::Debug for AreaController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AreaController")
+            .field("area", &self.deploy.area)
+            .field("role", &self.role)
+            .field("members", &self.members.len())
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AreaController {
+    /// Creates a controller. The initial tree is empty; the group
+    /// builder enrolls child controllers and seeds replication state.
+    pub fn new(
+        cfg: MykilConfig,
+        cost: CryptoCost,
+        keypair: RsaKeyPair,
+        rs_pub: RsaPublicKey,
+        k_shared: SymmetricKey,
+        deploy: AcDeployment,
+        tree_seed: u64,
+    ) -> AreaController {
+        let mut rng = mykil_crypto::drbg::Drbg::from_seed(tree_seed);
+        let tree = KeyTree::new(cfg.tree, &mut rng);
+        let repl_key = k_shared.derive(format!("repl-{}", deploy.area.0).as_bytes());
+        let role = deploy.role;
+        AreaController {
+            cfg,
+            cost,
+            keypair,
+            rs_pub,
+            k_shared,
+            role,
+            tree,
+            members: HashMap::new(),
+            pending_admissions: HashMap::new(),
+            pending_rejoins: HashMap::new(),
+            pending_rejoin_prev_ac: HashMap::new(),
+            epoch: 0,
+            update_needed: false,
+            buffered_join_updates: BTreeMap::new(),
+            recorded_members: BTreeMap::new(),
+            pending_leaves: Vec::new(),
+            parent: deploy.parent.clone(),
+            parent_keys: KeyState::new(),
+            parent_epoch: 0,
+            last_heard_parent: Time::ZERO,
+            child_acs: HashSet::new(),
+            child_ac_members: HashMap::new(),
+            prev_area_keys: VecDeque::new(),
+            seen_data: HashSet::new(),
+            seen_order: VecDeque::new(),
+            last_area_mcast: Time::ZERO,
+            repl_key,
+            hb_seq: 0,
+            last_heartbeat: Time::ZERO,
+            replica_state: None,
+            stats: AcStats::default(),
+            deploy,
+        }
+    }
+
+    // ---- accessors for harnesses and tests ----
+
+    /// The area managed by this controller.
+    pub fn area(&self) -> AreaId {
+        self.deploy.area
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Number of members in the area (child ACs excluded).
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether a client is currently a member here.
+    pub fn has_member(&self, client: ClientId) -> bool {
+        self.members.contains_key(&client)
+    }
+
+    /// The controller's public key.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.keypair.public()
+    }
+
+    /// The current area key (root of the auxiliary tree).
+    pub fn area_key(&self) -> SymmetricKey {
+        self.tree.area_key()
+    }
+
+    /// The auxiliary-key tree (inspection only).
+    pub fn tree(&self) -> &KeyTree {
+        &self.tree
+    }
+
+    /// Current rekey epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The current parent link, if any.
+    pub fn parent(&self) -> Option<&ParentLink> {
+        self.parent.as_ref()
+    }
+
+    /// This controller's current view of its parent area's key
+    /// (diagnostics and tests).
+    pub fn parent_area_key(&self) -> Option<SymmetricKey> {
+        self.parent_keys.area_key()
+    }
+
+    /// Whether a key-update flush is pending (batching).
+    pub fn update_pending(&self) -> bool {
+        self.update_needed
+    }
+
+    /// Enrolls `child` as a member of this controller's area at
+    /// deployment time (before the simulation starts). The runtime
+    /// equivalent is the signed area-join exchange handled by
+    /// `handle_area_join_req`.
+    pub fn enroll_child_static<R: rand::RngCore + ?Sized>(
+        &mut self,
+        child: &mut AreaController,
+        child_node: NodeId,
+        rng: &mut R,
+    ) {
+        self.note_area_key();
+        let member = MemberId(AC_MEMBER_BASE + child.deploy.area.0 as u64);
+        let plan = self.tree.join(member, rng).expect("child not yet enrolled");
+        self.child_ac_members.insert(member.0, child_node);
+        // Deployment-time enrollment: hand the child its path directly.
+        for u in &plan.unicasts {
+            if u.member == member {
+                let path: Vec<(u32, SymmetricKey)> = u
+                    .keys
+                    .iter()
+                    .map(|(n, k)| (n.raw() as u32, *k))
+                    .collect();
+                child.parent_keys.install_path(&path);
+            }
+        }
+        self.child_acs.insert(child_node);
+    }
+
+    /// Re-seeds this controller's view of its parent area's keys
+    /// (deployment-time helper; see [`Self::enroll_child_static`]).
+    pub fn seed_parent_keys(&mut self, path: &[(u32, SymmetricKey)]) {
+        self.parent_keys.clear();
+        self.parent_keys.install_path(path);
+    }
+
+    /// Records the current area key before a tree mutation rotates it.
+    pub(crate) fn note_area_key(&mut self) {
+        let current = self.tree.area_key();
+        if self.prev_area_keys.front() != Some(&current) {
+            self.prev_area_keys.push_front(current);
+            self.prev_area_keys.truncate(crate::rekey::AREA_KEY_HISTORY);
+        }
+    }
+
+    /// All area keys to try when unwrapping own-area data (current
+    /// first).
+    pub(crate) fn own_area_keys(&self) -> Vec<SymmetricKey> {
+        let mut out = Vec::with_capacity(1 + self.prev_area_keys.len());
+        out.push(self.tree.area_key());
+        out.extend(self.prev_area_keys.iter().copied());
+        out
+    }
+
+    pub(crate) fn batch_now(&self) -> bool {
+        self.cfg.batch_policy == BatchPolicy::Immediate
+    }
+
+    /// Looks up an AC's public key in the deployment directory
+    /// (primaries first, then backups — a backup that took over signs
+    /// with its own key).
+    pub(crate) fn directory_pubkey(&self, node: NodeId) -> Option<RsaPublicKey> {
+        let raw = node.index() as u32;
+        self.deploy
+            .directory
+            .by_node(raw)
+            .or_else(|| self.deploy.backups.by_node(raw))
+            .and_then(|info| RsaPublicKey::from_bytes(&info.pubkey).ok())
+    }
+
+    fn is_backup(&self) -> bool {
+        matches!(self.role, Role::Backup { .. })
+    }
+}
+
+impl Node for AreaController {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.join_group(self.deploy.group);
+        if let Some(p) = &self.parent {
+            ctx.join_group(p.group);
+        }
+        self.last_heard_parent = ctx.now();
+        self.last_heartbeat = ctx.now();
+        match self.role {
+            Role::Primary => {
+                ctx.set_timer(self.cfg.t_idle, TIMER_IDLE_ALIVE);
+                ctx.set_timer(self.cfg.t_active, TIMER_SWEEP);
+                ctx.set_timer(self.cfg.rekey_interval, TIMER_REKEY);
+                ctx.set_timer(self.cfg.t_idle, TIMER_PARENT_CHECK);
+                if self.deploy.backup.is_some() {
+                    ctx.set_timer(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
+                }
+            }
+            Role::Backup { .. } => {
+                ctx.set_timer(self.cfg.heartbeat_interval, TIMER_BACKUP_WATCH);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+        let Ok(msg) = Msg::from_bytes(bytes) else {
+            return;
+        };
+        if let Some(p) = &self.parent {
+            if from == p.node {
+                self.last_heard_parent = ctx.now();
+            }
+        }
+        if self.is_backup() {
+            self.on_backup_message(ctx, from, msg);
+            return;
+        }
+        match msg {
+            Msg::Join4 { ct, sig } => self.handle_join4(ctx, &ct, &sig),
+            Msg::Join6 { ct } => self.handle_join6(ctx, from, &ct),
+            Msg::Rejoin1 { ct } => self.handle_rejoin1(ctx, from, &ct),
+            Msg::Rejoin3 { ct } => self.handle_rejoin3(ctx, from, &ct),
+            Msg::Rejoin4 { ct, sig } => self.handle_rejoin4(ctx, from, &ct, &sig),
+            Msg::Rejoin5 { ct, sig } => self.handle_rejoin5(ctx, from, &ct, &sig),
+            Msg::Data {
+                origin,
+                seq,
+                wrapped_key,
+                payload,
+            } => self.handle_data(ctx, from, origin, seq, &wrapped_key, &payload),
+            Msg::KeyUpdate {
+                area,
+                epoch,
+                body,
+                sig,
+            } => self.handle_parent_key_update(ctx, from, area, epoch, &body, &sig),
+            Msg::KeyUnicast { ct } => self.handle_parent_key_unicast(ctx, &ct),
+            Msg::KeyRefreshRequest { client } => self.handle_key_refresh(ctx, from, client),
+            Msg::LeaveRequest { ct } => self.handle_leave_request(ctx, from, &ct),
+            Msg::MemberAlive { client } => {
+                if let Some(rec) = self.members.get_mut(&client) {
+                    if rec.node == from {
+                        rec.last_heard = ctx.now();
+                    }
+                }
+            }
+            Msg::AcAlive { area, epoch } => {
+                // A parent alive with a newer epoch means we missed a
+                // parent-area key update.
+                let is_parent = self
+                    .parent
+                    .as_ref()
+                    .is_some_and(|p| p.node == from && p.area == area);
+                if is_parent && epoch > self.parent_epoch {
+                    self.parent_epoch = epoch;
+                    self.request_parent_key_refresh(ctx);
+                }
+            }
+            Msg::AreaJoinReq { ct, sig } => self.handle_area_join_req(ctx, from, &ct, &sig),
+            Msg::AreaJoinAck { ct, sig } => self.handle_area_join_ack(ctx, from, &ct, &sig),
+            Msg::HeartbeatAck { .. } => { /* primary ignores */ }
+            Msg::Takeover { area, sig, pubkey } => {
+                self.handle_neighbor_takeover(ctx, from, area, &sig, &pubkey)
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        match (self.role, tag) {
+            (Role::Primary, TIMER_IDLE_ALIVE) => self.tick_idle_alive(ctx),
+            (Role::Primary, TIMER_SWEEP) => self.tick_sweep(ctx),
+            (Role::Primary, TIMER_REKEY) => self.tick_rekey(ctx),
+            (Role::Primary, TIMER_PARENT_CHECK) => self.tick_parent_check(ctx),
+            (Role::Primary, TIMER_HEARTBEAT) => self.tick_heartbeat(ctx),
+            (Role::Backup { .. }, TIMER_BACKUP_WATCH) => self.tick_backup_watch(ctx),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! The six-step rejoin protocol at the area controllers (Figure 7).
+//!
+//! `AC_B` (the new controller) authenticates the mobile member with its
+//! ticket and a challenge–response, then — to defeat ticket-sharing
+//! cohorts — asks `AC_A` (the previous controller) to confirm the member
+//! really departed (steps 4–5). Under a partition between the
+//! controllers, [`RejoinPolicy`](crate::config::RejoinPolicy) decides
+//! between denying (option 1) and admitting with the NIC-address check
+//! (option 2).
+
+use super::{AreaController, PendingRejoin, RejoinStage};
+use crate::config::RejoinPolicy;
+use crate::identity::{ClientId, DeviceId};
+use crate::msg::{Msg, RejoinDenyReason};
+use crate::ticket::SealedTicket;
+use crate::wire::{Reader, Writer};
+use mykil_crypto::envelope::HybridCiphertext;
+use mykil_crypto::rsa::RsaPublicKey;
+use mykil_net::{Context, NodeId, Time};
+use rand::RngCore;
+
+impl AreaController {
+    /// Rejoin step 1: ticket presentation.
+    pub(crate) fn handle_rejoin1(&mut self, ctx: &mut Context<'_>, from: NodeId, ct: &[u8]) {
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let Some(plain) = HybridCiphertext::from_bytes(ct)
+            .ok()
+            .and_then(|hc| hc.decrypt(&self.keypair).ok())
+        else {
+            return;
+        };
+        let parsed = (|| {
+            let mut r = Reader::new(&plain);
+            let nonce_cb = r.u64().ok()?;
+            let device = DeviceId(r.array::<6>().ok()?);
+            let ticket = r.bytes().ok()?.to_vec();
+            r.finish().ok()?;
+            Some((nonce_cb, device, ticket))
+        })();
+        let Some((nonce_cb, device, ticket_bytes)) = parsed else {
+            return;
+        };
+        // Verify the ticket under K_shared.
+        ctx.charge_compute(self.cost.symmetric_op);
+        let Ok(ticket) = SealedTicket(ticket_bytes).open(&self.k_shared) else {
+            self.deny_rejoin(ctx, from, RejoinDenyReason::BadTicket);
+            return;
+        };
+        if !ticket.is_valid_at(ctx.now()) {
+            self.deny_rejoin(ctx, from, RejoinDenyReason::BadTicket);
+            return;
+        }
+        let Ok(client_pub) = RsaPublicKey::from_bytes(&ticket.public_key) else {
+            self.deny_rejoin(ctx, from, RejoinDenyReason::BadTicket);
+            return;
+        };
+        // Step 2: challenge the client (it must hold the private key
+        // matching the ticket, which defeats simple ticket theft).
+        let nonce_bc = ctx.rng().next_u64();
+        let mut w = Writer::new();
+        w.u64(nonce_cb.wrapping_add(1)).u64(nonce_bc);
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        let Ok(ct2) = HybridCiphertext::encrypt(&client_pub, &w.into_bytes(), ctx.rng()) else {
+            return;
+        };
+        self.pending_rejoins.insert(
+            from,
+            PendingRejoin {
+                client: ticket.client,
+                pubkey: client_pub,
+                device,
+                ticket_device: ticket.device,
+                valid_until: ticket.valid_until,
+                nonce_bc,
+                stage: RejoinStage::AwaitStep3,
+                deadline: ctx.now() + self.cfg.member_disconnect_after(),
+            },
+        );
+        // Remember where to ask about departure.
+        self.pending_rejoin_prev_ac
+            .insert(from, (ticket.last_ac, ticket.last_area));
+        ctx.send(from, "rejoin", Msg::Rejoin2 { ct: ct2.to_bytes() }.to_bytes());
+    }
+
+    /// Rejoin step 3: the client answers the challenge; `AC_B` then asks
+    /// `AC_A` (step 4) or decides locally.
+    pub(crate) fn handle_rejoin3(&mut self, ctx: &mut Context<'_>, from: NodeId, ct: &[u8]) {
+        let Some(pending) = self.pending_rejoins.get(&from) else {
+            return;
+        };
+        if pending.stage != RejoinStage::AwaitStep3 {
+            return;
+        }
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let ok = HybridCiphertext::from_bytes(ct)
+            .ok()
+            .and_then(|hc| hc.decrypt(&self.keypair).ok())
+            .and_then(|plain| {
+                let mut r = Reader::new(&plain);
+                let v = r.u64().ok()?;
+                r.finish().ok()?;
+                Some(v)
+            })
+            .map(|v| v == pending.nonce_bc.wrapping_add(1))
+            .unwrap_or(false);
+        if !ok {
+            self.pending_rejoins.remove(&from);
+            self.pending_rejoin_prev_ac.remove(&from);
+            return;
+        }
+
+        let (prev_ac, _prev_area) = self
+            .pending_rejoin_prev_ac
+            .get(&from)
+            .copied()
+            .expect("recorded at step 1");
+
+        // Ablation / paper Section V-D: skip the departure check
+        // entirely (the 0.28 s rejoin variant).
+        if !self.cfg.verify_departure_on_rejoin {
+            self.resolve_unverified_rejoin(ctx, from);
+            return;
+        }
+
+        // Local case: the member is rejoining its own previous area
+        // (e.g. after a transient disconnection) — no steps 4/5 needed.
+        if prev_ac == ctx.id().index() as u32 {
+            let client = self.pending_rejoins[&from].client;
+            if self.tree.contains(mykil_tree::MemberId(client.0)) {
+                // Clear the stale membership before re-admitting.
+                self.queue_leave(client);
+            }
+            self.complete_rejoin(ctx, from);
+            return;
+        }
+
+        // Steps 4: ask the previous controller whether the member left.
+        let target = NodeId::from_index(prev_ac as usize);
+        let Some(prev_pub) = self.directory_pubkey(target) else {
+            // Unknown previous AC: fall back to the partition policy.
+            self.resolve_unverified_rejoin(ctx, from);
+            return;
+        };
+        let client = self.pending_rejoins[&from].client;
+        let mut w = Writer::new();
+        w.u64(client.0)
+            .u64(ctx.now().as_micros())
+            .u32(from.index() as u32);
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        let Ok(ct4) = HybridCiphertext::encrypt(&prev_pub, &w.into_bytes(), ctx.rng()) else {
+            return;
+        };
+        let ct4 = ct4.to_bytes();
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let sig4 = self.keypair.sign(&ct4);
+        if let Some(p) = self.pending_rejoins.get_mut(&from) {
+            p.stage = RejoinStage::AwaitPrevAc;
+            p.deadline = ctx.now() + self.cfg.member_disconnect_after();
+        }
+        ctx.send(target, "rejoin", Msg::Rejoin4 { ct: ct4, sig: sig4 }.to_bytes());
+    }
+
+    /// Rejoin step 4 at the *previous* controller: report whether the
+    /// client has departed, evicting it if it is silently stale.
+    pub(crate) fn handle_rejoin4(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        ct: &[u8],
+        sig: &[u8],
+    ) {
+        let Some(requester_pub) = self.directory_pubkey(from) else {
+            return;
+        };
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        if !requester_pub.verify(ct, sig) {
+            return;
+        }
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let Some(plain) = HybridCiphertext::from_bytes(ct)
+            .ok()
+            .and_then(|hc| hc.decrypt(&self.keypair).ok())
+        else {
+            return;
+        };
+        let parsed = (|| {
+            let mut r = Reader::new(&plain);
+            let client = ClientId(r.u64().ok()?);
+            let ts = Time::from_micros(r.u64().ok()?);
+            let client_node = r.u32().ok()?;
+            r.finish().ok()?;
+            Some((client, ts, client_node))
+        })();
+        let Some((client, ts, client_node)) = parsed else {
+            return;
+        };
+        if !self.fresh_timestamp(ctx.now(), ts) {
+            ctx.stats().bump("ac-replays-rejected", 1);
+            return;
+        }
+        let departed = match self.members.get(&client) {
+            None => true,
+            Some(rec) => {
+                let silent = ctx.now().since(rec.last_heard) >= self.cfg.member_disconnect_after();
+                if silent {
+                    // The member moved away; finalize its departure.
+                    self.queue_leave(client);
+                    self.after_membership_change(ctx);
+                    self.stats.evictions += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        // Step 5 response, encrypted + signed.
+        let mut w = Writer::new();
+        w.u64(client.0)
+            .u8(departed as u8)
+            .u64(ctx.now().as_micros())
+            .u32(client_node);
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        let Ok(ct5) = HybridCiphertext::encrypt(&requester_pub, &w.into_bytes(), ctx.rng())
+        else {
+            return;
+        };
+        let ct5 = ct5.to_bytes();
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let sig5 = self.keypair.sign(&ct5);
+        ctx.send(from, "rejoin", Msg::Rejoin5 { ct: ct5, sig: sig5 }.to_bytes());
+    }
+
+    /// Rejoin step 5 back at the new controller.
+    pub(crate) fn handle_rejoin5(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        ct: &[u8],
+        sig: &[u8],
+    ) {
+        let Some(prev_pub) = self.directory_pubkey(from) else {
+            return;
+        };
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        if !prev_pub.verify(ct, sig) {
+            return;
+        }
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let Some(plain) = HybridCiphertext::from_bytes(ct)
+            .ok()
+            .and_then(|hc| hc.decrypt(&self.keypair).ok())
+        else {
+            return;
+        };
+        let parsed = (|| {
+            let mut r = Reader::new(&plain);
+            let client = ClientId(r.u64().ok()?);
+            let departed = r.u8().ok()? == 1;
+            let ts = Time::from_micros(r.u64().ok()?);
+            let client_node = r.u32().ok()?;
+            r.finish().ok()?;
+            Some((client, departed, ts, client_node))
+        })();
+        let Some((client, departed, ts, client_node)) = parsed else {
+            return;
+        };
+        if !self.fresh_timestamp(ctx.now(), ts) {
+            return;
+        }
+        let client_node = NodeId::from_index(client_node as usize);
+        let Some(pending) = self.pending_rejoins.get(&client_node) else {
+            return;
+        };
+        if pending.stage != RejoinStage::AwaitPrevAc || pending.client != client {
+            return;
+        }
+        if departed {
+            self.complete_rejoin(ctx, client_node);
+        } else {
+            self.pending_rejoins.remove(&client_node);
+            self.pending_rejoin_prev_ac.remove(&client_node);
+            self.deny_rejoin(ctx, client_node, RejoinDenyReason::StillMemberElsewhere);
+        }
+    }
+
+    /// Admits the pending rejoiner and sends the signed step-6 welcome.
+    pub(crate) fn complete_rejoin(&mut self, ctx: &mut Context<'_>, client_node: NodeId) {
+        let Some(pending) = self.pending_rejoins.remove(&client_node) else {
+            return;
+        };
+        self.pending_rejoin_prev_ac.remove(&client_node);
+        let welcome = self.admit(
+            ctx,
+            pending.client,
+            pending.pubkey.clone(),
+            Some(pending.device),
+            pending.valid_until,
+            client_node,
+            0,
+        );
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        let Ok(ct6) = HybridCiphertext::encrypt(&pending.pubkey, &welcome.to_bytes(), ctx.rng())
+        else {
+            return;
+        };
+        let ct6 = ct6.to_bytes();
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let sig6 = self.keypair.sign(&ct6);
+        self.stats.rejoins_admitted += 1;
+        ctx.send(
+            client_node,
+            "rejoin",
+            Msg::Rejoin6 { ct: ct6, sig: sig6 }.to_bytes(),
+        );
+        self.after_membership_change(ctx);
+    }
+
+    /// Applies the partition policy when `AC_A` cannot confirm the
+    /// departure (Section IV-B options 1 and 2).
+    pub(crate) fn resolve_unverified_rejoin(&mut self, ctx: &mut Context<'_>, client_node: NodeId) {
+        let Some(pending) = self.pending_rejoins.get(&client_node) else {
+            return;
+        };
+        match self.cfg.rejoin_policy {
+            RejoinPolicy::Deny => {
+                self.pending_rejoins.remove(&client_node);
+                self.pending_rejoin_prev_ac.remove(&client_node);
+                self.deny_rejoin(ctx, client_node, RejoinDenyReason::PartitionedStrict);
+            }
+            RejoinPolicy::AdmitWithDeviceCheck => {
+                if pending.device == pending.ticket_device {
+                    self.complete_rejoin(ctx, client_node);
+                } else {
+                    self.pending_rejoins.remove(&client_node);
+                    self.pending_rejoin_prev_ac.remove(&client_node);
+                    self.deny_rejoin(ctx, client_node, RejoinDenyReason::DeviceMismatch);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn deny_rejoin(
+        &mut self,
+        ctx: &mut Context<'_>,
+        to: NodeId,
+        reason: RejoinDenyReason,
+    ) {
+        self.stats.rejoins_denied += 1;
+        ctx.stats().bump("ac-rejoins-denied", 1);
+        ctx.send(to, "rejoin", Msg::RejoinDenied { reason }.to_bytes());
+    }
+}

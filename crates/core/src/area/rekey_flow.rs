@@ -1,0 +1,237 @@
+//! Key-update buffering and flushing — the batching of Section III-E.
+//!
+//! Joins are applied to the tree immediately (the newcomer needs its
+//! keys in step 7) but the *multicast* announcing the refreshed path is
+//! buffered: per changed node we remember only the key value before the
+//! first buffered change, so N aggregated joins cost one encrypted entry
+//! per node instead of N. Leaves are deferred entirely and applied as
+//! one batched tree operation at flush time. A flush happens when
+//! multicast data arrives (`update_needed` flag), on the freshness
+//! timer, or immediately under [`BatchPolicy::Immediate`](crate::config::BatchPolicy).
+
+use super::AreaController;
+use crate::identity::ClientId;
+use crate::msg::Msg;
+use crate::rekey::{encode_entries, entries_from_plan, UnderTag, WireKeyEntry};
+use mykil_crypto::envelope;
+use mykil_net::Context;
+use mykil_tree::{MemberId, RekeyPlan};
+
+impl AreaController {
+    /// Buffers the multicast part of a join rekey plan. For every
+    /// changed node we keep the key value before its *first* buffered
+    /// change, so consecutive joins collapse into a single
+    /// `E_old(K_newest)` entry each — the paper's join aggregation.
+    pub(crate) fn buffer_join_plan(&mut self, plan: &RekeyPlan) {
+        for change in &plan.changes {
+            let node = change.node.raw() as u32;
+            for (under, key) in &change.encryptions {
+                if matches!(under, mykil_tree::EncryptUnder::PreviousSelf) {
+                    self.buffered_join_updates.entry(node).or_insert(*key);
+                }
+            }
+        }
+    }
+
+    /// Unicasts a member's current full key path (flush refresh).
+    pub(crate) fn unicast_current_path(&mut self, ctx: &mut Context<'_>, client: ClientId) {
+        let Some(rec) = self.members.get(&client) else {
+            return;
+        };
+        let Ok(path) = self.tree.path_keys(MemberId(client.0)) else {
+            return;
+        };
+        let path: Vec<(u32, mykil_crypto::keys::SymmetricKey)> = path
+            .iter()
+            .map(|(n, k)| (n.raw() as u32, *k))
+            .collect();
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        if let Ok(ct) = mykil_crypto::envelope::HybridCiphertext::encrypt(
+            &rec.pubkey,
+            &crate::rekey::encode_path(&path),
+            ctx.rng(),
+        ) {
+            let node = rec.node;
+            ctx.send(
+                node,
+                "key-unicast",
+                Msg::KeyUnicast { ct: ct.to_bytes() }.to_bytes(),
+            );
+        }
+    }
+
+    /// Handles a voluntary member departure (Section III-D).
+    ///
+    /// The request is encrypted to this controller and must come from
+    /// the network address the member joined from; the member-leave
+    /// rekey of Figure 5 follows (batched like any other event).
+    pub(crate) fn handle_leave_request(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: mykil_net::NodeId,
+        ct: &[u8],
+    ) {
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let Some(plain) = mykil_crypto::envelope::HybridCiphertext::from_bytes(ct)
+            .ok()
+            .and_then(|hc| hc.decrypt(&self.keypair).ok())
+        else {
+            return;
+        };
+        let mut r = crate::wire::Reader::new(&plain);
+        let Ok(client) = r.u64().map(ClientId) else {
+            return;
+        };
+        if self.members.get(&client).is_none_or(|rec| rec.node != from) {
+            return;
+        }
+        self.queue_leave(client);
+        ctx.stats().bump("ac-voluntary-leaves", 1);
+        self.after_membership_change(ctx);
+    }
+
+    /// Queues a member departure for the next flush.
+    pub(crate) fn queue_leave(&mut self, client: ClientId) {
+        self.members.remove(&client);
+        self.pending_leaves.push(client);
+        self.update_needed = true;
+    }
+
+    /// Performs the aggregated rekey and multicasts one signed
+    /// key-update message (Figures 5/6 semantics over real envelopes).
+    pub(crate) fn flush_key_updates(&mut self, ctx: &mut Context<'_>) {
+        if !self.update_needed
+            && self.buffered_join_updates.is_empty()
+            && self.pending_leaves.is_empty()
+        {
+            return;
+        }
+
+        let mut entries: Vec<WireKeyEntry> = Vec::new();
+
+        // 1. Aggregated join updates: E_{K_first_old}(K_current).
+        //    Skipped for nodes that the leave batch below will change
+        //    again — their join-era values die with the leave rekey.
+        let join_nodes: Vec<(u32, mykil_crypto::keys::SymmetricKey)> = self
+            .buffered_join_updates
+            .iter()
+            .map(|(n, k)| (*n, *k))
+            .collect();
+        self.buffered_join_updates.clear();
+
+        // 2. Batched leaves (single combined tree operation).
+        let leavers: Vec<MemberId> = self
+            .pending_leaves
+            .drain(..)
+            .map(|c| MemberId(c.0))
+            .filter(|m| self.tree.contains(*m))
+            .collect();
+        let leave_plan = if leavers.is_empty() {
+            None
+        } else {
+            self.note_area_key();
+            Some(
+                self.tree
+                    .batch_leave(&leavers, ctx.rng())
+                    .expect("leavers validated against tree"),
+            )
+        };
+
+        let leave_changed: std::collections::HashSet<u32> = leave_plan
+            .as_ref()
+            .map(|out| {
+                out.plan
+                    .changes
+                    .iter()
+                    .map(|c| c.node.raw() as u32)
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        for (node, old_key) in join_nodes {
+            if leave_changed.contains(&node) {
+                continue;
+            }
+            let current = self.tree.key_of(mykil_tree::NodeIdx::from_raw(node as usize));
+            ctx.charge_compute(self.cost.symmetric_op);
+            entries.push(WireKeyEntry {
+                node,
+                under: UnderTag::PrevSelf,
+                env: envelope::seal(&old_key, current.as_bytes(), ctx.rng()),
+            });
+        }
+
+        if let Some(out) = &leave_plan {
+            ctx.charge_compute(
+                self.cost
+                    .symmetric_op
+                    .saturating_mul(out.plan.encryption_count() as u64),
+            );
+            entries.extend(entries_from_plan(&out.plan, ctx.rng()));
+        }
+
+        // 3. Unicast current paths to recorded members (the paper:
+        //    "sends appropriate unicast messages to the members whose
+        //    identities were recorded"):
+        //    - members admitted in an *earlier* flush window get their
+        //      final refresh now (this closes the race where a newcomer
+        //      missed a key-update multicast sent before it subscribed
+        //      to the area's multicast group), then drop off the list;
+        //    - members admitted in *this* window are refreshed now only
+        //      if the window held several events (their step-7 path may
+        //      already be stale), and stay recorded for one more flush.
+        let this_window: Vec<ClientId> = self
+            .recorded_members
+            .iter()
+            .filter(|(_, e)| **e == self.epoch)
+            .map(|(c, _)| *c)
+            .collect();
+        let earlier: Vec<ClientId> = self
+            .recorded_members
+            .iter()
+            .filter(|(_, e)| **e < self.epoch)
+            .map(|(c, _)| *c)
+            .collect();
+        for client in earlier {
+            self.recorded_members.remove(&client);
+            if self.members.contains_key(&client) {
+                self.unicast_current_path(ctx, client);
+            }
+        }
+        if this_window.len() + leavers.len() > 1 {
+            for client in &this_window {
+                if self.members.contains_key(client) {
+                    self.unicast_current_path(ctx, *client);
+                }
+            }
+        }
+
+        if entries.is_empty() {
+            self.update_needed = false;
+            return;
+        }
+
+        self.epoch += 1;
+        let body = encode_entries(&entries);
+        // Key updates are signed with the AC's private key so members
+        // cannot forge them (Section III-E).
+        let signed = self.key_update_signed_bytes(&body, self.epoch);
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let sig = self.keypair.sign(&signed);
+        ctx.multicast(
+            self.deploy.group,
+            "key-update",
+            Msg::KeyUpdate {
+                area: self.deploy.area,
+                epoch: self.epoch,
+                body,
+                sig,
+            }
+            .to_bytes(),
+        );
+        self.last_area_mcast = ctx.now();
+        self.update_needed = false;
+        self.stats.rekeys += 1;
+        ctx.stats().bump("ac-rekeys", 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Primary-backup replication of an area controller (Section IV-C).
+//!
+//! The replicated state is exactly what the paper lists: "the complete
+//! auxiliary tree, public keys of the area members, area controllers
+//! and the registration server, and the identities of the parent area
+//! controller and all child area controllers". Multicast data in flight
+//! is deliberately *not* replicated — members may miss packets during a
+//! takeover, which the paper accepts.
+
+use super::{
+    AreaController, MemberRecord, ParentLink, Role, TIMER_BACKUP_WATCH, TIMER_HEARTBEAT,
+    TIMER_IDLE_ALIVE, TIMER_PARENT_CHECK, TIMER_REKEY, TIMER_SWEEP,
+};
+use crate::identity::{AreaId, ClientId, DeviceId};
+use crate::msg::Msg;
+use crate::rekey::KeyState;
+use crate::wire::{Reader, Writer};
+use mykil_crypto::envelope;
+use mykil_crypto::rsa::RsaPublicKey;
+use mykil_net::{Context, GroupId, NodeId, Time};
+use mykil_tree::KeyTree;
+
+impl AreaController {
+    /// Serializes the replicated state (tree, members, hierarchy,
+    /// epoch).
+    fn replica_snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&self.tree.snapshot());
+        w.u32(self.members.len() as u32);
+        let mut members: Vec<(&ClientId, &MemberRecord)> = self.members.iter().collect();
+        members.sort_by_key(|(c, _)| **c);
+        for (client, rec) in members {
+            w.u64(client.0)
+                .u32(rec.node.index() as u32)
+                .bytes(&rec.pubkey.to_bytes())
+                .u8(rec.device.is_some() as u8);
+            if let Some(d) = rec.device {
+                w.raw(d.as_bytes());
+            }
+            w.u64(rec.valid_until.as_micros());
+        }
+        match &self.parent {
+            Some(p) => {
+                w.u8(1)
+                    .u32(p.node.index() as u32)
+                    .u32(p.area.0)
+                    .u32(p.group.index() as u32);
+            }
+            None => {
+                w.u8(0);
+            }
+        }
+        w.bytes(&self.parent_keys.to_bytes());
+        w.u64(self.epoch);
+        w.u32(self.child_acs.len() as u32);
+        let mut children: Vec<u32> = self.child_acs.iter().map(|n| n.index() as u32).collect();
+        children.sort_unstable();
+        for c in children {
+            w.u32(c);
+        }
+        w.into_bytes()
+    }
+
+    fn apply_replica_snapshot(&mut self, bytes: &[u8], now: Time) -> Option<()> {
+        let mut r = Reader::new(bytes);
+        let tree = KeyTree::restore(r.bytes().ok()?).ok()?;
+        let count = r.u32().ok()? as usize;
+        let mut members = std::collections::HashMap::with_capacity(count);
+        for _ in 0..count {
+            let client = ClientId(r.u64().ok()?);
+            let node = NodeId::from_index(r.u32().ok()? as usize);
+            let pubkey = RsaPublicKey::from_bytes(r.bytes().ok()?).ok()?;
+            let device = if r.u8().ok()? == 1 {
+                Some(DeviceId(r.array::<6>().ok()?))
+            } else {
+                None
+            };
+            let valid_until = Time::from_micros(r.u64().ok()?);
+            members.insert(
+                client,
+                MemberRecord {
+                    node,
+                    pubkey,
+                    device,
+                    valid_until,
+                    // Give everyone a fresh liveness grace period after
+                    // the takeover.
+                    last_heard: now,
+                },
+            );
+        }
+        let parent = if r.u8().ok()? == 1 {
+            Some(ParentLink {
+                node: NodeId::from_index(r.u32().ok()? as usize),
+                area: AreaId(r.u32().ok()?),
+                group: GroupId::from_index(r.u32().ok()? as usize),
+            })
+        } else {
+            None
+        };
+        let parent_keys = KeyState::from_bytes(r.bytes().ok()?).ok()?;
+        let epoch = r.u64().ok()?;
+        let child_count = r.u32().ok()? as usize;
+        let mut child_acs = std::collections::HashSet::with_capacity(child_count);
+        for _ in 0..child_count {
+            child_acs.insert(NodeId::from_index(r.u32().ok()? as usize));
+        }
+        r.finish().ok()?;
+        self.tree = tree;
+        self.members = members;
+        self.parent = parent;
+        self.parent_keys = parent_keys;
+        self.epoch = epoch;
+        self.child_acs = child_acs;
+        Some(())
+    }
+
+    /// Pushes current state to the backup (called after every key
+    /// update, membership change, or hierarchy change).
+    pub(crate) fn sync_backup(&mut self, ctx: &mut Context<'_>) {
+        let Some(backup) = self.deploy.backup else {
+            return;
+        };
+        if self.role != Role::Primary {
+            return;
+        }
+        let snapshot = self.replica_snapshot();
+        ctx.charge_compute(self.cost.symmetric_op);
+        let ct = envelope::seal(&self.repl_key, &snapshot, ctx.rng());
+        ctx.send(backup, "replication", Msg::StateSync { ct }.to_bytes());
+    }
+
+    /// Primary heartbeat tick.
+    pub(crate) fn tick_heartbeat(&mut self, ctx: &mut Context<'_>) {
+        if let Some(backup) = self.deploy.backup {
+            self.hb_seq += 1;
+            ctx.send(
+                backup,
+                "replication",
+                Msg::Heartbeat { seq: self.hb_seq }.to_bytes(),
+            );
+        }
+        ctx.set_timer(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
+    }
+
+    /// Message dispatch while in the backup role.
+    pub(crate) fn on_backup_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Msg) {
+        let Role::Backup { primary } = self.role else {
+            return;
+        };
+        match msg {
+            Msg::Heartbeat { seq } if from == primary => {
+                self.last_heartbeat = ctx.now();
+                ctx.send(from, "replication", Msg::HeartbeatAck { seq }.to_bytes());
+            }
+            Msg::StateSync { ct } if from == primary => {
+                self.last_heartbeat = ctx.now();
+                if let Ok(plain) = envelope::open(&self.repl_key, &ct) {
+                    self.replica_state = Some(plain);
+                }
+            }
+            _ => { /* a standby replica ignores everything else */ }
+        }
+    }
+
+    /// Backup watchdog: take over after `failover_threshold` missed
+    /// heartbeats.
+    pub(crate) fn tick_backup_watch(&mut self, ctx: &mut Context<'_>) {
+        let Role::Backup { primary } = self.role else {
+            return;
+        };
+        let silence = ctx.now().since(self.last_heartbeat);
+        let threshold = self
+            .cfg
+            .heartbeat_interval
+            .saturating_mul(self.cfg.failover_threshold as u64);
+        if silence >= threshold {
+            self.take_over(ctx, primary);
+        } else {
+            ctx.set_timer(self.cfg.heartbeat_interval, TIMER_BACKUP_WATCH);
+        }
+    }
+
+    /// Becomes the area's controller: restore replicated state, announce
+    /// to the area, the registration server and the parent, and start
+    /// the primary timers.
+    fn take_over(&mut self, ctx: &mut Context<'_>, _old_primary: NodeId) {
+        if let Some(state) = self.replica_state.take() {
+            if self.apply_replica_snapshot(&state, ctx.now()).is_none() {
+                ctx.stats().bump("ac-takeover-corrupt-state", 1);
+            }
+        }
+        self.role = Role::Primary;
+        // This node no longer has a backup of its own.
+        self.deploy.backup = None;
+        self.deploy.backup_pubkey = Vec::new();
+        self.stats.takeovers += 1;
+        ctx.stats().bump("ac-takeovers", 1);
+
+        // Signed announcement: members switch their AC pointer, the RS
+        // updates its directory, child controllers repoint parents.
+        let mut w = Writer::new();
+        w.u32(self.deploy.area.0);
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let sig = self.keypair.sign(&w.into_bytes());
+        let announce = Msg::Takeover {
+            area: self.deploy.area,
+            sig,
+            pubkey: self.keypair.public().to_bytes(),
+        }
+        .to_bytes();
+        ctx.multicast(self.deploy.group, "takeover", announce.clone());
+        ctx.send(self.deploy.rs_node, "takeover", announce);
+        self.last_area_mcast = ctx.now();
+
+        // Re-enroll with the parent so parent-area keys are fresh.
+        if self.parent.is_some() {
+            self.last_heard_parent = ctx.now();
+            if let Some(p) = self.parent.clone() {
+                ctx.join_group(p.group);
+                self.request_parent_enrollment(ctx, &p);
+            }
+        }
+
+        ctx.set_timer(self.cfg.t_idle, TIMER_IDLE_ALIVE);
+        ctx.set_timer(self.cfg.t_active, TIMER_SWEEP);
+        ctx.set_timer(self.cfg.rekey_interval, TIMER_REKEY);
+        ctx.set_timer(self.cfg.t_idle, TIMER_PARENT_CHECK);
+    }
+
+    /// Sends a signed area-join request to (re)establish membership in
+    /// the parent area.
+    pub(crate) fn request_parent_enrollment(&mut self, ctx: &mut Context<'_>, parent: &ParentLink) {
+        let Some(parent_pub) = self.directory_pubkey(parent.node) else {
+            return;
+        };
+        let mut w = Writer::new();
+        w.u32(self.deploy.area.0).u64(ctx.now().as_micros());
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        let Ok(ct) = mykil_crypto::envelope::HybridCiphertext::encrypt(
+            &parent_pub,
+            &w.into_bytes(),
+            ctx.rng(),
+        ) else {
+            return;
+        };
+        let ct = ct.to_bytes();
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let sig = self.keypair.sign(&ct);
+        ctx.send(
+            parent.node,
+            "area-join",
+            Msg::AreaJoinReq { ct, sig }.to_bytes(),
+        );
+    }
+}

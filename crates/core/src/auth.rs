@@ -1,0 +1,116 @@
+//! Registration authorization.
+//!
+//! Step 1 of the join protocol carries "authorization information" that
+//! the registration server uses to decide eligibility and membership
+//! duration (the paper's example: credit-card data plus the requested
+//! subscription period). The exact backend is outside Mykil's scope —
+//! the paper says so explicitly — so we model it as the [`AuthDb`]
+//! trait with an in-memory implementation.
+
+use mykil_net::Duration;
+use std::collections::HashMap;
+
+/// Decision returned by an authorization backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthDecision {
+    /// Admit, with the granted membership duration.
+    Granted {
+        /// How long the membership (and therefore the ticket) is valid.
+        duration: Duration,
+    },
+    /// Reject.
+    Denied,
+}
+
+/// An authorization backend consulted by the registration server.
+pub trait AuthDb: Send {
+    /// Evaluates the opaque authorization blob from join step 1.
+    fn authorize(&mut self, auth_info: &[u8]) -> AuthDecision;
+}
+
+/// In-memory authorization database.
+///
+/// Tokens registered via [`InMemoryAuthDb::allow`] are granted their
+/// configured duration; unknown tokens follow the default policy.
+#[derive(Debug)]
+pub struct InMemoryAuthDb {
+    tokens: HashMap<Vec<u8>, AuthDecision>,
+    default: AuthDecision,
+}
+
+impl InMemoryAuthDb {
+    /// A database that admits every token for `default_duration`
+    /// (convenient for simulations).
+    pub fn allow_all(default_duration: Duration) -> Self {
+        InMemoryAuthDb {
+            tokens: HashMap::new(),
+            default: AuthDecision::Granted {
+                duration: default_duration,
+            },
+        }
+    }
+
+    /// A database that rejects unknown tokens.
+    pub fn deny_by_default() -> Self {
+        InMemoryAuthDb {
+            tokens: HashMap::new(),
+            default: AuthDecision::Denied,
+        }
+    }
+
+    /// Registers a token with a granted duration.
+    pub fn allow(&mut self, token: &[u8], duration: Duration) -> &mut Self {
+        self.tokens.insert(
+            token.to_vec(),
+            AuthDecision::Granted { duration },
+        );
+        self
+    }
+
+    /// Explicitly blacklists a token.
+    pub fn deny(&mut self, token: &[u8]) -> &mut Self {
+        self.tokens.insert(token.to_vec(), AuthDecision::Denied);
+        self
+    }
+}
+
+impl AuthDb for InMemoryAuthDb {
+    fn authorize(&mut self, auth_info: &[u8]) -> AuthDecision {
+        self.tokens.get(auth_info).copied().unwrap_or(self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_all_grants_default_duration() {
+        let mut db = InMemoryAuthDb::allow_all(Duration::from_secs(60));
+        assert_eq!(
+            db.authorize(b"anything"),
+            AuthDecision::Granted {
+                duration: Duration::from_secs(60)
+            }
+        );
+    }
+
+    #[test]
+    fn deny_by_default_rejects_unknown() {
+        let mut db = InMemoryAuthDb::deny_by_default();
+        assert_eq!(db.authorize(b"mystery"), AuthDecision::Denied);
+        db.allow(b"visa-4242", Duration::from_secs(3600));
+        assert!(matches!(
+            db.authorize(b"visa-4242"),
+            AuthDecision::Granted { .. }
+        ));
+    }
+
+    #[test]
+    fn explicit_deny_overrides_allow_all() {
+        let mut db = InMemoryAuthDb::allow_all(Duration::from_secs(60));
+        db.deny(b"stolen-card");
+        assert_eq!(db.authorize(b"stolen-card"), AuthDecision::Denied);
+        assert!(matches!(db.authorize(b"ok"), AuthDecision::Granted { .. }));
+    }
+}

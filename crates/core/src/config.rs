@@ -1,0 +1,151 @@
+//! Protocol configuration knobs.
+
+use mykil_net::Duration;
+use mykil_tree::TreeConfig;
+
+/// How an area controller handles a rejoin when the member's previous
+/// controller cannot be reached (the two options of Section IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RejoinPolicy {
+    /// Option 1: deny the rejoin — unfair to legitimate mobile clients,
+    /// but immune to ticket-sharing cohorts.
+    Deny,
+    /// Option 2: admit without the previous-AC check, but verify the
+    /// device id (NIC MAC) inside the ticket matches the requester.
+    #[default]
+    AdmitWithDeviceCheck,
+}
+
+/// When an area controller performs aggregated rekeying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// No batching: rekey immediately on every membership event
+    /// (baseline for the Section III-E savings measurement).
+    Immediate,
+    /// The paper's scheme: aggregate until multicast data arrives, with
+    /// a periodic freshness rekey as a backstop.
+    #[default]
+    OnDataOrTimer,
+}
+
+/// All protocol timing and crypto parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MykilConfig {
+    /// RSA modulus size in bits (the paper uses 2048; tests use smaller).
+    pub rsa_bits: usize,
+    /// Auxiliary-key tree shape.
+    pub tree: TreeConfig,
+    /// An AC multicasts `alive` after this much multicast silence
+    /// (`T_idle`, Section IV-A).
+    pub t_idle: Duration,
+    /// A member unicasts `alive` to its AC after this much sending
+    /// silence (`T_active`; "typically much larger than `T_idle`").
+    pub t_active: Duration,
+    /// Silence threshold multiplier before declaring disconnection
+    /// (the paper's example uses 5).
+    pub disconnect_multiplier: u32,
+    /// Rejoin handling under partition.
+    pub rejoin_policy: RejoinPolicy,
+    /// Whether a rejoin runs steps 4-5 (previous-AC departure check).
+    /// Disabling reproduces the paper's faster 0.28 s rejoin variant at
+    /// the cost of the cohort defense (Section IV-B / V-D).
+    pub verify_departure_on_rejoin: bool,
+    /// Rekey aggregation policy.
+    pub batch_policy: BatchPolicy,
+    /// Rotate the area key on every freshness interval even without
+    /// membership changes ("preserves the freshness of the area key",
+    /// Section III-E). Off by default; an ablation knob.
+    pub idle_freshness_rekey: bool,
+    /// Freshness interval for the batching backstop timer.
+    pub rekey_interval: Duration,
+    /// Ticket validity period from issue time.
+    pub ticket_validity: Duration,
+    /// Maximum clock skew tolerated when checking timestamps
+    /// (replay-protection window).
+    pub timestamp_window: Duration,
+    /// Heartbeat period between a primary AC and its backup.
+    pub heartbeat_interval: Duration,
+    /// Missed heartbeats before the backup takes over.
+    pub failover_threshold: u32,
+}
+
+impl Default for MykilConfig {
+    fn default() -> Self {
+        MykilConfig {
+            rsa_bits: 2048,
+            tree: TreeConfig::quad(),
+            t_idle: Duration::from_millis(500),
+            t_active: Duration::from_secs(5),
+            disconnect_multiplier: 5,
+            rejoin_policy: RejoinPolicy::default(),
+            verify_departure_on_rejoin: true,
+            batch_policy: BatchPolicy::default(),
+            idle_freshness_rekey: false,
+            rekey_interval: Duration::from_secs(30),
+            ticket_validity: Duration::from_secs(24 * 3600),
+            timestamp_window: Duration::from_secs(30),
+            heartbeat_interval: Duration::from_millis(500),
+            failover_threshold: 3,
+        }
+    }
+}
+
+impl MykilConfig {
+    /// A configuration sized for fast tests: small RSA keys, short
+    /// timers.
+    pub fn test() -> Self {
+        MykilConfig {
+            rsa_bits: 512,
+            t_idle: Duration::from_millis(100),
+            t_active: Duration::from_millis(400),
+            rekey_interval: Duration::from_secs(2),
+            ticket_validity: Duration::from_secs(3600),
+            heartbeat_interval: Duration::from_millis(100),
+            ..MykilConfig::default()
+        }
+    }
+
+    /// The silence threshold after which a member considers its AC
+    /// unreachable (`disconnect_multiplier · t_idle`).
+    pub fn member_disconnect_after(&self) -> Duration {
+        self.t_idle.saturating_mul(self.disconnect_multiplier as u64)
+    }
+
+    /// The silence threshold after which an AC evicts a member
+    /// (`disconnect_multiplier · t_active`).
+    pub fn ac_evict_after(&self) -> Duration {
+        self.t_active
+            .saturating_mul(self.disconnect_multiplier as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = MykilConfig::default();
+        assert_eq!(c.rsa_bits, 2048);
+        assert_eq!(c.disconnect_multiplier, 5);
+        assert_eq!(c.tree.arity(), 4);
+        assert!(c.t_active > c.t_idle, "paper: T_active >> T_idle");
+    }
+
+    #[test]
+    fn disconnect_thresholds() {
+        let c = MykilConfig::test();
+        assert_eq!(
+            c.member_disconnect_after(),
+            c.t_idle.saturating_mul(5)
+        );
+        assert_eq!(c.ac_evict_after(), c.t_active.saturating_mul(5));
+        assert!(c.member_disconnect_after() < c.ac_evict_after());
+    }
+
+    #[test]
+    fn policies_default_to_paper_recommendations() {
+        assert_eq!(RejoinPolicy::default(), RejoinPolicy::AdmitWithDeviceCheck);
+        assert_eq!(BatchPolicy::default(), BatchPolicy::OnDataOrTimer);
+    }
+}

@@ -1,0 +1,155 @@
+//! The area-controller directory.
+//!
+//! Section IV-B: "have the registration server provide a list of all
+//! area controllers' addresses and public keys when a member registers"
+//! — that list is what lets a disconnected member start the rejoin
+//! protocol with a new AC. The registration server sends an
+//! [`AcDirectory`] in join step 5; members keep it for the lifetime of
+//! their membership.
+
+use crate::error::ProtocolError;
+use crate::identity::AreaId;
+use crate::wire::{Reader, Writer};
+
+/// One directory row: an area, its controller's simulator address, and
+/// the controller's public key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcInfo {
+    /// The area this controller manages.
+    pub area: AreaId,
+    /// The controller's network address (simulator node index).
+    pub node: u32,
+    /// The controller's encoded RSA public key.
+    pub pubkey: Vec<u8>,
+}
+
+/// The full list of area controllers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AcDirectory {
+    /// Rows in area order.
+    pub entries: Vec<AcInfo>,
+}
+
+impl AcDirectory {
+    /// Serializes the directory.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.u32(e.area.0).u32(e.node).bytes(&e.pubkey);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a directory.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on truncation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<AcDirectory, ProtocolError> {
+        let mut r = Reader::new(bytes);
+        let dir = Self::read(&mut r)?;
+        r.finish()?;
+        Ok(dir)
+    }
+
+    /// Reads a directory from the middle of a larger message.
+    pub fn read(r: &mut Reader<'_>) -> Result<AcDirectory, ProtocolError> {
+        let count = r.u32()? as usize;
+        if count > 1 << 16 {
+            return Err(ProtocolError::Malformed("directory size"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(AcInfo {
+                area: AreaId(r.u32()?),
+                node: r.u32()?,
+                pubkey: r.bytes()?.to_vec(),
+            });
+        }
+        Ok(AcDirectory { entries })
+    }
+
+    /// Writes the directory into a larger message.
+    pub fn write(&self, w: &mut Writer) {
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.u32(e.area.0).u32(e.node).bytes(&e.pubkey);
+        }
+    }
+
+    /// Looks up a controller by area.
+    pub fn by_area(&self, area: AreaId) -> Option<&AcInfo> {
+        self.entries.iter().find(|e| e.area == area)
+    }
+
+    /// Looks up a controller by its node address.
+    pub fn by_node(&self, node: u32) -> Option<&AcInfo> {
+        self.entries.iter().find(|e| e.node == node)
+    }
+
+    /// Replaces (or inserts) the controller entry for an area — used
+    /// when a backup takes over.
+    pub fn upsert(&mut self, info: AcInfo) {
+        match self.entries.iter_mut().find(|e| e.area == info.area) {
+            Some(slot) => *slot = info,
+            None => self.entries.push(info),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AcDirectory {
+        AcDirectory {
+            entries: vec![
+                AcInfo { area: AreaId(0), node: 1, pubkey: vec![1; 40] },
+                AcInfo { area: AreaId(1), node: 5, pubkey: vec![2; 40] },
+                AcInfo { area: AreaId(2), node: 9, pubkey: vec![3; 40] },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = sample();
+        assert_eq!(AcDirectory::from_bytes(&d.to_bytes()).unwrap(), d);
+        assert!(AcDirectory::from_bytes(&d.to_bytes()[..5]).is_err());
+    }
+
+    #[test]
+    fn lookups() {
+        let d = sample();
+        assert_eq!(d.by_area(AreaId(1)).unwrap().node, 5);
+        assert_eq!(d.by_node(9).unwrap().area, AreaId(2));
+        assert!(d.by_area(AreaId(7)).is_none());
+        assert!(d.by_node(100).is_none());
+    }
+
+    #[test]
+    fn upsert_replaces_on_takeover() {
+        let mut d = sample();
+        d.upsert(AcInfo { area: AreaId(1), node: 50, pubkey: vec![9; 40] });
+        assert_eq!(d.by_area(AreaId(1)).unwrap().node, 50);
+        assert_eq!(d.entries.len(), 3);
+        d.upsert(AcInfo { area: AreaId(9), node: 60, pubkey: vec![] });
+        assert_eq!(d.entries.len(), 4);
+    }
+
+    #[test]
+    fn embeddable_in_larger_message() {
+        let d = sample();
+        let mut w = Writer::new();
+        w.u64(77);
+        d.write(&mut w);
+        w.u8(9);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u64().unwrap(), 77);
+        assert_eq!(AcDirectory::read(&mut r).unwrap(), d);
+        assert_eq!(r.u8().unwrap(), 9);
+        r.finish().unwrap();
+    }
+}

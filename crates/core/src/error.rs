@@ -1,0 +1,69 @@
+//! Protocol-level error type.
+
+use std::fmt;
+
+/// Errors raised while running the Mykil protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// A message failed to parse.
+    Malformed(&'static str),
+    /// A cryptographic check failed (decryption, MAC, signature, nonce).
+    CryptoFailure(&'static str),
+    /// The client's authorization information was rejected.
+    NotAuthorized,
+    /// A ticket was expired, forged, or bound to a different device.
+    InvalidTicket(&'static str),
+    /// A replayed message was detected (stale timestamp or reused nonce).
+    Replay,
+    /// The peer needed for this step is unreachable.
+    PeerUnreachable(&'static str),
+    /// The protocol state machine received a message it did not expect.
+    UnexpectedMessage(&'static str),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Malformed(what) => write!(f, "malformed message: {what}"),
+            ProtocolError::CryptoFailure(what) => write!(f, "cryptographic check failed: {what}"),
+            ProtocolError::NotAuthorized => write!(f, "authorization rejected"),
+            ProtocolError::InvalidTicket(why) => write!(f, "invalid ticket: {why}"),
+            ProtocolError::Replay => write!(f, "replayed message detected"),
+            ProtocolError::PeerUnreachable(who) => write!(f, "peer unreachable: {who}"),
+            ProtocolError::UnexpectedMessage(what) => write!(f, "unexpected message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<mykil_crypto::CryptoError> for ProtocolError {
+    fn from(_: mykil_crypto::CryptoError) -> Self {
+        ProtocolError::CryptoFailure("crypto primitive error")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ProtocolError::Malformed("join1").to_string().contains("join1"));
+        assert!(ProtocolError::InvalidTicket("expired").to_string().contains("expired"));
+        assert!(ProtocolError::Replay.to_string().contains("replay"));
+    }
+
+    #[test]
+    fn converts_from_crypto_error() {
+        let e: ProtocolError = mykil_crypto::CryptoError::PaddingError.into();
+        assert!(matches!(e, ProtocolError::CryptoFailure(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<ProtocolError>();
+    }
+}

@@ -1,0 +1,296 @@
+//! The registration server (steps 1–5 of the join protocol, Figure 3).
+//!
+//! The registration server authenticates prospective members with a
+//! challenge–response handshake, checks their authorization information
+//! against an [`AuthDb`], assigns them a
+//! [`ClientId`] and an area, and introduces them to that area's
+//! controller — steps 4 and 5 run back-to-back after the client's
+//! step-3 response verifies.
+
+use crate::auth::{AuthDb, AuthDecision};
+use crate::config::MykilConfig;
+use crate::crypto_cost::CryptoCost;
+use crate::directory::{AcDirectory, AcInfo};
+use crate::error::ProtocolError;
+use crate::identity::{AreaId, ClientId};
+use crate::msg::Msg;
+use crate::wire::{Reader, Writer};
+use mykil_crypto::envelope::HybridCiphertext;
+use mykil_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use mykil_net::{Context, Node, NodeId, Time};
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// A join handshake in flight at the registration server.
+#[derive(Debug)]
+struct PendingJoin {
+    client_pub: RsaPublicKey,
+    nonce_wc: u64,
+    granted: mykil_net::Duration,
+    started: Time,
+}
+
+/// Counters exposed for tests and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistrationStats {
+    /// Join handshakes completed (through step 5).
+    pub joins_completed: u64,
+    /// Authorization rejections at step 1.
+    pub denied: u64,
+    /// Messages that failed to decrypt or verify.
+    pub rejected_messages: u64,
+}
+
+/// The registration server node.
+pub struct RegistrationServer {
+    cfg: MykilConfig,
+    cost: CryptoCost,
+    keypair: RsaKeyPair,
+    auth: Box<dyn AuthDb>,
+    directory: AcDirectory,
+    pending: HashMap<NodeId, PendingJoin>,
+    next_client: u64,
+    next_area: usize,
+    /// Backup-controller public keys per area, for takeover validation.
+    backup_keys: HashMap<AreaId, RsaPublicKey>,
+    /// Counters exposed for tests and reports.
+    pub stats: RegistrationStats,
+}
+
+impl std::fmt::Debug for RegistrationServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegistrationServer")
+            .field("areas", &self.directory.entries.len())
+            .field("pending", &self.pending.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RegistrationServer {
+    /// Creates a registration server with a pre-generated key pair, an
+    /// authorization backend, and the AC directory.
+    pub fn new(
+        cfg: MykilConfig,
+        cost: CryptoCost,
+        keypair: RsaKeyPair,
+        auth: Box<dyn AuthDb>,
+        directory: AcDirectory,
+    ) -> Self {
+        RegistrationServer {
+            cfg,
+            cost,
+            keypair,
+            auth,
+            directory,
+            pending: HashMap::new(),
+            next_client: 1,
+            next_area: 0,
+            backup_keys: HashMap::new(),
+            stats: RegistrationStats::default(),
+        }
+    }
+
+    /// Registers the backup controller key for an area so a takeover
+    /// announcement from it will be accepted.
+    pub fn register_backup(&mut self, area: AreaId, key: RsaPublicKey) {
+        self.backup_keys.insert(area, key);
+    }
+
+    /// The server's public key (well known, per the paper's assumption).
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.keypair.public()
+    }
+
+    /// Current directory (tests inspect takeover updates).
+    pub fn directory(&self) -> &AcDirectory {
+        &self.directory
+    }
+
+    /// Chooses an area for a new member. The paper allows proximity or
+    /// load-based policies; round-robin stands in for load balancing.
+    fn pick_area(&mut self) -> AcInfo {
+        let info = self.directory.entries[self.next_area % self.directory.entries.len()].clone();
+        self.next_area += 1;
+        info
+    }
+
+    fn handle_join1(&mut self, ctx: &mut Context<'_>, from: NodeId, ct: &[u8]) {
+        // Decrypt {auth_info, Pub_k, Nonce_CW} (one private op).
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let Ok(hc) = HybridCiphertext::from_bytes(ct) else {
+            self.stats.rejected_messages += 1;
+            return;
+        };
+        let Ok(plain) = hc.decrypt(&self.keypair) else {
+            self.stats.rejected_messages += 1;
+            return;
+        };
+        let parsed = (|| -> Result<_, ProtocolError> {
+            let mut r = Reader::new(&plain);
+            let auth_info = r.bytes()?.to_vec();
+            let pubkey = r.bytes()?.to_vec();
+            let nonce_cw = r.u64()?;
+            r.finish()?;
+            Ok((auth_info, pubkey, nonce_cw))
+        })();
+        let Ok((auth_info, pubkey, nonce_cw)) = parsed else {
+            self.stats.rejected_messages += 1;
+            return;
+        };
+        let Ok(client_pub) = RsaPublicKey::from_bytes(&pubkey) else {
+            self.stats.rejected_messages += 1;
+            return;
+        };
+        let granted = match self.auth.authorize(&auth_info) {
+            AuthDecision::Granted { duration } => duration,
+            AuthDecision::Denied => {
+                self.stats.denied += 1;
+                return;
+            }
+        };
+        // Step 2: {Nonce_CW+1, Nonce_WC} to the client.
+        let nonce_wc = ctx.rng().next_u64();
+        let mut w = Writer::new();
+        w.u64(nonce_cw.wrapping_add(1)).u64(nonce_wc);
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        let Ok(reply) = HybridCiphertext::encrypt(&client_pub, &w.into_bytes(), ctx.rng()) else {
+            return;
+        };
+        self.pending.insert(
+            from,
+            PendingJoin {
+                client_pub,
+                nonce_wc,
+                granted,
+                started: ctx.now(),
+            },
+        );
+        ctx.send(from, "join", Msg::Join2 { ct: reply.to_bytes() }.to_bytes());
+    }
+
+    fn handle_join3(&mut self, ctx: &mut Context<'_>, from: NodeId, ct: &[u8]) {
+        let Some(pending) = self.pending.remove(&from) else {
+            self.stats.rejected_messages += 1;
+            return;
+        };
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let ok = HybridCiphertext::from_bytes(ct)
+            .and_then(|hc| hc.decrypt(&self.keypair))
+            .ok()
+            .and_then(|plain| {
+                let mut r = Reader::new(&plain);
+                let v = r.u64().ok()?;
+                r.finish().ok()?;
+                Some(v)
+            })
+            .map(|v| v == pending.nonce_wc.wrapping_add(1))
+            .unwrap_or(false);
+        if !ok {
+            self.stats.rejected_messages += 1;
+            return;
+        }
+
+        // Client is authenticated and authorized. Assign identity/area.
+        let client = ClientId(self.next_client);
+        self.next_client += 1;
+        let ac = self.pick_area();
+        let Ok(ac_pub) = RsaPublicKey::from_bytes(&ac.pubkey) else {
+            return;
+        };
+        let nonce_ac = ctx.rng().next_u64();
+        let now_us = ctx.now().as_micros();
+
+        // Step 4 → AC: {Nonce_AC, K_id, ts, Pub_k, membership duration},
+        // encrypted to the AC and signed by the RS.
+        let mut w = Writer::new();
+        w.u64(nonce_ac)
+            .u64(client.0)
+            .u64(now_us)
+            .bytes(&pending.client_pub.to_bytes())
+            .u64(pending.granted.as_micros());
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        let Ok(ct4) = HybridCiphertext::encrypt(&ac_pub, &w.into_bytes(), ctx.rng()) else {
+            return;
+        };
+        let ct4 = ct4.to_bytes();
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let sig4 = self.keypair.sign(&ct4);
+        ctx.send(
+            NodeId::from_index(ac.node as usize),
+            "join",
+            Msg::Join4 { ct: ct4, sig: sig4 }.to_bytes(),
+        );
+
+        // Step 5 → client: {Nonce_AC+1, area, AC address+key, directory},
+        // encrypted to the client and signed by the RS.
+        let mut w = Writer::new();
+        w.u64(nonce_ac.wrapping_add(1))
+            .u32(ac.area.0)
+            .u32(ac.node)
+            .bytes(&ac.pubkey);
+        self.directory.write(&mut w);
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        let Ok(ct5) = HybridCiphertext::encrypt(&pending.client_pub, &w.into_bytes(), ctx.rng())
+        else {
+            return;
+        };
+        let ct5 = ct5.to_bytes();
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let sig5 = self.keypair.sign(&ct5);
+        ctx.send(from, "join", Msg::Join5 { ct: ct5, sig: sig5 }.to_bytes());
+
+        self.stats.joins_completed += 1;
+        let _ = pending.started; // reserved for latency metrics
+        ctx.stats().bump("rs-joins", 1);
+    }
+
+    fn handle_takeover(&mut self, area: AreaId, sig: &[u8], pubkey: &[u8], from: NodeId) {
+        // The backup signs the area id with its own key; the RS trusts
+        // the key it was configured with at deployment (the directory
+        // carries primary keys, so the builder registers backup keys via
+        // `register_backup`).
+        let Some(expected) = self.backup_keys.get(&area) else {
+            self.stats.rejected_messages += 1;
+            return;
+        };
+        let Ok(pk) = RsaPublicKey::from_bytes(pubkey) else {
+            self.stats.rejected_messages += 1;
+            return;
+        };
+        if pk != *expected {
+            self.stats.rejected_messages += 1;
+            return;
+        }
+        let mut w = Writer::new();
+        w.u32(area.0);
+        if !pk.verify(&w.into_bytes(), sig) {
+            self.stats.rejected_messages += 1;
+            return;
+        }
+        self.directory.upsert(AcInfo {
+            area,
+            node: from.index() as u32,
+            pubkey: pubkey.to_vec(),
+        });
+    }
+}
+
+impl Node for RegistrationServer {
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+        let Ok(msg) = Msg::from_bytes(bytes) else {
+            self.stats.rejected_messages += 1;
+            return;
+        };
+        match msg {
+            Msg::Join1 { ct } => self.handle_join1(ctx, from, &ct),
+            Msg::Join3 { ct } => self.handle_join3(ctx, from, &ct),
+            Msg::Takeover { area, sig, pubkey } => {
+                self.handle_takeover(area, &sig, &pubkey, from)
+            }
+            _ => {
+                self.stats.rejected_messages += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Key-update wire format and the member-side key store.
+//!
+//! An area controller turns a [`RekeyPlan`] into a list of
+//! [`WireKeyEntry`]s — one per encrypted key copy, each a sealed
+//! envelope of the new key under the protecting key — and multicasts
+//! them in a signed [`Msg::KeyUpdate`](crate::msg::Msg). Members feed
+//! the entries to their [`KeyState`], which learns exactly the keys it
+//! can decrypt — the executable form of the paper's Figure 5/6
+//! semantics.
+
+use crate::error::ProtocolError;
+use crate::wire::{Reader, Writer};
+use mykil_crypto::envelope;
+use mykil_crypto::keys::SymmetricKey;
+use mykil_tree::{EncryptUnder, RekeyPlan};
+use rand::RngCore;
+use std::collections::BTreeMap;
+
+/// Which stored key a receiver should try for an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnderTag {
+    /// The previous key of the same node (join-style update).
+    PrevSelf,
+    /// The key of the given child node (leave-style update).
+    Child(u32),
+}
+
+/// One encrypted key copy inside a key-update multicast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireKeyEntry {
+    /// The tree node whose key changed.
+    pub node: u32,
+    /// Hint for which stored key decrypts this entry.
+    pub under: UnderTag,
+    /// `seal(protecting_key, new_key_bytes)`.
+    pub env: Vec<u8>,
+}
+
+/// Builds wire entries from a rekey plan (sealing each new key under
+/// each protecting key).
+pub fn entries_from_plan<R: RngCore + ?Sized>(plan: &RekeyPlan, rng: &mut R) -> Vec<WireKeyEntry> {
+    let mut out = Vec::with_capacity(plan.encryption_count());
+    for change in &plan.changes {
+        for (under, key) in &change.encryptions {
+            let tag = match under {
+                EncryptUnder::PreviousSelf => UnderTag::PrevSelf,
+                EncryptUnder::Child(c) => UnderTag::Child(c.raw() as u32),
+            };
+            out.push(WireKeyEntry {
+                node: change.node.raw() as u32,
+                under: tag,
+                env: envelope::seal(key, change.new_key.as_bytes(), rng),
+            });
+        }
+    }
+    out
+}
+
+/// Serializes entries into a key-update body.
+pub fn encode_entries(entries: &[WireKeyEntry]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(entries.len() as u32);
+    for e in entries {
+        w.u32(e.node);
+        match e.under {
+            UnderTag::PrevSelf => {
+                w.u8(0);
+            }
+            UnderTag::Child(c) => {
+                w.u8(1).u32(c);
+            }
+        }
+        w.bytes(&e.env);
+    }
+    w.into_bytes()
+}
+
+/// Parses a key-update body.
+///
+/// # Errors
+///
+/// [`ProtocolError::Malformed`] on truncation or bad tags.
+pub fn decode_entries(bytes: &[u8]) -> Result<Vec<WireKeyEntry>, ProtocolError> {
+    let mut r = Reader::new(bytes);
+    let count = r.u32()? as usize;
+    if count > 1 << 20 {
+        return Err(ProtocolError::Malformed("entry count"));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let node = r.u32()?;
+        let under = match r.u8()? {
+            0 => UnderTag::PrevSelf,
+            1 => UnderTag::Child(r.u32()?),
+            _ => return Err(ProtocolError::Malformed("under tag")),
+        };
+        out.push(WireKeyEntry {
+            node,
+            under,
+            env: r.bytes()?.to_vec(),
+        });
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+/// Serializes a unicast key path (`(node, key)` pairs, leaf first).
+pub fn encode_path(path: &[(u32, SymmetricKey)]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(path.len() as u32);
+    for (node, key) in path {
+        w.u32(*node).raw(key.as_bytes());
+    }
+    w.into_bytes()
+}
+
+/// Parses a unicast key path.
+///
+/// # Errors
+///
+/// [`ProtocolError::Malformed`] on truncation.
+pub fn decode_path(bytes: &[u8]) -> Result<Vec<(u32, SymmetricKey)>, ProtocolError> {
+    let mut r = Reader::new(bytes);
+    let count = r.u32()? as usize;
+    if count > 1 << 16 {
+        return Err(ProtocolError::Malformed("path length"));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let node = r.u32()?;
+        let key: [u8; 16] = r.array()?;
+        out.push((node, SymmetricKey::from_bytes(key)));
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+/// The tree node index of the area key (the root is always node 0).
+pub const AREA_KEY_NODE: u32 = 0;
+
+/// Result of applying a key-update multicast to a [`KeyState`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// Entries successfully decrypted and installed.
+    pub learned: usize,
+    /// Entries whose protecting key we hold a *stale* copy of —
+    /// evidence that an earlier update was missed.
+    pub stale: usize,
+}
+
+/// How many superseded area keys are retained for late-arriving data.
+///
+/// A key update and a data packet multicast back-to-back can be
+/// reordered by network jitter; the paper's TCP transport hid this, the
+/// simulator does not. Retaining a few previous area keys lets
+/// receivers unwrap `K_r` from data sealed just before a rotation.
+pub const AREA_KEY_HISTORY: usize = 8;
+
+/// A member's (or downstream AC's) current view of one area's keys.
+#[derive(Debug, Clone, Default)]
+pub struct KeyState {
+    keys: BTreeMap<u32, SymmetricKey>,
+    previous_roots: std::collections::VecDeque<SymmetricKey>,
+}
+
+impl KeyState {
+    /// An empty key store.
+    pub fn new() -> KeyState {
+        KeyState::default()
+    }
+
+    /// Installs a unicast key path (join step 7 / rejoin step 6).
+    pub fn install_path(&mut self, path: &[(u32, SymmetricKey)]) {
+        for (node, key) in path {
+            if *node == AREA_KEY_NODE {
+                self.note_root_change(*key);
+            }
+            self.keys.insert(*node, *key);
+        }
+    }
+
+    fn note_root_change(&mut self, new: SymmetricKey) {
+        if let Some(old) = self.keys.get(&AREA_KEY_NODE) {
+            if *old != new {
+                self.previous_roots.push_front(*old);
+                self.previous_roots.truncate(AREA_KEY_HISTORY);
+            }
+        }
+    }
+
+    /// Applies a key-update multicast: for each entry, if the protecting
+    /// key is held, the envelope opens and the new key is stored.
+    pub fn apply_entries(&mut self, entries: &[WireKeyEntry]) -> ApplyOutcome {
+        let mut outcome = ApplyOutcome::default();
+        for e in entries {
+            let trial = match e.under {
+                UnderTag::PrevSelf => self.keys.get(&e.node),
+                UnderTag::Child(c) => self.keys.get(&c),
+            };
+            let Some(trial) = trial.copied() else { continue };
+            match envelope::open(&trial, &e.env) {
+                Ok(plain) => {
+                    if let Ok(raw) = <[u8; 16]>::try_from(plain.as_slice()) {
+                        let new = SymmetricKey::from_bytes(raw);
+                        if e.node == AREA_KEY_NODE {
+                            self.note_root_change(new);
+                        }
+                        self.keys.insert(e.node, new);
+                        outcome.learned += 1;
+                    }
+                }
+                Err(_) => {
+                    // We hold a key for the protecting node but it does
+                    // not open this entry: our copy is stale (we missed
+                    // an earlier update).
+                    outcome.stale += 1;
+                }
+            }
+        }
+        outcome
+    }
+
+    /// The current area key, if known.
+    pub fn area_key(&self) -> Option<SymmetricKey> {
+        self.keys.get(&AREA_KEY_NODE).copied()
+    }
+
+    /// The current area key followed by recently superseded ones
+    /// (newest first) — the set a receiver tries when unwrapping data.
+    pub fn area_keys_with_history(&self) -> Vec<SymmetricKey> {
+        let mut out = Vec::with_capacity(1 + self.previous_roots.len());
+        out.extend(self.area_key());
+        out.extend(self.previous_roots.iter().copied());
+        out
+    }
+
+    /// Number of keys held (the storage metric of Section V-A).
+    pub fn key_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Removes everything (member left the area).
+    pub fn clear(&mut self) {
+        self.keys.clear();
+    }
+
+    /// Serializes the key store (used by AC replication).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let path: Vec<(u32, SymmetricKey)> =
+            self.keys.iter().map(|(n, k)| (*n, *k)).collect();
+        encode_path(&path)
+    }
+
+    /// Restores a key store serialized by [`Self::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] on truncation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<KeyState, ProtocolError> {
+        let mut st = KeyState::new();
+        st.install_path(&decode_path(bytes)?);
+        Ok(st)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mykil_crypto::drbg::Drbg;
+    use mykil_tree::{KeyTree, MemberId, TreeConfig};
+
+    #[test]
+    fn entries_round_trip() {
+        let mut rng = Drbg::from_seed(1);
+        let mut tree = KeyTree::new(TreeConfig::binary(), &mut rng);
+        for m in 0..8 {
+            tree.join(MemberId(m), &mut rng).unwrap();
+        }
+        let plan = tree.leave(MemberId(3), &mut rng).unwrap();
+        let entries = entries_from_plan(&plan, &mut rng);
+        assert_eq!(entries.len(), plan.encryption_count());
+        let bytes = encode_entries(&entries);
+        assert_eq!(decode_entries(&bytes).unwrap(), entries);
+        assert!(decode_entries(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn path_round_trip() {
+        let path = vec![
+            (5u32, SymmetricKey::from_label("a")),
+            (2, SymmetricKey::from_label("b")),
+            (0, SymmetricKey::from_label("c")),
+        ];
+        let bytes = encode_path(&path);
+        assert_eq!(decode_path(&bytes).unwrap(), path);
+        assert!(decode_path(&bytes[..7]).is_err());
+    }
+
+    /// Full distribution flow over real envelopes: members track the
+    /// area key through joins and leaves; departed members cannot.
+    #[test]
+    fn keystate_tracks_area_key_through_churn() {
+        let mut rng = Drbg::from_seed(2);
+        let mut tree = KeyTree::new(TreeConfig::quad(), &mut rng);
+        let mut states: BTreeMap<u64, KeyState> = BTreeMap::new();
+
+        for m in 0..12u64 {
+            let plan = tree.join(MemberId(m), &mut rng).unwrap();
+            let entries = entries_from_plan(&plan, &mut rng);
+            for st in states.values_mut() {
+                st.apply_entries(&entries);
+            }
+            for u in &plan.unicasts {
+                let path: Vec<(u32, SymmetricKey)> = u
+                    .keys
+                    .iter()
+                    .map(|(n, k)| (n.raw() as u32, *k))
+                    .collect();
+                states
+                    .entry(u.member.0)
+                    .or_default()
+                    .install_path(&path);
+            }
+        }
+        for st in states.values() {
+            assert_eq!(st.area_key(), Some(tree.area_key()));
+        }
+
+        // One member leaves; the rest keep up, the departed one stalls.
+        let plan = tree.leave(MemberId(4), &mut rng).unwrap();
+        let entries = entries_from_plan(&plan, &mut rng);
+        let mut departed = states.remove(&4).unwrap();
+        assert_eq!(departed.apply_entries(&entries).learned, 0);
+        assert_ne!(departed.area_key(), Some(tree.area_key()));
+        for (m, st) in states.iter_mut() {
+            st.apply_entries(&entries);
+            assert_eq!(st.area_key(), Some(tree.area_key()), "member {m}");
+        }
+    }
+
+    #[test]
+    fn garbage_envelope_ignored() {
+        let mut st = KeyState::new();
+        st.install_path(&[(0, SymmetricKey::from_label("root"))]);
+        let outcome = st.apply_entries(&[WireKeyEntry {
+            node: 0,
+            under: UnderTag::PrevSelf,
+            env: vec![0u8; 50],
+        }]);
+        assert_eq!(outcome.learned, 0);
+        assert_eq!(outcome.stale, 1, "held-but-unopenable must flag staleness");
+        assert_eq!(st.area_key(), Some(SymmetricKey::from_label("root")));
+    }
+
+    #[test]
+    fn clear_and_counters() {
+        let mut st = KeyState::new();
+        assert_eq!(st.key_count(), 0);
+        assert_eq!(st.area_key(), None);
+        st.install_path(&[(0, SymmetricKey::from_label("x")), (3, SymmetricKey::from_label("y"))]);
+        assert_eq!(st.key_count(), 2);
+        st.clear();
+        assert_eq!(st.key_count(), 0);
+    }
+}

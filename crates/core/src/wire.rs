@@ -1,0 +1,213 @@
+//! Minimal byte codec for protocol messages.
+//!
+//! Every Mykil message is hand-serialized through [`Writer`] and parsed
+//! through [`Reader`], so wire sizes are explicit and byte-exact — the
+//! bandwidth figures depend on that. No serde: message layouts mirror
+//! the fields listed in the paper's Figures 3 and 7.
+
+use crate::error::ProtocolError;
+
+/// Append-only message builder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Finishes and returns the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a single byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Writes a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Writes a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Writes raw bytes with no length prefix (fixed-size fields).
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+
+    /// Writes a `u32` length prefix followed by the bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.u32(bytes.len() as u32);
+        self.raw(bytes)
+    }
+}
+
+/// Sequential message parser.
+///
+/// All accessors return [`ProtocolError::Malformed`] on truncation, so
+/// attacker-controlled bytes can never panic the node.
+#[derive(Debug, Clone, Copy)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Fails unless the input was fully consumed.
+    pub fn finish(self) -> Result<(), ProtocolError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed("trailing bytes"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.buf.len() < n {
+            return Err(ProtocolError::Malformed("truncated"));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        self.take(n)
+    }
+
+    /// Reads a fixed-size array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], ProtocolError> {
+        Ok(self.take(N)?.try_into().unwrap())
+    }
+
+    /// Reads a `u32`-length-prefixed byte string (capped at 16 MiB to
+    /// stop hostile length fields from causing huge allocations).
+    pub fn bytes(&mut self) -> Result<&'a [u8], ProtocolError> {
+        let len = self.u32()? as usize;
+        if len > 16 << 20 {
+            return Err(ProtocolError::Malformed("length field too large"));
+        }
+        self.take(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = Writer::new();
+        w.u8(7).u32(0xdead_beef).u64(42).bytes(b"hello").raw(&[1, 2, 3]);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.raw(3).unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.u64(1);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf[..5]);
+        assert!(r.u64().is_err());
+        // Length prefix promises more bytes than remain.
+        let short = [0u8, 0, 0, 9, 1];
+        let mut r = Reader::new(&short);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.u8(1).u8(2);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let _ = r.u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn writer_len_tracks() {
+        let mut w = Writer::new();
+        assert!(w.is_empty());
+        w.u32(1);
+        assert_eq!(w.len(), 4);
+        w.bytes(b"xy");
+        assert_eq!(w.len(), 4 + 4 + 2);
+    }
+
+    #[test]
+    fn array_reader() {
+        let mut w = Writer::new();
+        w.raw(&[9u8; 16]);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let a: [u8; 16] = r.array().unwrap();
+        assert_eq!(a, [9u8; 16]);
+        let mut r2 = Reader::new(&buf[..10]);
+        assert!(r2.array::<16>().is_err());
+    }
+}

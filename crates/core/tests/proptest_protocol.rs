@@ -1,0 +1,147 @@
+//! Property-based testing of the full protocol: random churn schedules
+//! (joins, voluntary leaves, moves, data, transient partitions) must
+//! always converge to a consistent group — every active member holds
+//! its area's current key and can decrypt fresh data.
+//!
+//! Case counts are small because every member carries a real RSA key
+//! pair; the value is in the schedule diversity, not the case count.
+
+use mykil::group::{GroupBuilder, GroupHandle};
+use mykil::member::Member;
+use mykil_net::{Duration, NodeId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Join,
+    VoluntaryLeave(u8),
+    Move(u8),
+    SendData(u8),
+    TransientPartition(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Join),
+        1 => (0u8..255).prop_map(Op::VoluntaryLeave),
+        1 => (0u8..255).prop_map(Op::Move),
+        2 => (0u8..255).prop_map(Op::SendData),
+        1 => (0u8..255).prop_map(Op::TransientPartition),
+    ]
+}
+
+fn pick(members: &[NodeId], n: u8) -> Option<NodeId> {
+    if members.is_empty() {
+        None
+    } else {
+        Some(members[n as usize % members.len()])
+    }
+}
+
+fn active_members(g: &GroupHandle) -> Vec<NodeId> {
+    g.members
+        .iter()
+        .copied()
+        .filter(|&m| g.is_member(m))
+        .collect()
+}
+
+fn run_schedule(seed: u64, ops: Vec<Op>) {
+    let mut g = GroupBuilder::new(seed).areas(2).build();
+    let mut device = 0u64;
+    // Start with two members so early data ops have receivers.
+    for _ in 0..2 {
+        device += 1;
+        g.register_member(device);
+    }
+    g.settle();
+
+    for op in ops {
+        match op {
+            Op::Join => {
+                device += 1;
+                g.register_member(device);
+                g.run_for(Duration::from_secs(1));
+            }
+            Op::VoluntaryLeave(n) => {
+                if let Some(m) = pick(&active_members(&g), n) {
+                    g.sim.invoke(m, |mm: &mut Member, ctx| mm.leave(ctx));
+                    g.run_for(Duration::from_secs(1));
+                }
+            }
+            Op::Move(n) => {
+                if let Some(m) = pick(&active_members(&g), n) {
+                    let home = g.member(m).area().unwrap().0 as usize;
+                    // Model roaming: drop the home link, wait out the
+                    // silence threshold, rejoin the other area.
+                    let home_ac = g.primaries[home];
+                    g.sim.cut_link(m, home_ac);
+                    g.sim.cut_link(home_ac, m);
+                    g.run_for(Duration::from_millis(700));
+                    g.move_member(m, 1 - home);
+                    g.sim.restore_link(m, home_ac);
+                    g.sim.restore_link(home_ac, m);
+                    g.run_for(Duration::from_secs(1));
+                }
+            }
+            Op::SendData(n) => {
+                if let Some(m) = pick(&active_members(&g), n) {
+                    g.send_data(m, b"prop-data");
+                    g.run_for(Duration::from_millis(700));
+                }
+            }
+            Op::TransientPartition(n) => {
+                if let Some(m) = pick(&active_members(&g), n) {
+                    // Shorter than the 500 ms detection threshold.
+                    g.sim.partition(m, 3);
+                    g.run_for(Duration::from_millis(250));
+                    g.sim.heal_partitions();
+                    g.run_for(Duration::from_millis(500));
+                }
+            }
+        }
+    }
+
+    // Let everything settle, then check convergence.
+    g.run_for(Duration::from_secs(6));
+
+    let actives = active_members(&g);
+    for &m in &actives {
+        let area = g.member(m).area().expect("active member has an area");
+        let ac_key = g.ac(area.0 as usize).area_key();
+        assert_eq!(
+            g.member(m).current_area_key(),
+            Some(ac_key),
+            "member diverged from its area key after the schedule"
+        );
+    }
+
+    // Fresh data reaches every active member.
+    if let Some(&sender) = actives.first() {
+        let before: Vec<usize> = actives.iter().map(|&m| g.received_data(m).len()).collect();
+        g.send_data(sender, b"final-probe");
+        g.run_for(Duration::from_secs(2));
+        for (&m, &seen) in actives.iter().zip(&before) {
+            assert!(
+                g.received_data(m).len() > seen,
+                "active member missed the final probe"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        max_shrink_iters: 20,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_churn_converges(
+        seed in 0u64..1_000,
+        ops in proptest::collection::vec(op_strategy(), 1..7),
+    ) {
+        run_schedule(seed, ops);
+    }
+}

@@ -1,0 +1,192 @@
+//! Division with remainder — Knuth TAOCP Vol. 2, Algorithm 4.3.1 D.
+
+use super::BigUint;
+use crate::CryptoError;
+
+impl BigUint {
+    /// Computes `(self / divisor, self % divisor)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidParameter`] when `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> Result<(BigUint, BigUint), CryptoError> {
+        if divisor.is_zero() {
+            return Err(CryptoError::InvalidParameter("division by zero"));
+        }
+        if self < divisor {
+            return Ok((BigUint::zero(), self.clone()));
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u32(divisor.limbs[0]);
+            return Ok((q, BigUint::from(r)));
+        }
+        Ok(self.div_rem_knuth(divisor))
+    }
+
+    /// Computes `self % modulus`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidParameter`] when `modulus` is zero.
+    pub fn rem(&self, modulus: &BigUint) -> Result<BigUint, CryptoError> {
+        Ok(self.div_rem(modulus)?.1)
+    }
+
+    /// Single-limb short division.
+    pub(crate) fn div_rem_u32(&self, d: u32) -> (BigUint, u32) {
+        debug_assert!(d != 0);
+        let d = d as u64;
+        let mut q = vec![0u32; self.limbs.len()];
+        let mut rem = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 32) | self.limbs[i] as u64;
+            q[i] = (cur / d) as u32;
+            rem = cur % d;
+        }
+        (BigUint::from_limbs(q), rem as u32)
+    }
+
+    /// Knuth Algorithm D for divisors of two or more limbs.
+    fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        // D1: normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.shl_bits(shift);
+        let v = divisor.shl_bits(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        // Working copy of the dividend with one extra high limb.
+        let mut un = u.limbs.clone();
+        un.push(0);
+        let vn = &v.limbs;
+        let v_top = vn[n - 1] as u64;
+        let v_next = vn[n - 2] as u64;
+
+        let mut q = vec![0u32; m + 1];
+        const BASE: u64 = 1 << 32;
+
+        // D2-D7: main loop over quotient digits, most significant first.
+        for j in (0..=m).rev() {
+            // D3: estimate q_hat from the top two dividend limbs.
+            let num = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
+            let mut q_hat = num / v_top;
+            let mut r_hat = num % v_top;
+            while q_hat >= BASE || q_hat * v_next > (r_hat << 32) + un[j + n - 2] as u64 {
+                q_hat -= 1;
+                r_hat += v_top;
+                if r_hat >= BASE {
+                    break;
+                }
+            }
+
+            // D4: multiply and subtract q_hat * v from the window.
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let p = q_hat * vn[i] as u64 + carry;
+                carry = p >> 32;
+                let t = un[i + j] as i64 - (p as u32) as i64 - borrow;
+                un[i + j] = t as u32;
+                borrow = if t < 0 { 1 } else { 0 };
+            }
+            let t = un[j + n] as i64 - carry as i64 - borrow;
+            un[j + n] = t as u32;
+
+            // D5/D6: if we subtracted one v too many, add it back.
+            if t < 0 {
+                q_hat -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let s = un[i + j] as u64 + vn[i] as u64 + carry;
+                    un[i + j] = s as u32;
+                    carry = s >> 32;
+                }
+                un[j + n] = (un[j + n] as u64).wrapping_add(carry) as u32;
+            }
+            q[j] = q_hat as u32;
+        }
+
+        // D8: denormalize the remainder.
+        let rem = BigUint::from_limbs(un[..n].to_vec()).shr_bits(shift);
+        (BigUint::from_limbs(q), rem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(a: &BigUint, b: &BigUint) {
+        let (q, r) = a.div_rem(b).unwrap();
+        assert!(r < *b, "remainder not reduced: {r} >= {b}");
+        assert_eq!(&(&q * b) + &r, *a, "q*b + r != a for a={a} b={b}");
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let a = BigUint::from(5_u64);
+        assert!(a.div_rem(&BigUint::zero()).is_err());
+        assert!(a.rem(&BigUint::zero()).is_err());
+    }
+
+    #[test]
+    fn small_cases() {
+        let a = BigUint::from(100_u64);
+        let b = BigUint::from(7_u64);
+        let (q, r) = a.div_rem(&b).unwrap();
+        assert_eq!(q.to_u64(), Some(14));
+        assert_eq!(r.to_u64(), Some(2));
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let a = BigUint::from(3_u64);
+        let b = BigUint::from(10_u64);
+        let (q, r) = a.div_rem(&b).unwrap();
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn exact_division() {
+        let b = BigUint::from_bytes_be(&[0xab; 9]);
+        let a = &b * &BigUint::from(123_456_u64);
+        let (q, r) = a.div_rem(&b).unwrap();
+        assert_eq!(q.to_u64(), Some(123_456));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn single_limb_divisor_path() {
+        let a = BigUint::from_bytes_be(&[0xfe, 0xdc, 0xba, 0x98, 0x76, 0x54, 0x32, 0x10, 0xff]);
+        check(&a, &BigUint::from(0xdead_u32));
+        check(&a, &BigUint::from(1_u32));
+        check(&a, &BigUint::from(u32::MAX));
+    }
+
+    #[test]
+    fn knuth_d6_add_back_case() {
+        // Constructed to exercise the rare add-back branch: u = b^4/2,
+        // v = b^2/2 + 1 with b = 2^32 triggers q_hat overestimation.
+        let b32 = BigUint::one().shl_bits(32);
+        let v = &b32.shl_bits(32).shr_bits(1) + &BigUint::one();
+        let u = BigUint::one().shl_bits(127);
+        check(&u, &v);
+    }
+
+    #[test]
+    fn wide_operands() {
+        let a = BigUint::from_bytes_be(&[0x77; 64]);
+        let b = BigUint::from_bytes_be(&[0x13; 24]);
+        check(&a, &b);
+        check(&b, &a);
+        check(&a, &a);
+    }
+
+    #[test]
+    fn rem_matches_div_rem() {
+        let a = BigUint::from_bytes_be(&[0x42; 17]);
+        let m = BigUint::from_bytes_be(&[9, 9, 9, 9, 9]);
+        assert_eq!(a.rem(&m).unwrap(), a.div_rem(&m).unwrap().1);
+    }
+}

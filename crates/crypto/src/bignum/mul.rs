@@ -1,0 +1,192 @@
+//! Multiplication for [`BigUint`]: schoolbook core with a dedicated
+//! squaring path (squaring dominates modular exponentiation).
+
+use super::BigUint;
+use std::ops::Mul;
+
+impl BigUint {
+    /// Schoolbook multiplication into a fresh limb vector.
+    pub(crate) fn mul_schoolbook(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            let a = a as u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = a * b as u64 + out[i + j] as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Squares the value; same asymptotics as schoolbook multiply but with
+    /// roughly half the limb products.
+    pub fn square(&self) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let n = self.limbs.len();
+        let mut out = vec![0u32; 2 * n];
+        // Off-diagonal products, each counted once then doubled.
+        for i in 0..n {
+            let a = self.limbs[i] as u64;
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for j in (i + 1)..n {
+                let t = a * self.limbs[j] as u64 + out[i + j] as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + n;
+            while carry != 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        // Double the off-diagonal sum.
+        let mut carry = 0u64;
+        for limb in out.iter_mut() {
+            let t = ((*limb as u64) << 1) | carry;
+            *limb = t as u32;
+            carry = t >> 32;
+        }
+        debug_assert_eq!(carry, 0, "doubling cannot overflow 2n limbs");
+        // Add the diagonal squares.
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = self.limbs[i] as u64;
+            let sq = a * a;
+            let lo = i * 2;
+            let t = out[lo] as u64 + (sq as u32 as u64) + carry;
+            out[lo] = t as u32;
+            carry = t >> 32;
+            let t = out[lo + 1] as u64 + (sq >> 32) + carry;
+            out[lo + 1] = t as u32;
+            carry = t >> 32;
+        }
+        let mut k = 2 * n;
+        while carry != 0 {
+            // Can only spill if n*32-bit square overflows, which it cannot
+            // past 2n limbs; keep the loop for safety in debug builds.
+            out.push(0);
+            let t = out[k] as u64 + carry;
+            out[k] = t as u32;
+            carry = t >> 32;
+            k += 1;
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Multiplies by a single `u32` limb.
+    pub fn mul_u32(&self, m: u32) -> BigUint {
+        if m == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            let t = l as u64 * m as u64 + carry;
+            out.push(t as u32);
+            carry = t >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_dispatch(rhs)
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+
+    fn mul(self, rhs: BigUint) -> BigUint {
+        self.mul_dispatch(&rhs)
+    }
+}
+
+impl Mul<&BigUint> for BigUint {
+    type Output = BigUint;
+
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_dispatch(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_products() {
+        let a = BigUint::from(123_456_789_u64);
+        let b = BigUint::from(987_654_321_u64);
+        assert_eq!((&a * &b).to_u64(), Some(123_456_789 * 987_654_321));
+    }
+
+    #[test]
+    fn zero_and_one_identities() {
+        let a = BigUint::from(0xfeed_f00d_u64);
+        assert!((&a * &BigUint::zero()).is_zero());
+        assert_eq!(&a * &BigUint::one(), a);
+    }
+
+    #[test]
+    fn cross_limb_product() {
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let a = BigUint::from(u64::MAX);
+        let sq = &a * &a;
+        assert_eq!(sq, a.square());
+        assert_eq!(sq.to_string(), "fffffffffffffffe0000000000000001");
+    }
+
+    #[test]
+    fn square_matches_mul_on_many_widths() {
+        let mut x = BigUint::from(3_u64);
+        for _ in 0..20 {
+            x = &x * &BigUint::from(0x1_0000_0001_u64);
+            x.add_u32_assign(0x9e37_79b9);
+            assert_eq!(x.square(), &x * &x);
+        }
+    }
+
+    #[test]
+    fn mul_u32_matches_full_mul() {
+        let a = BigUint::from_bytes_be(&[0xff; 12]);
+        assert_eq!(a.mul_u32(0), BigUint::zero());
+        assert_eq!(a.mul_u32(1), a);
+        assert_eq!(a.mul_u32(0xdead), &a * &BigUint::from(0xdead_u32));
+    }
+
+    #[test]
+    fn multiplication_commutes() {
+        let a = BigUint::from_bytes_be(b"\x12\x34\x56\x78\x9a\xbc\xde\xf0\x01\x02");
+        let b = BigUint::from_bytes_be(b"\xff\xee\xdd\xcc\xbb");
+        assert_eq!(&a * &b, &b * &a);
+    }
+}

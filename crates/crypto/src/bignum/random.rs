@@ -1,0 +1,127 @@
+//! Random [`BigUint`] generation from any [`rand::RngCore`].
+
+use super::BigUint;
+use rand::RngCore;
+
+impl BigUint {
+    /// Uniform random value with exactly `bits` significant bits
+    /// (the top bit is always set, so the result has bit length `bits`).
+    ///
+    /// Returns zero when `bits == 0`.
+    pub fn random_bits<R: RngCore + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+        if bits == 0 {
+            return BigUint::zero();
+        }
+        let limbs = bits.div_ceil(32);
+        let mut v = vec![0u32; limbs];
+        for limb in v.iter_mut() {
+            *limb = rng.next_u32();
+        }
+        // Mask off excess bits, then force the top bit.
+        let top_bits = bits - (limbs - 1) * 32;
+        if top_bits < 32 {
+            v[limbs - 1] &= (1u32 << top_bits) - 1;
+        }
+        v[limbs - 1] |= 1 << (top_bits - 1);
+        BigUint::from_limbs(v)
+    }
+
+    /// Uniform random value in `[0, bound)` by rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is zero.
+    pub fn random_below<R: RngCore + ?Sized>(bound: &BigUint, rng: &mut R) -> BigUint {
+        assert!(!bound.is_zero(), "random_below requires a nonzero bound");
+        let bits = bound.bit_len();
+        let limbs = bits.div_ceil(32);
+        let top_bits = bits - (limbs - 1) * 32;
+        let mask = if top_bits < 32 {
+            (1u32 << top_bits) - 1
+        } else {
+            u32::MAX
+        };
+        loop {
+            let mut v = vec![0u32; limbs];
+            for limb in v.iter_mut() {
+                *limb = rng.next_u32();
+            }
+            v[limbs - 1] &= mask;
+            let candidate = BigUint::from_limbs(v);
+            if candidate < *bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// Uniform random value in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `low >= high`.
+    pub fn random_range<R: RngCore + ?Sized>(
+        low: &BigUint,
+        high: &BigUint,
+        rng: &mut R,
+    ) -> BigUint {
+        assert!(low < high, "random_range requires low < high");
+        let span = high - low;
+        low + &BigUint::random_below(&span, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::Drbg;
+
+    #[test]
+    fn random_bits_has_exact_length() {
+        let mut rng = Drbg::from_seed(1);
+        for bits in [1usize, 2, 31, 32, 33, 64, 127, 512] {
+            let n = BigUint::random_bits(bits, &mut rng);
+            assert_eq!(n.bit_len(), bits, "bits={bits}");
+        }
+        assert!(BigUint::random_bits(0, &mut rng).is_zero());
+    }
+
+    #[test]
+    fn random_below_stays_in_range() {
+        let mut rng = Drbg::from_seed(2);
+        let bound = BigUint::from(1_000_u64);
+        for _ in 0..200 {
+            let v = BigUint::random_below(&bound, &mut rng);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_covers_small_domain() {
+        let mut rng = Drbg::from_seed(3);
+        let bound = BigUint::from(4_u64);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = BigUint::random_below(&bound, &mut rng).to_u64().unwrap();
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn random_range_bounds() {
+        let mut rng = Drbg::from_seed(4);
+        let low = BigUint::from(10_u64);
+        let high = BigUint::from(20_u64);
+        for _ in 0..100 {
+            let v = BigUint::random_range(&low, &high, &mut rng);
+            assert!(v >= low && v < high);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero bound")]
+    fn random_below_zero_bound_panics() {
+        let mut rng = Drbg::from_seed(5);
+        let _ = BigUint::random_below(&BigUint::zero(), &mut rng);
+    }
+}

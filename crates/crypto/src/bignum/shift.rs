@@ -1,0 +1,121 @@
+//! Bit-shift operations for [`BigUint`].
+
+use super::BigUint;
+use std::ops::{Shl, Shr};
+
+impl BigUint {
+    /// Logical left shift by `bits`.
+    pub fn shl_bits(&self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Logical right shift by `bits` (shifting everything out yields zero).
+    pub fn shr_bits(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 32;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return BigUint::from_limbs(src.to_vec());
+        }
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let lo = src[i] >> bit_shift;
+            let hi = if i + 1 < src.len() {
+                src[i + 1] << (32 - bit_shift)
+            } else {
+                0
+            };
+            out.push(lo | hi);
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+
+    fn shl(self, bits: usize) -> BigUint {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+
+    fn shr(self, bits: usize) -> BigUint {
+        self.shr_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shl_small() {
+        let one = BigUint::one();
+        assert_eq!(one.shl_bits(4).to_u64(), Some(16));
+        assert_eq!(one.shl_bits(32).to_u64(), Some(1 << 32));
+        assert_eq!(one.shl_bits(0), one);
+    }
+
+    #[test]
+    fn shl_crosses_limbs() {
+        // (2^31 + 1) << 33 = 2^64 + 2^33
+        let n = BigUint::from(0x8000_0001_u64);
+        let s = n.shl_bits(33);
+        assert_eq!(s.to_string(), "10000000200000000");
+        assert_eq!(s.shr_bits(33), n);
+    }
+
+    #[test]
+    fn shr_to_zero() {
+        let n = BigUint::from(0xffff_u64);
+        assert!(n.shr_bits(16).is_zero());
+        assert!(n.shr_bits(200).is_zero());
+        assert!(BigUint::zero().shr_bits(1).is_zero());
+    }
+
+    #[test]
+    fn shift_round_trip() {
+        let n = BigUint::from_bytes_be(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45]);
+        for bits in [1, 7, 31, 32, 33, 64, 95] {
+            assert_eq!(n.shl_bits(bits).shr_bits(bits), n, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn operator_sugar() {
+        let n = BigUint::from(6_u64);
+        assert_eq!((&n << 1).to_u64(), Some(12));
+        assert_eq!((&n >> 1).to_u64(), Some(3));
+    }
+
+    #[test]
+    fn shl_equals_mul_by_power_of_two() {
+        let n = BigUint::from_bytes_be(&[9, 8, 7, 6, 5, 4, 3, 2, 1]);
+        let p = BigUint::one().shl_bits(67);
+        assert_eq!(n.shl_bits(67), &n * &p);
+    }
+}

@@ -1,0 +1,173 @@
+//! ChaCha20 block function (RFC 8439), used as the core of the
+//! deterministic random generator in [`crate::drbg`] and as a modern
+//! alternative data cipher in the hand-held ablation bench.
+//!
+//! # Example
+//!
+//! ```
+//! use mykil_crypto::chacha::ChaCha20;
+//!
+//! let key = [0u8; 32];
+//! let nonce = [0u8; 12];
+//! let mut msg = *b"hello multicast";
+//! ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut msg);
+//! ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut msg);
+//! assert_eq!(&msg, b"hello multicast");
+//! ```
+
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+/// ChaCha20 stream cipher with a 32-byte key and 12-byte nonce.
+#[derive(Clone)]
+pub struct ChaCha20 {
+    state: [u32; 16],
+    buffer: [u8; 64],
+    buffered: usize,
+}
+
+impl std::fmt::Debug for ChaCha20 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaCha20").finish_non_exhaustive()
+    }
+}
+
+impl ChaCha20 {
+    /// Creates a cipher instance positioned at block `counter`.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        state[12] = counter;
+        for i in 0..3 {
+            state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        ChaCha20 {
+            state,
+            buffer: [0; 64],
+            buffered: 0,
+        }
+    }
+
+    #[inline]
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    /// Runs the 20-round block function and returns 64 keystream bytes,
+    /// advancing the block counter.
+    pub fn next_block(&mut self) -> [u8; 64] {
+        let mut working = self.state;
+        for _ in 0..10 {
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(self.state[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.state[12] = self.state[12].wrapping_add(1);
+        out
+    }
+
+    /// XORs keystream into `data` in place (encrypt == decrypt).
+    pub fn apply_keystream(&mut self, data: &mut [u8]) {
+        for byte in data.iter_mut() {
+            if self.buffered == 0 {
+                self.buffer = self.next_block();
+                self.buffered = 64;
+            }
+            *byte ^= self.buffer[64 - self.buffered];
+            self.buffered -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 section 2.3.2 test vector.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let block = ChaCha20::new(&key, &nonce, 1).next_block();
+        assert_eq!(
+            hex(&block[..16]),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+        );
+        assert_eq!(hex(&block[48..]), "b5129cd1de164eb9cbd083e8a2503c4e");
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 section 2.4.2.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut msg = *b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        ChaCha20::new(&key, &nonce, 1).apply_keystream(&mut msg);
+        assert_eq!(
+            hex(&msg[..16]),
+            "6e2e359a2568f98041ba0728dd0d6981"
+        );
+    }
+
+    #[test]
+    fn round_trip() {
+        let key = [0x42u8; 32];
+        let nonce = [0x24u8; 12];
+        let original: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let mut data = original.clone();
+        ChaCha20::new(&key, &nonce, 7).apply_keystream(&mut data);
+        assert_ne!(data, original);
+        ChaCha20::new(&key, &nonce, 7).apply_keystream(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn counter_advances_blocks() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut c = ChaCha20::new(&key, &nonce, 0);
+        let b0 = c.next_block();
+        let b1 = c.next_block();
+        assert_ne!(b0, b1);
+        // Restarting at counter 1 reproduces the second block.
+        let again = ChaCha20::new(&key, &nonce, 1).next_block();
+        assert_eq!(b1, again);
+    }
+
+    #[test]
+    fn partial_streaming_matches() {
+        let key = [9u8; 32];
+        let nonce = [3u8; 12];
+        let mut whole = vec![0u8; 150];
+        ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut whole);
+        let mut parts = vec![0u8; 150];
+        let mut c = ChaCha20::new(&key, &nonce, 0);
+        for chunk in parts.chunks_mut(13) {
+            c.apply_keystream(chunk);
+        }
+        assert_eq!(whole, parts);
+    }
+}

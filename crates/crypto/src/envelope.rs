@@ -1,0 +1,279 @@
+//! Authenticated symmetric envelopes and the hybrid RSA envelope.
+//!
+//! Two constructions used throughout the Mykil protocol:
+//!
+//! - [`seal`]/[`open`] — encrypt-then-MAC under a 128-bit
+//!   [`SymmetricKey`]: ChaCha20 (keyed by a derived sub-key, random
+//!   nonce) followed by HMAC-SHA256 truncated to 16 bytes. Every
+//!   `E_K(...)` in the paper's figures (area-key updates, auxiliary-key
+//!   distribution, random data keys) is one of these envelopes.
+//! - [`HybridCiphertext`] — the Section V-D workaround: an RSA block can
+//!   hold only ~200 bytes, so the sender wraps a fresh one-time
+//!   symmetric key under RSA and seals the actual payload under that
+//!   key. Mykil uses this for step 7 of the join protocol and step 6 of
+//!   the rejoin protocol, where the auxiliary-key path does not fit in
+//!   one block.
+
+use crate::hmac::{hmac_sha256, HmacSha256};
+use crate::keys::SymmetricKey;
+use crate::rsa::{RsaKeyPair, RsaPublicKey};
+use crate::{chacha::ChaCha20, CryptoError, SYMMETRIC_KEY_LEN};
+use rand::RngCore;
+
+/// Truncated MAC length for symmetric envelopes (16 bytes, matching the
+/// paper's 128-bit security level for symmetric material).
+pub const ENVELOPE_MAC_LEN: usize = 16;
+
+/// Nonce length prepended to each envelope.
+pub const ENVELOPE_NONCE_LEN: usize = 12;
+
+/// Fixed per-message overhead of [`seal`] in bytes.
+pub const ENVELOPE_OVERHEAD: usize = ENVELOPE_NONCE_LEN + ENVELOPE_MAC_LEN;
+
+fn cipher_for(key: &SymmetricKey, nonce: &[u8; ENVELOPE_NONCE_LEN]) -> ChaCha20 {
+    let enc_key = key.derive(b"mykil-envelope-enc");
+    let mut k32 = [0u8; 32];
+    k32[..SYMMETRIC_KEY_LEN].copy_from_slice(enc_key.as_bytes());
+    k32[SYMMETRIC_KEY_LEN..].copy_from_slice(enc_key.as_bytes());
+    ChaCha20::new(&k32, nonce, 0)
+}
+
+/// Seals `plaintext` under `key`: `nonce || ciphertext || mac`.
+pub fn seal<R: RngCore + ?Sized>(key: &SymmetricKey, plaintext: &[u8], rng: &mut R) -> Vec<u8> {
+    let mut nonce = [0u8; ENVELOPE_NONCE_LEN];
+    rng.fill_bytes(&mut nonce);
+    let mut out = Vec::with_capacity(plaintext.len() + ENVELOPE_OVERHEAD);
+    out.extend_from_slice(&nonce);
+    let mut body = plaintext.to_vec();
+    cipher_for(key, &nonce).apply_keystream(&mut body);
+    out.extend_from_slice(&body);
+    let mac_key = key.derive(b"mykil-envelope-mac");
+    let mut mac = HmacSha256::new(mac_key.as_bytes());
+    mac.update(&nonce);
+    mac.update(&body);
+    out.extend_from_slice(&mac.finalize()[..ENVELOPE_MAC_LEN]);
+    out
+}
+
+/// Opens an envelope produced by [`seal`].
+///
+/// # Errors
+///
+/// Returns [`CryptoError::EnvelopeError`] on truncation and
+/// [`CryptoError::VerificationFailed`] when the MAC does not match
+/// (wrong key or tampering).
+pub fn open(key: &SymmetricKey, envelope: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if envelope.len() < ENVELOPE_OVERHEAD {
+        return Err(CryptoError::EnvelopeError("envelope truncated"));
+    }
+    let (nonce_bytes, rest) = envelope.split_at(ENVELOPE_NONCE_LEN);
+    let (body, tag) = rest.split_at(rest.len() - ENVELOPE_MAC_LEN);
+    let mac_key = key.derive(b"mykil-envelope-mac");
+    let mut mac = HmacSha256::new(mac_key.as_bytes());
+    mac.update(nonce_bytes);
+    mac.update(body);
+    let expected = mac.finalize();
+    let mut diff = 0u8;
+    for (a, b) in expected[..ENVELOPE_MAC_LEN].iter().zip(tag) {
+        diff |= a ^ b;
+    }
+    if diff != 0 {
+        return Err(CryptoError::VerificationFailed);
+    }
+    let nonce: [u8; ENVELOPE_NONCE_LEN] = nonce_bytes.try_into().unwrap();
+    let mut plain = body.to_vec();
+    cipher_for(key, &nonce).apply_keystream(&mut plain);
+    Ok(plain)
+}
+
+/// A hybrid RSA + symmetric ciphertext (the paper's one-time-key
+/// workaround for the RSA block-size limit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HybridCiphertext {
+    /// RSA-OAEP encryption of the one-time symmetric key.
+    wrapped_key: Vec<u8>,
+    /// Symmetric envelope of the payload under the one-time key.
+    sealed_payload: Vec<u8>,
+}
+
+impl HybridCiphertext {
+    /// Encrypts `plaintext` of any length to `recipient`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RSA errors (practically impossible for ≥768-bit keys,
+    /// since only a 16-byte key is RSA-encrypted).
+    pub fn encrypt<R: RngCore + ?Sized>(
+        recipient: &RsaPublicKey,
+        plaintext: &[u8],
+        rng: &mut R,
+    ) -> Result<Self, CryptoError> {
+        let one_time = SymmetricKey::random(rng);
+        let wrapped_key = recipient.encrypt(one_time.as_bytes(), rng)?;
+        let sealed_payload = seal(&one_time, plaintext, rng);
+        Ok(HybridCiphertext {
+            wrapped_key,
+            sealed_payload,
+        })
+    }
+
+    /// Decrypts with the recipient's key pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns padding/MAC errors when the wrong key is used or the
+    /// ciphertext was modified.
+    pub fn decrypt(&self, pair: &RsaKeyPair) -> Result<Vec<u8>, CryptoError> {
+        let key_bytes = pair.decrypt(&self.wrapped_key)?;
+        let key_arr: [u8; SYMMETRIC_KEY_LEN] = key_bytes
+            .as_slice()
+            .try_into()
+            .map_err(|_| CryptoError::EnvelopeError("wrapped key has wrong length"))?;
+        open(&SymmetricKey::from_bytes(key_arr), &self.sealed_payload)
+    }
+
+    /// Total size on the wire.
+    pub fn wire_len(&self) -> usize {
+        self.wrapped_key.len() + self.sealed_payload.len()
+    }
+
+    /// Serializes as `len(wrapped) || wrapped || payload`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len() + 4);
+        out.extend_from_slice(&(self.wrapped_key.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.wrapped_key);
+        out.extend_from_slice(&self.sealed_payload);
+        out
+    }
+
+    /// Parses the [`Self::to_bytes`] format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::EnvelopeError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() < 4 {
+            return Err(CryptoError::EnvelopeError("hybrid ciphertext truncated"));
+        }
+        let klen = u32::from_be_bytes(bytes[..4].try_into().unwrap()) as usize;
+        let rest = &bytes[4..];
+        if rest.len() < klen + ENVELOPE_OVERHEAD {
+            return Err(CryptoError::EnvelopeError("hybrid ciphertext truncated"));
+        }
+        Ok(HybridCiphertext {
+            wrapped_key: rest[..klen].to_vec(),
+            sealed_payload: rest[klen..].to_vec(),
+        })
+    }
+}
+
+/// Computes the paper-style MAC over a set of message fields
+/// (used by protocol implementations to MAC "the first N pieces of
+/// information" as each figure specifies).
+pub fn mac_fields(key: &SymmetricKey, fields: &[&[u8]]) -> [u8; 32] {
+    let mut joined = Vec::new();
+    for f in fields {
+        joined.extend_from_slice(&(f.len() as u32).to_be_bytes());
+        joined.extend_from_slice(f);
+    }
+    hmac_sha256(key.as_bytes(), &joined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::Drbg;
+
+    fn key() -> SymmetricKey {
+        SymmetricKey::from_label("test-key")
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let mut rng = Drbg::from_seed(1);
+        for len in [0usize, 1, 16, 100, 5000] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let env = seal(&key(), &msg, &mut rng);
+            assert_eq!(env.len(), len + ENVELOPE_OVERHEAD);
+            assert_eq!(open(&key(), &env).unwrap(), msg, "len={len}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = Drbg::from_seed(2);
+        let env = seal(&key(), b"area key update", &mut rng);
+        let other = SymmetricKey::from_label("other");
+        assert_eq!(
+            open(&other, &env),
+            Err(CryptoError::VerificationFailed)
+        );
+    }
+
+    #[test]
+    fn tampering_rejected_everywhere() {
+        let mut rng = Drbg::from_seed(3);
+        let env = seal(&key(), b"auxiliary keys", &mut rng);
+        for i in 0..env.len() {
+            let mut bad = env.clone();
+            bad[i] ^= 0x01;
+            assert!(open(&key(), &bad).is_err(), "byte {i} flip accepted");
+        }
+    }
+
+    #[test]
+    fn truncated_envelope_rejected() {
+        let mut rng = Drbg::from_seed(4);
+        let env = seal(&key(), b"x", &mut rng);
+        assert!(open(&key(), &env[..ENVELOPE_OVERHEAD - 1]).is_err());
+        assert!(open(&key(), &[]).is_err());
+    }
+
+    #[test]
+    fn envelopes_are_randomized() {
+        let mut rng = Drbg::from_seed(5);
+        let a = seal(&key(), b"same", &mut rng);
+        let b = seal(&key(), b"same", &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hybrid_round_trip_large_payload() {
+        let pair = crate::rsa::test_keys::pair768();
+        let mut rng = Drbg::from_seed(6);
+        // Larger than any RSA block: the aux-key path scenario.
+        let payload: Vec<u8> = (0..4096u32).map(|i| i as u8).collect();
+        let ct = HybridCiphertext::encrypt(pair.public(), &payload, &mut rng).unwrap();
+        assert_eq!(ct.decrypt(pair).unwrap(), payload);
+    }
+
+    #[test]
+    fn hybrid_wrong_recipient_fails() {
+        let pair = crate::rsa::test_keys::pair768();
+        let other = crate::rsa::test_keys::pair768_b();
+        let mut rng = Drbg::from_seed(7);
+        let ct = HybridCiphertext::encrypt(pair.public(), b"ticket", &mut rng).unwrap();
+        assert!(ct.decrypt(other).is_err());
+    }
+
+    #[test]
+    fn hybrid_bytes_round_trip() {
+        let pair = crate::rsa::test_keys::pair768();
+        let mut rng = Drbg::from_seed(8);
+        let ct = HybridCiphertext::encrypt(pair.public(), b"payload", &mut rng).unwrap();
+        let back = HybridCiphertext::from_bytes(&ct.to_bytes()).unwrap();
+        assert_eq!(ct, back);
+        assert!(HybridCiphertext::from_bytes(&[1, 2]).is_err());
+        assert!(HybridCiphertext::from_bytes(&[0, 0, 1, 0, 5]).is_err());
+    }
+
+    #[test]
+    fn mac_fields_sensitive_to_boundaries() {
+        let k = key();
+        // ("ab","c") must differ from ("a","bc") — length prefixes matter.
+        let t1 = mac_fields(&k, &[b"ab", b"c"]);
+        let t2 = mac_fields(&k, &[b"a", b"bc"]);
+        assert_ne!(t1, t2);
+        assert_eq!(t1, mac_fields(&k, &[b"ab", b"c"]));
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type shared by every module in the crypto substrate.
+
+use std::fmt;
+
+/// Errors produced by the cryptographic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A message was too long to fit in one RSA-OAEP block.
+    ///
+    /// Mirrors the OpenSSL limit the paper discusses in Section V-D: with a
+    /// 2048-bit key only 215 bytes of plaintext fit in a single block.
+    MessageTooLong {
+        /// Bytes the caller tried to encrypt.
+        len: usize,
+        /// Maximum plaintext length for this key size.
+        max: usize,
+    },
+    /// A ciphertext did not match the expected RSA block length.
+    InvalidCiphertextLength {
+        /// Bytes received.
+        len: usize,
+        /// Expected block length for this key.
+        expected: usize,
+    },
+    /// OAEP-style padding failed to verify during decryption.
+    PaddingError,
+    /// A MAC or signature failed verification.
+    VerificationFailed,
+    /// Key generation could not find suitable parameters.
+    KeyGeneration(&'static str),
+    /// An input parameter was outside the supported range.
+    InvalidParameter(&'static str),
+    /// The symmetric envelope was malformed or failed authentication.
+    EnvelopeError(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MessageTooLong { len, max } => {
+                write!(f, "message of {len} bytes exceeds the {max}-byte block limit")
+            }
+            CryptoError::InvalidCiphertextLength { len, expected } => {
+                write!(f, "ciphertext is {len} bytes, expected {expected}")
+            }
+            CryptoError::PaddingError => write!(f, "padding check failed during decryption"),
+            CryptoError::VerificationFailed => write!(f, "verification failed for MAC or signature"),
+            CryptoError::KeyGeneration(why) => write!(f, "key generation failed: {why}"),
+            CryptoError::InvalidParameter(why) => write!(f, "invalid parameter: {why}"),
+            CryptoError::EnvelopeError(why) => write!(f, "envelope error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            CryptoError::MessageTooLong { len: 300, max: 215 },
+            CryptoError::InvalidCiphertextLength { len: 10, expected: 256 },
+            CryptoError::PaddingError,
+            CryptoError::VerificationFailed,
+            CryptoError::KeyGeneration("no prime found"),
+            CryptoError::InvalidParameter("bits too small"),
+            CryptoError::EnvelopeError("truncated"),
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

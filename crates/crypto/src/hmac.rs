@@ -1,0 +1,173 @@
+//! HMAC-SHA256 (RFC 2104), the MAC used on every Mykil protocol message.
+//!
+//! The paper attaches a MAC to each step of the join protocol (Figure 3),
+//! the rejoin protocol (Figure 7), and to tickets. All of those MACs are
+//! computed here.
+//!
+//! # Example
+//!
+//! ```
+//! use mykil_crypto::hmac::{hmac_sha256, verify_hmac};
+//!
+//! let tag = hmac_sha256(b"shared key", b"step 1 payload");
+//! assert!(verify_hmac(b"shared key", b"step 1 payload", &tag));
+//! assert!(!verify_hmac(b"shared key", b"tampered", &tag));
+//! ```
+
+use crate::sha256::{Sha256, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the 64-byte block are pre-hashed per RFC 2104.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        key_block[..DIGEST_LEN].copy_from_slice(&Sha256::digest(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Verifies a tag in constant time with respect to tag content.
+///
+/// Returns `false` for any length mismatch.
+pub fn verify_hmac(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+    let expected = hmac_sha256(key, message);
+    if tag.len() != expected.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(tag) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+/// Incremental HMAC builder for multi-part messages.
+///
+/// Protocol steps MAC several concatenated fields; this avoids
+/// intermediate copies.
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Starts a MAC computation under `key`.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            key_block[..DIGEST_LEN].copy_from_slice(&Sha256::digest(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; BLOCK_LEN];
+        let mut opad = [0x5cu8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] ^= key_block[i];
+            opad[i] ^= key_block[i];
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 { inner, opad }
+    }
+
+    /// Absorbs another message fragment.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produces the final tag.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"m");
+        assert!(verify_hmac(b"k", b"m", &tag));
+        assert!(!verify_hmac(b"k2", b"m", &tag));
+        assert!(!verify_hmac(b"k", b"m2", &tag));
+        assert!(!verify_hmac(b"k", b"m", &tag[..31]));
+        assert!(!verify_hmac(b"k", b"m", &[]));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = HmacSha256::new(b"area-controller-key");
+        h.update(b"nonce:");
+        h.update(&42u64.to_be_bytes());
+        h.update(b"|ticket");
+        let tag = h.finalize();
+        let mut whole = b"nonce:".to_vec();
+        whole.extend_from_slice(&42u64.to_be_bytes());
+        whole.extend_from_slice(b"|ticket");
+        assert_eq!(tag, hmac_sha256(b"area-controller-key", &whole));
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        let t1 = hmac_sha256(b"key-1", b"same message");
+        let t2 = hmac_sha256(b"key-2", b"same message");
+        assert_ne!(t1, t2);
+    }
+}

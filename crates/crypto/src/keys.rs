@@ -1,0 +1,118 @@
+//! Symmetric key material types.
+//!
+//! Mykil manages three kinds of 128-bit symmetric keys (Section III of
+//! the paper): the per-area *area key*, the *auxiliary keys* of each
+//! area's LKH tree, and the `K_shared` secret that all area controllers
+//! share to protect tickets. All are [`SymmetricKey`] values here.
+
+use crate::drbg::Drbg;
+use crate::SYMMETRIC_KEY_LEN;
+use rand::RngCore;
+
+/// A 128-bit symmetric key.
+///
+/// Compared only via `Eq` (tests and tree bookkeeping); the `Debug`
+/// impl prints a short fingerprint rather than key bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymmetricKey([u8; SYMMETRIC_KEY_LEN]);
+
+impl SymmetricKey {
+    /// Wraps raw key bytes.
+    pub fn from_bytes(bytes: [u8; SYMMETRIC_KEY_LEN]) -> Self {
+        SymmetricKey(bytes)
+    }
+
+    /// Generates a fresh random key.
+    pub fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut b = [0u8; SYMMETRIC_KEY_LEN];
+        rng.fill_bytes(&mut b);
+        SymmetricKey(b)
+    }
+
+    /// The raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; SYMMETRIC_KEY_LEN] {
+        &self.0
+    }
+
+    /// Derives a sub-key for `purpose` (e.g. separating the cipher key
+    /// from the MAC key inside the envelope).
+    pub fn derive(&self, purpose: &[u8]) -> SymmetricKey {
+        let tag = crate::hmac::hmac_sha256(&self.0, purpose);
+        let mut b = [0u8; SYMMETRIC_KEY_LEN];
+        b.copy_from_slice(&tag[..SYMMETRIC_KEY_LEN]);
+        SymmetricKey(b)
+    }
+
+    /// Deterministically derives a key from a label (for tests and
+    /// analytic tools that need stable keys).
+    pub fn from_label(label: &str) -> SymmetricKey {
+        let mut rng = Drbg::from_seed_bytes(label.as_bytes());
+        SymmetricKey::random(&mut rng)
+    }
+}
+
+impl std::fmt::Debug for SymmetricKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Print a 4-byte fingerprint, never the key itself.
+        let fp = crate::sha256::Sha256::digest(&self.0);
+        write!(
+            f,
+            "SymmetricKey(#{:02x}{:02x}{:02x}{:02x})",
+            fp[0], fp[1], fp[2], fp[3]
+        )
+    }
+}
+
+impl From<[u8; SYMMETRIC_KEY_LEN]> for SymmetricKey {
+    fn from(bytes: [u8; SYMMETRIC_KEY_LEN]) -> Self {
+        SymmetricKey(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_keys_distinct() {
+        let mut rng = Drbg::from_seed(1);
+        let a = SymmetricKey::random(&mut rng);
+        let b = SymmetricKey::random(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_purpose_separated() {
+        let k = SymmetricKey::from_label("area-3");
+        assert_eq!(k.derive(b"enc"), k.derive(b"enc"));
+        assert_ne!(k.derive(b"enc"), k.derive(b"mac"));
+        assert_ne!(k.derive(b"enc"), k);
+    }
+
+    #[test]
+    fn label_derivation_stable() {
+        assert_eq!(
+            SymmetricKey::from_label("k1"),
+            SymmetricKey::from_label("k1")
+        );
+        assert_ne!(
+            SymmetricKey::from_label("k1"),
+            SymmetricKey::from_label("k2")
+        );
+    }
+
+    #[test]
+    fn debug_hides_bytes() {
+        let k = SymmetricKey::from_bytes([0xab; 16]);
+        let s = format!("{k:?}");
+        assert!(s.starts_with("SymmetricKey(#"));
+        assert!(!s.contains("abababab"), "must not print raw bytes: {s}");
+    }
+
+    #[test]
+    fn conversion_from_array() {
+        let arr = [7u8; 16];
+        let k: SymmetricKey = arr.into();
+        assert_eq!(k.as_bytes(), &arr);
+    }
+}

@@ -1,0 +1,217 @@
+//! Primality testing and prime generation for RSA key material.
+//!
+//! Candidates are screened by trial division against a table of small
+//! primes, then subjected to Miller–Rabin with independently sampled
+//! bases. Error probability after `t` rounds is at most `4^-t`; the
+//! default of 20 rounds is far below any systems-level concern.
+
+use crate::bignum::BigUint;
+use crate::CryptoError;
+use rand::RngCore;
+
+/// Default number of Miller–Rabin rounds.
+pub const DEFAULT_MR_ROUNDS: usize = 20;
+
+/// Small primes for fast trial-division screening.
+const SMALL_PRIMES: [u32; 60] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
+];
+
+/// Returns `true` when `n` is divisible by a small prime (and is not that
+/// prime itself).
+fn has_small_factor(n: &BigUint) -> bool {
+    for &p in &SMALL_PRIMES {
+        let (_, r) = n.div_rem_u32(p);
+        if r == 0 {
+            return *n != BigUint::from(p);
+        }
+    }
+    false
+}
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// Deterministic answers for `n < 282` via the small-prime table.
+pub fn is_probably_prime<R: RngCore + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    // Handle tiny numbers exactly.
+    if let Some(v) = n.to_u64() {
+        if v < 2 {
+            return false;
+        }
+        if v <= *SMALL_PRIMES.last().unwrap() as u64 {
+            return SMALL_PRIMES.contains(&(v as u32));
+        }
+    }
+    if n.is_even() || has_small_factor(n) {
+        return false;
+    }
+
+    // Write n-1 = d * 2^s with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n - &one;
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr_bits(1);
+        s += 1;
+    }
+
+    let two = BigUint::from(2_u32);
+    let n_minus_2 = n - &two;
+    'witness: for _ in 0..rounds {
+        let a = BigUint::random_range(&two, &n_minus_2, rng);
+        let mut x = a.modpow(&d, n).expect("odd modulus > 1");
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x.square().rem(n).expect("nonzero modulus");
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random prime with exactly `bits` significant bits.
+///
+/// The two top bits are forced to one (standard RSA practice, so that the
+/// product of two such primes has the full `2·bits` length), and the low
+/// bit is forced to one.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::KeyGeneration`] when `bits < 8` or no prime is
+/// found within a very generous candidate budget.
+pub fn generate_prime<R: RngCore + ?Sized>(
+    bits: usize,
+    rng: &mut R,
+) -> Result<BigUint, CryptoError> {
+    if bits < 8 {
+        return Err(CryptoError::KeyGeneration("prime size below 8 bits"));
+    }
+    // Expected number of candidates is O(bits·ln 2 / 2); budget 100x that.
+    let budget = bits * 40 + 1000;
+    for _ in 0..budget {
+        let mut candidate = BigUint::random_bits(bits, rng);
+        candidate.set_bit(0); // odd
+        candidate.set_bit(bits - 2); // top-two bits set
+        if has_small_factor(&candidate) {
+            continue;
+        }
+        if is_probably_prime(&candidate, DEFAULT_MR_ROUNDS, rng) {
+            return Ok(candidate);
+        }
+    }
+    Err(CryptoError::KeyGeneration(
+        "exhausted candidate budget without finding a prime",
+    ))
+}
+
+/// Generates a "safe-ish" prime `p` with `gcd(p-1, e) == 1`, as required
+/// for an RSA prime under public exponent `e`.
+pub fn generate_rsa_prime<R: RngCore + ?Sized>(
+    bits: usize,
+    e: &BigUint,
+    rng: &mut R,
+) -> Result<BigUint, CryptoError> {
+    for _ in 0..64 {
+        let p = generate_prime(bits, rng)?;
+        let p_minus_1 = &p - &BigUint::one();
+        if p_minus_1.gcd(e).is_one() {
+            return Ok(p);
+        }
+    }
+    Err(CryptoError::KeyGeneration(
+        "could not find prime compatible with public exponent",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::Drbg;
+
+    #[test]
+    fn small_numbers_classified_exactly() {
+        let mut rng = Drbg::from_seed(1);
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 281];
+        let composites = [0u64, 1, 4, 6, 9, 15, 21, 25, 49, 91, 121, 169, 279];
+        for p in primes {
+            assert!(
+                is_probably_prime(&BigUint::from(p), 10, &mut rng),
+                "{p} should be prime"
+            );
+        }
+        for c in composites {
+            assert!(
+                !is_probably_prime(&BigUint::from(c), 10, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn known_larger_primes() {
+        let mut rng = Drbg::from_seed(2);
+        // 2^31 - 1 is a Mersenne prime; 2^61 - 1 is too.
+        let m31 = BigUint::from((1u64 << 31) - 1);
+        let m61 = BigUint::from((1u64 << 61) - 1);
+        assert!(is_probably_prime(&m31, 20, &mut rng));
+        assert!(is_probably_prime(&m61, 20, &mut rng));
+        // 2^32 + 1 = 641 * 6700417 is composite (Euler).
+        let f5 = BigUint::from((1u64 << 32) + 1);
+        assert!(!is_probably_prime(&f5, 20, &mut rng));
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        let mut rng = Drbg::from_seed(3);
+        // Carmichael numbers fool Fermat but not Miller–Rabin.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(
+                !is_probably_prime(&BigUint::from(c), 20, &mut rng),
+                "carmichael {c} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size() {
+        let mut rng = Drbg::from_seed(4);
+        for bits in [16usize, 32, 64, 128] {
+            let p = generate_prime(bits, &mut rng).unwrap();
+            assert_eq!(p.bit_len(), bits, "bits={bits}");
+            assert!(p.is_odd());
+            assert!(p.bit(bits - 2), "second-highest bit forced");
+            assert!(is_probably_prime(&p, 10, &mut rng));
+        }
+    }
+
+    #[test]
+    fn rsa_prime_coprime_with_e() {
+        let mut rng = Drbg::from_seed(5);
+        let e = BigUint::from(65_537_u64);
+        let p = generate_rsa_prime(96, &e, &mut rng).unwrap();
+        let p1 = &p - &BigUint::one();
+        assert!(p1.gcd(&e).is_one());
+    }
+
+    #[test]
+    fn tiny_sizes_rejected() {
+        let mut rng = Drbg::from_seed(6);
+        assert!(generate_prime(4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn distinct_primes_across_calls() {
+        let mut rng = Drbg::from_seed(7);
+        let a = generate_prime(64, &mut rng).unwrap();
+        let b = generate_prime(64, &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,246 @@
+//! RSAES-OAEP encryption (RFC 8017 §7.1 with MGF1-SHA256).
+//!
+//! A single RSA block holds at most `k - 2·hLen - 2` plaintext bytes
+//! (190 bytes for a 2048-bit key with SHA-256). The paper hit the same
+//! wall with OpenSSL's 215-byte limit and worked around it by wrapping a
+//! one-time symmetric key; [`crate::envelope::HybridCiphertext`]
+//! implements that workaround.
+
+use super::{RsaKeyPair, RsaPublicKey};
+use crate::bignum::BigUint;
+use crate::sha256::{Sha256, DIGEST_LEN};
+use crate::CryptoError;
+use rand::RngCore;
+
+/// MGF1 mask generation with SHA-256.
+fn mgf1(seed: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + DIGEST_LEN);
+    let mut counter = 0u32;
+    while out.len() < len {
+        let mut h = Sha256::new();
+        h.update(seed);
+        h.update(&counter.to_be_bytes());
+        out.extend_from_slice(&h.finalize());
+        counter += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+/// Label hash for an empty label (OAEP default).
+fn empty_label_hash() -> [u8; DIGEST_LEN] {
+    Sha256::digest(b"")
+}
+
+impl RsaPublicKey {
+    /// Maximum plaintext bytes that fit in one encrypted block.
+    pub fn max_plaintext_len(&self) -> usize {
+        self.block_len().saturating_sub(2 * DIGEST_LEN + 2)
+    }
+
+    /// Encrypts `msg` under OAEP, producing one `block_len()`-byte
+    /// ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MessageTooLong`] when `msg` exceeds
+    /// [`Self::max_plaintext_len`] — the situation the paper resolves
+    /// with a hybrid one-time key (Section V-D).
+    pub fn encrypt<R: RngCore + ?Sized>(
+        &self,
+        msg: &[u8],
+        rng: &mut R,
+    ) -> Result<Vec<u8>, CryptoError> {
+        let k = self.block_len();
+        let max = self.max_plaintext_len();
+        if msg.len() > max {
+            return Err(CryptoError::MessageTooLong {
+                len: msg.len(),
+                max,
+            });
+        }
+        // EM = 0x00 || maskedSeed || maskedDB
+        let db_len = k - DIGEST_LEN - 1;
+        let mut db = Vec::with_capacity(db_len);
+        db.extend_from_slice(&empty_label_hash());
+        db.resize(db_len - msg.len() - 1, 0);
+        db.push(0x01);
+        db.extend_from_slice(msg);
+        debug_assert_eq!(db.len(), db_len);
+
+        let mut seed = [0u8; DIGEST_LEN];
+        rng.fill_bytes(&mut seed);
+
+        let db_mask = mgf1(&seed, db_len);
+        for (b, m) in db.iter_mut().zip(&db_mask) {
+            *b ^= m;
+        }
+        let seed_mask = mgf1(&db, DIGEST_LEN);
+        let mut masked_seed = seed;
+        for (b, m) in masked_seed.iter_mut().zip(&seed_mask) {
+            *b ^= m;
+        }
+
+        let mut em = Vec::with_capacity(k);
+        em.push(0x00);
+        em.extend_from_slice(&masked_seed);
+        em.extend_from_slice(&db);
+
+        let m_int = BigUint::from_bytes_be(&em);
+        let c_int = self.raw_public_op(&m_int)?;
+        c_int.to_bytes_be_padded(k)
+    }
+}
+
+impl RsaKeyPair {
+    /// Decrypts an OAEP ciphertext produced by [`RsaPublicKey::encrypt`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidCiphertextLength`] for a wrong-sized
+    /// input and [`CryptoError::PaddingError`] when the OAEP structure
+    /// fails to verify (wrong key, corrupted ciphertext).
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let k = self.public().block_len();
+        if ciphertext.len() != k {
+            return Err(CryptoError::InvalidCiphertextLength {
+                len: ciphertext.len(),
+                expected: k,
+            });
+        }
+        let c_int = BigUint::from_bytes_be(ciphertext);
+        let m_int = self.raw_private_op(&c_int)?;
+        let em = m_int.to_bytes_be_padded(k)?;
+
+        if em[0] != 0x00 {
+            return Err(CryptoError::PaddingError);
+        }
+        let (masked_seed, masked_db) = em[1..].split_at(DIGEST_LEN);
+        let seed_mask = mgf1(masked_db, DIGEST_LEN);
+        let seed: Vec<u8> = masked_seed
+            .iter()
+            .zip(&seed_mask)
+            .map(|(a, b)| a ^ b)
+            .collect();
+        let db_mask = mgf1(&seed, masked_db.len());
+        let db: Vec<u8> = masked_db
+            .iter()
+            .zip(&db_mask)
+            .map(|(a, b)| a ^ b)
+            .collect();
+
+        if db[..DIGEST_LEN] != empty_label_hash() {
+            return Err(CryptoError::PaddingError);
+        }
+        // Skip zero padding, expect a 0x01 separator, rest is the message.
+        let rest = &db[DIGEST_LEN..];
+        let sep = rest
+            .iter()
+            .position(|&b| b != 0)
+            .ok_or(CryptoError::PaddingError)?;
+        if rest[sep] != 0x01 {
+            return Err(CryptoError::PaddingError);
+        }
+        Ok(rest[sep + 1..].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_keys::{pair768, pair768_b};
+    use super::*;
+    use crate::drbg::Drbg;
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let pair = pair768();
+        let mut rng = Drbg::from_seed(20);
+        let max = pair.public().max_plaintext_len();
+        for len in [0usize, 1, 16, max / 2, max] {
+            let msg: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let ct = pair.public().encrypt(&msg, &mut rng).unwrap();
+            assert_eq!(ct.len(), pair.public().block_len());
+            assert_eq!(pair.decrypt(&ct).unwrap(), msg, "len={len}");
+        }
+    }
+
+    #[test]
+    fn oversize_message_rejected_like_openssl() {
+        // Mirrors the paper's Section V-D observation: the aux-key path
+        // does not fit one block.
+        let pair = pair768();
+        let mut rng = Drbg::from_seed(21);
+        let max = pair.public().max_plaintext_len();
+        let msg = vec![0u8; max + 1];
+        match pair.public().encrypt(&msg, &mut rng) {
+            Err(CryptoError::MessageTooLong { len, max: m }) => {
+                assert_eq!(len, max + 1);
+                assert_eq!(m, max);
+            }
+            other => panic!("expected MessageTooLong, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn randomized_encryption() {
+        let pair = pair768();
+        let mut rng = Drbg::from_seed(22);
+        let c1 = pair.public().encrypt(b"same message", &mut rng).unwrap();
+        let c2 = pair.public().encrypt(b"same message", &mut rng).unwrap();
+        assert_ne!(c1, c2, "OAEP must be randomized");
+        assert_eq!(pair.decrypt(&c1).unwrap(), b"same message");
+        assert_eq!(pair.decrypt(&c2).unwrap(), b"same message");
+    }
+
+    #[test]
+    fn wrong_key_fails_padding() {
+        let mut rng = Drbg::from_seed(23);
+        let ct = pair768().public().encrypt(b"secret", &mut rng).unwrap();
+        assert!(matches!(
+            pair768_b().decrypt(&ct),
+            Err(CryptoError::PaddingError)
+        ));
+    }
+
+    #[test]
+    fn corrupted_ciphertext_fails() {
+        let pair = pair768();
+        let mut rng = Drbg::from_seed(24);
+        let mut ct = pair.public().encrypt(b"secret", &mut rng).unwrap();
+        ct[10] ^= 0x80;
+        assert!(pair.decrypt(&ct).is_err());
+    }
+
+    #[test]
+    fn wrong_length_ciphertext_rejected() {
+        let pair = pair768();
+        assert!(matches!(
+            pair.decrypt(&[0u8; 10]),
+            Err(CryptoError::InvalidCiphertextLength { len: 10, .. })
+        ));
+    }
+
+    #[test]
+    fn mgf1_deterministic_and_sized() {
+        let m1 = mgf1(b"seed", 100);
+        let m2 = mgf1(b"seed", 100);
+        assert_eq!(m1, m2);
+        assert_eq!(m1.len(), 100);
+        assert_ne!(mgf1(b"seed2", 100), m1);
+        assert_eq!(mgf1(b"x", 0).len(), 0);
+    }
+
+    #[test]
+    fn max_plaintext_matches_paper_shape() {
+        // For a 2048-bit key the paper reports 215 usable bytes (SHA-1
+        // OAEP); with SHA-256 the same formula k - 2*hLen - 2 gives 190.
+        // At our 768-bit test size: 96 - 64 - 2 = 30.
+        let k = pair768().public().block_len();
+        assert_eq!(k, 96);
+        assert_eq!(
+            pair768().public().max_plaintext_len(),
+            k - 2 * DIGEST_LEN - 2
+        );
+        assert_eq!(pair768().public().max_plaintext_len(), 30);
+    }
+}

@@ -1,0 +1,140 @@
+//! RSASSA signatures: SHA-256 hash-then-sign with PKCS#1 v1.5 layout.
+//!
+//! Mykil signs key-update multicasts and the registration-server /
+//! area-controller handshake messages (`Sig_Prv_rs`, `Sig_Prv_ac` in
+//! Figures 3 and 7) with exactly this construction.
+
+use super::{RsaKeyPair, RsaPublicKey};
+use crate::bignum::BigUint;
+use crate::sha256::{Sha256, DIGEST_LEN};
+
+/// DER prefix of the `DigestInfo` structure for SHA-256
+/// (RFC 8017 §9.2 note 1).
+const SHA256_DIGEST_INFO: [u8; 19] = [
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
+    0x05, 0x00, 0x04, 0x20,
+];
+
+/// Builds the EMSA-PKCS1-v1_5 encoded message for `digest`.
+fn emsa_encode(digest: &[u8; DIGEST_LEN], k: usize) -> Vec<u8> {
+    // EM = 0x00 0x01 PS(0xff...) 0x00 DigestInfo digest
+    let t_len = SHA256_DIGEST_INFO.len() + DIGEST_LEN;
+    debug_assert!(k >= t_len + 11, "modulus too small for signature");
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(k - t_len - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(&SHA256_DIGEST_INFO);
+    em.extend_from_slice(digest);
+    em
+}
+
+impl RsaKeyPair {
+    /// Signs `message`, returning a `block_len()`-byte signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus is too small to hold the encoded digest
+    /// (impossible for the ≥256-bit keys [`RsaKeyPair::generate`]
+    /// produces).
+    pub fn sign(&self, message: &[u8]) -> Vec<u8> {
+        let digest = Sha256::digest(message);
+        let k = self.public().block_len();
+        let em = emsa_encode(&digest, k);
+        let m_int = BigUint::from_bytes_be(&em);
+        let s_int = self
+            .raw_private_op(&m_int)
+            .expect("encoded message below modulus");
+        s_int
+            .to_bytes_be_padded(k)
+            .expect("signature fits block length")
+    }
+}
+
+impl RsaPublicKey {
+    /// Verifies a signature produced by [`RsaKeyPair::sign`].
+    ///
+    /// Returns `false` for any malformed, truncated, or forged input;
+    /// never panics on attacker-controlled bytes.
+    pub fn verify(&self, message: &[u8], signature: &[u8]) -> bool {
+        let k = self.block_len();
+        if signature.len() != k {
+            return false;
+        }
+        let s_int = BigUint::from_bytes_be(signature);
+        let m_int = match self.raw_public_op(&s_int) {
+            Ok(m) => m,
+            Err(_) => return false,
+        };
+        let em = match m_int.to_bytes_be_padded(k) {
+            Ok(em) => em,
+            Err(_) => return false,
+        };
+        let digest = Sha256::digest(message);
+        // Reconstruct the expected encoding and compare in full, which
+        // avoids the classic BER-parsing forgery pitfalls.
+        em == emsa_encode(&digest, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_keys::{pair768, pair768_b};
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let pair = pair768();
+        let sig = pair.sign(b"key update #42");
+        assert_eq!(sig.len(), pair.public().block_len());
+        assert!(pair.public().verify(b"key update #42", &sig));
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let pair = pair768();
+        assert_eq!(pair.sign(b"m"), pair.sign(b"m"));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let pair = pair768();
+        let sig = pair.sign(b"original");
+        assert!(!pair.public().verify(b"0riginal", &sig));
+        assert!(!pair.public().verify(b"", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let pair = pair768();
+        let mut sig = pair.sign(b"msg");
+        sig[0] ^= 1;
+        assert!(!pair.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sig = pair768().sign(b"msg");
+        assert!(!pair768_b().public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn garbage_inputs_do_not_panic() {
+        let pk = pair768().public();
+        assert!(!pk.verify(b"msg", &[]));
+        assert!(!pk.verify(b"msg", &[0u8; 5]));
+        assert!(!pk.verify(b"msg", &vec![0xffu8; pk.block_len()]));
+        assert!(!pk.verify(b"msg", &vec![0u8; pk.block_len() + 1]));
+    }
+
+    #[test]
+    fn emsa_layout() {
+        let digest = Sha256::digest(b"x");
+        let em = emsa_encode(&digest, 96);
+        assert_eq!(em.len(), 96);
+        assert_eq!(&em[..2], &[0x00, 0x01]);
+        assert_eq!(em[96 - DIGEST_LEN - SHA256_DIGEST_INFO.len() - 1], 0x00);
+        assert_eq!(&em[96 - DIGEST_LEN..], &digest);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the symmetric primitives and envelopes.
+
+use mykil_crypto::drbg::Drbg;
+use mykil_crypto::envelope::{open, seal, ENVELOPE_OVERHEAD};
+use mykil_crypto::hmac::{hmac_sha256, verify_hmac};
+use mykil_crypto::keys::SymmetricKey;
+use mykil_crypto::rc4::Rc4;
+use mykil_crypto::sha256::Sha256;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn rc4_round_trips(key in proptest::collection::vec(any::<u8>(), 1..64),
+                       data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let ct = Rc4::process(&key, &data);
+        prop_assert_eq!(Rc4::process(&key, &ct), data);
+    }
+
+    #[test]
+    fn rc4_streaming_consistent(
+        key in proptest::collection::vec(any::<u8>(), 1..32),
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        split in 0usize..256,
+    ) {
+        let split = split % data.len();
+        let mut streamed = data.clone();
+        let mut c = Rc4::new(&key);
+        let (a, b) = streamed.split_at_mut(split);
+        c.apply_keystream(a);
+        c.apply_keystream(b);
+        prop_assert_eq!(streamed, Rc4::process(&key, &data));
+    }
+
+    #[test]
+    fn sha256_incremental_agrees(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        split in 0usize..300,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn hmac_verifies_own_tags(
+        key in proptest::collection::vec(any::<u8>(), 0..100),
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let tag = hmac_sha256(&key, &msg);
+        prop_assert!(verify_hmac(&key, &msg, &tag));
+    }
+
+    #[test]
+    fn hmac_rejects_bit_flips(
+        key in proptest::collection::vec(any::<u8>(), 1..32),
+        msg in proptest::collection::vec(any::<u8>(), 1..64),
+        flip_byte in 0usize..64,
+        flip_bit in 0u8..8,
+    ) {
+        let tag = hmac_sha256(&key, &msg);
+        let mut bad = msg.clone();
+        let idx = flip_byte % bad.len();
+        bad[idx] ^= 1 << flip_bit;
+        prop_assert!(!verify_hmac(&key, &bad, &tag));
+    }
+
+    #[test]
+    fn envelope_round_trips(
+        key_bytes in any::<[u8; 16]>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..400),
+        seed in any::<u64>(),
+    ) {
+        let key = SymmetricKey::from_bytes(key_bytes);
+        let mut rng = Drbg::from_seed(seed);
+        let env = seal(&key, &payload, &mut rng);
+        prop_assert_eq!(env.len(), payload.len() + ENVELOPE_OVERHEAD);
+        prop_assert_eq!(open(&key, &env).unwrap(), payload);
+    }
+
+    #[test]
+    fn envelope_rejects_other_keys(
+        k1 in any::<[u8; 16]>(),
+        k2 in any::<[u8; 16]>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k1 != k2);
+        let mut rng = Drbg::from_seed(seed);
+        let env = seal(&SymmetricKey::from_bytes(k1), &payload, &mut rng);
+        prop_assert!(open(&SymmetricKey::from_bytes(k2), &env).is_err());
+    }
+
+    #[test]
+    fn drbg_reproducible(seed in any::<u64>()) {
+        use rand::RngCore;
+        let mut a = Drbg::from_seed(seed);
+        let mut b = Drbg::from_seed(seed);
+        let mut buf_a = [0u8; 48];
+        let mut buf_b = [0u8; 48];
+        a.fill_bytes(&mut buf_a);
+        b.fill_bytes(&mut buf_b);
+        prop_assert_eq!(buf_a, buf_b);
+    }
+}

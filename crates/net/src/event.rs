@@ -1,0 +1,145 @@
+//! The event queue: a binary heap of timestamped events with a FIFO
+//! tiebreaker so simultaneous events preserve insertion order (this is
+//! what makes runs deterministic).
+
+use crate::id::NodeId;
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// Deliver message bytes from `from` to the destination node.
+    Deliver {
+        from: NodeId,
+        bytes: Vec<u8>,
+        kind: &'static str,
+    },
+    /// Fire a timer with the given tag (cancelled if `token_cancelled`).
+    Timer { tag: u64, token: u64 },
+    /// Invoke `on_start` for a node added while the simulation runs.
+    Start,
+}
+
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub at: Time,
+    pub seq: u64,
+    pub dst: NodeId,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (then lowest seq)
+        // pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic priority queue of simulation events.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, at: Time, dst: NodeId, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, dst, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(q: &mut EventQueue, at_us: u64, tag: u64) {
+        q.push(
+            Time::from_micros(at_us),
+            NodeId::from_index(0),
+            EventKind::Timer { tag, token: 0 },
+        );
+    }
+
+    fn pop_tag(q: &mut EventQueue) -> u64 {
+        match q.pop().unwrap().kind {
+            EventKind::Timer { tag, .. } => tag,
+            _ => panic!("expected timer"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        ev(&mut q, 30, 3);
+        ev(&mut q, 10, 1);
+        ev(&mut q, 20, 2);
+        assert_eq!(pop_tag(&mut q), 1);
+        assert_eq!(pop_tag(&mut q), 2);
+        assert_eq!(pop_tag(&mut q), 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        for tag in 0..50 {
+            ev(&mut q, 100, tag);
+        }
+        for tag in 0..50 {
+            assert_eq!(pop_tag(&mut q), tag);
+        }
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        ev(&mut q, 42, 0);
+        ev(&mut q, 7, 1);
+        assert_eq!(q.peek_time(), Some(Time::from_micros(7)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

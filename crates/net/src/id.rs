@@ -1,0 +1,80 @@
+//! Node and multicast-group identifiers.
+
+use std::fmt;
+
+/// Identifier of a simulated node (registration server, area controller,
+/// group member, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index (stable for the lifetime of the simulator).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a raw index.
+    ///
+    /// Only meaningful for ids previously produced by the same
+    /// [`Simulator`](crate::Simulator); mainly useful for serializing
+    /// node references inside protocol messages.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a multicast group managed by the simulator.
+///
+/// Mykil uses one multicast group per area (for area-internal key
+/// updates and data) — see Figure 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub(crate) u32);
+
+impl GroupId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `GroupId` from a raw index (see [`NodeId::from_index`]).
+    pub fn from_index(index: usize) -> GroupId {
+        GroupId(index as u32)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_index() {
+        let n = NodeId::from_index(17);
+        assert_eq!(n.index(), 17);
+        assert_eq!(NodeId::from_index(n.index()), n);
+        let g = GroupId::from_index(3);
+        assert_eq!(g.index(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId::from_index(5).to_string(), "n5");
+        assert_eq!(GroupId::from_index(2).to_string(), "g2");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+}

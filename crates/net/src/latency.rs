@@ -1,0 +1,116 @@
+//! Link latency model.
+//!
+//! The paper's testbed was a LAN of Pentium-III workstations; we model a
+//! link as `base + per_byte·len + jitter`, with jitter drawn uniformly
+//! from `[0, jitter]` using the simulator's deterministic RNG.
+
+use crate::time::Duration;
+use mykil_crypto::drbg::Drbg;
+
+/// Deterministic latency model applied to every delivery.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Fixed propagation + protocol-stack delay per message.
+    pub base: Duration,
+    /// Transmission delay per payload byte (models link bandwidth).
+    pub per_byte_ns: u64,
+    /// Maximum uniform jitter added on top.
+    pub jitter: Duration,
+}
+
+impl LatencyModel {
+    /// A LAN-like model: 200 µs base, ~100 Mbit/s (80 ns/byte), 50 µs
+    /// jitter. Approximates the paper's testbed.
+    pub fn lan() -> Self {
+        LatencyModel {
+            base: Duration::from_micros(200),
+            per_byte_ns: 80,
+            jitter: Duration::from_micros(50),
+        }
+    }
+
+    /// A WAN-like model: 20 ms base, ~10 Mbit/s, 2 ms jitter. Used for
+    /// the mobility experiments where members roam across sites.
+    pub fn wan() -> Self {
+        LatencyModel {
+            base: Duration::from_millis(20),
+            per_byte_ns: 800,
+            jitter: Duration::from_millis(2),
+        }
+    }
+
+    /// Zero-latency instant delivery (pure algorithm benchmarks).
+    pub fn instant() -> Self {
+        LatencyModel {
+            base: Duration::ZERO,
+            per_byte_ns: 0,
+            jitter: Duration::ZERO,
+        }
+    }
+
+    /// Samples the delivery delay for a message of `len` bytes.
+    pub fn sample(&self, len: usize, rng: &mut Drbg) -> Duration {
+        let tx = Duration::from_micros(self.per_byte_ns.saturating_mul(len as u64) / 1000);
+        let jitter_us = self.jitter.as_micros();
+        let jitter = if jitter_us == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(rng.gen_range(jitter_us + 1))
+        };
+        self.base + tx + jitter
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_is_zero() {
+        let mut rng = Drbg::from_seed(1);
+        let m = LatencyModel::instant();
+        assert_eq!(m.sample(10_000, &mut rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn lan_within_bounds() {
+        let mut rng = Drbg::from_seed(2);
+        let m = LatencyModel::lan();
+        for _ in 0..100 {
+            let d = m.sample(1000, &mut rng);
+            // base 200us + tx 80us <= d <= + jitter 50us
+            assert!(d >= Duration::from_micros(280), "{d:?}");
+            assert!(d <= Duration::from_micros(330), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn bigger_messages_take_longer() {
+        let mut rng = Drbg::from_seed(3);
+        let m = LatencyModel {
+            base: Duration::from_micros(100),
+            per_byte_ns: 1000,
+            jitter: Duration::ZERO,
+        };
+        let small = m.sample(100, &mut rng);
+        let large = m.sample(10_000, &mut rng);
+        assert!(large > small);
+        assert_eq!(large.as_micros() - small.as_micros(), 9_900);
+    }
+
+    #[test]
+    fn deterministic_given_same_rng_state() {
+        let m = LatencyModel::wan();
+        let mut r1 = Drbg::from_seed(4);
+        let mut r2 = Drbg::from_seed(4);
+        for len in [0usize, 1, 500, 65_536] {
+            assert_eq!(m.sample(len, &mut r1), m.sample(len, &mut r2));
+        }
+    }
+}

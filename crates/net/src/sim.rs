@@ -1,0 +1,830 @@
+//! The simulator core: node table, event loop, and failure injection.
+
+use crate::context::{Action, Context};
+use crate::event::{Event, EventKind, EventQueue};
+use crate::id::{GroupId, NodeId};
+use crate::latency::LatencyModel;
+use crate::stats::Stats;
+use crate::time::{Duration, Time};
+use crate::topology::Topology;
+use crate::trace::{Trace, TraceEvent};
+use mykil_crypto::drbg::Drbg;
+use std::any::Any;
+use std::collections::HashSet;
+
+/// A simulated process. Implementors are area controllers, registration
+/// servers, group members, or baseline-protocol nodes.
+///
+/// All callbacks receive a [`Context`] through which every effect (send,
+/// multicast, timer, group membership) is expressed.
+pub trait Node: Any {
+    /// Called once when the node is added to the simulation.
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called when a message addressed to this node arrives.
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _tag: u64) {}
+}
+
+/// Deterministic discrete-event simulator.
+///
+/// See the [crate docs](crate) for an overview and example.
+pub struct Simulator {
+    nodes: Vec<Option<Box<dyn Node>>>,
+    queue: EventQueue,
+    topo: Topology,
+    groups: Vec<HashSet<NodeId>>,
+    stats: Stats,
+    rng: Drbg,
+    now: Time,
+    latency: LatencyModel,
+    cancelled: HashSet<u64>,
+    next_token: u64,
+    events_processed: u64,
+    trace: Option<Trace>,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with LAN latency and the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_latency(seed, LatencyModel::lan())
+    }
+
+    /// Creates a simulator with an explicit latency model.
+    pub fn with_latency(seed: u64, latency: LatencyModel) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            queue: EventQueue::new(),
+            topo: Topology::new(),
+            groups: Vec::new(),
+            stats: Stats::new(),
+            rng: Drbg::from_seed(seed),
+            now: Time::ZERO,
+            latency,
+            cancelled: HashSet::new(),
+            next_token: 0,
+            events_processed: 0,
+            trace: None,
+        }
+    }
+
+    /// Adds a node; its [`Node::on_start`] runs at the current time.
+    pub fn add_node<N: Node>(&mut self, node: N) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(Box::new(node)));
+        self.queue.push(self.now, id, EventKind::Start);
+        id
+    }
+
+    /// Creates an empty multicast group.
+    pub fn create_group(&mut self) -> GroupId {
+        let id = GroupId(self.groups.len() as u32);
+        self.groups.push(HashSet::new());
+        id
+    }
+
+    /// Current members of a multicast group.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a `GroupId` not created by this simulator.
+    pub fn group_members(&self, group: GroupId) -> &HashSet<NodeId> {
+        &self.groups[group.index()]
+    }
+
+    /// Adds a member to a group directly (harness convenience; nodes use
+    /// [`Context::join_group`]).
+    pub fn add_group_member(&mut self, group: GroupId, node: NodeId) {
+        self.groups[group.index()].insert(node);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Mutable access to statistics (e.g. to [`Stats::reset`] between
+    /// measurement phases).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Number of events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Starts recording an event trace, keeping the most recent
+    /// `capacity` events (see [`TraceEvent`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The recorded trace events, oldest first (empty when tracing is
+    /// off).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace
+            .as_ref()
+            .map(|t| t.events().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total events recorded since tracing was enabled (including ones
+    /// evicted from the bounded buffer).
+    pub fn trace_recorded(&self) -> u64 {
+        self.trace.as_ref().map(|t| t.recorded()).unwrap_or(0)
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.push(event);
+        }
+    }
+
+    // ---- failure injection (Section IV fault model) ----
+
+    /// Moves `node` into partition `label`; nodes communicate only
+    /// within the same label (0 = default partition).
+    pub fn partition(&mut self, node: NodeId, label: u32) {
+        self.topo.set_partition(node, label);
+    }
+
+    /// Heals all partitions.
+    pub fn heal_partitions(&mut self) {
+        self.topo.heal_partitions();
+    }
+
+    /// Crashes a node: it stops sending and receiving. Pending timers
+    /// still fire after a restart (crash-recovery keeps state; use a
+    /// fresh node for crash-stop semantics).
+    pub fn crash(&mut self, node: NodeId) {
+        self.topo.crash(node);
+    }
+
+    /// Restarts a crashed node.
+    pub fn restart(&mut self, node: NodeId) {
+        self.topo.restart(node);
+    }
+
+    /// Whether the node is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.topo.is_crashed(node)
+    }
+
+    /// Cuts the directed link `from -> to`.
+    pub fn cut_link(&mut self, from: NodeId, to: NodeId) {
+        self.topo.cut_link(from, to);
+    }
+
+    /// Restores the directed link `from -> to`.
+    pub fn restore_link(&mut self, from: NodeId, to: NodeId) {
+        self.topo.restore_link(from, to);
+    }
+
+    /// Sets uniform message loss in permille (0–1000).
+    pub fn set_loss_per_mille(&mut self, per_mille: u32) {
+        self.topo.set_loss_per_mille(per_mille);
+    }
+
+    // ---- node access ----
+
+    /// Immutable access to a node downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is stale or the type does not match.
+    pub fn node<N: Node>(&self, id: NodeId) -> &N {
+        let any: &dyn Any = self.nodes[id.index()]
+            .as_deref()
+            .expect("node is mid-callback");
+        any.downcast_ref::<N>().expect("node type mismatch")
+    }
+
+    /// Mutable access to a node downcast to its concrete type.
+    ///
+    /// Prefer [`Self::invoke`] when the mutation needs to send messages
+    /// or set timers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is stale or the type does not match.
+    pub fn node_mut<N: Node>(&mut self, id: NodeId) -> &mut N {
+        let any: &mut dyn Any = self.nodes[id.index()]
+            .as_deref_mut()
+            .expect("node is mid-callback");
+        any.downcast_mut::<N>().expect("node type mismatch")
+    }
+
+    /// Runs a closure against a node with a full [`Context`], applying
+    /// any effects it produces. This is how test harnesses trigger
+    /// protocol actions ("member 7: start a rejoin now").
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is stale or the type does not match.
+    pub fn invoke<N: Node, T>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut N, &mut Context<'_>) -> T,
+    ) -> T {
+        let mut boxed = self.nodes[id.index()]
+            .take()
+            .expect("node is mid-callback");
+        let mut ctx = Context {
+            now: self.now,
+            self_id: id,
+            rng: &mut self.rng,
+            stats: &mut self.stats,
+            actions: Vec::new(),
+            compute: Duration::ZERO,
+            next_token: &mut self.next_token,
+        };
+        let any: &mut dyn Any = boxed.as_mut();
+        let node = any.downcast_mut::<N>().expect("node type mismatch");
+        let out = f(node, &mut ctx);
+        let actions = std::mem::take(&mut ctx.actions);
+        self.nodes[id.index()] = Some(boxed);
+        self.apply_actions(id, actions);
+        out
+    }
+
+    // ---- event loop ----
+
+    /// Processes events until the queue is empty or `deadline` passes;
+    /// time ends at `deadline`.
+    pub fn run_until(&mut self, deadline: Time) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for a span of virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Processes events until the queue drains (the network goes quiet),
+    /// up to a safety cap of `max` events.
+    ///
+    /// Returns `true` when the queue drained, `false` when the cap hit
+    /// (e.g. periodic timers keep the queue non-empty forever).
+    pub fn run_until_quiet(&mut self, max: u64) -> bool {
+        for _ in 0..max {
+            if self.queue.is_empty() {
+                return true;
+            }
+            self.step();
+        }
+        self.queue.is_empty()
+    }
+
+    /// Processes a single event. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "event queue went backwards");
+        self.now = event.at;
+        self.events_processed += 1;
+        self.dispatch(event);
+        true
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        let Event { dst, kind, .. } = event;
+        // Drop deliveries/timers for crashed nodes (messages in flight
+        // to a node that crashed are lost, like a closed TCP socket).
+        match &kind {
+            EventKind::Deliver {
+                from, kind: mkind, ..
+            } if self.topo.is_crashed(dst) => {
+                let (from, mkind) = (*from, *mkind);
+                self.record(TraceEvent::Dropped {
+                    at: self.now,
+                    from,
+                    to: dst,
+                    kind: mkind,
+                    reason: crate::trace::DropReason::Crashed,
+                });
+                return;
+            }
+            EventKind::Timer { token, .. } => {
+                if self.cancelled.remove(token) {
+                    return;
+                }
+                if self.topo.is_crashed(dst) {
+                    return;
+                }
+            }
+            _ => {}
+        }
+        let Some(mut boxed) = self.nodes[dst.index()].take() else {
+            return;
+        };
+        let mut ctx = Context {
+            now: self.now,
+            self_id: dst,
+            rng: &mut self.rng,
+            stats: &mut self.stats,
+            actions: Vec::new(),
+            compute: Duration::ZERO,
+            next_token: &mut self.next_token,
+        };
+        let trace_note = match &kind {
+            EventKind::Deliver {
+                from, bytes, kind: mkind,
+            } => Some(TraceEvent::Delivered {
+                at: self.now,
+                from: *from,
+                to: dst,
+                kind: mkind,
+                len: bytes.len(),
+            }),
+            EventKind::Timer { tag, .. } => Some(TraceEvent::TimerFired {
+                at: self.now,
+                node: dst,
+                tag: *tag,
+            }),
+            EventKind::Start => None,
+        };
+        match kind {
+            EventKind::Deliver { from, bytes, .. } => boxed.on_message(&mut ctx, from, &bytes),
+            EventKind::Timer { tag, .. } => boxed.on_timer(&mut ctx, tag),
+            EventKind::Start => boxed.on_start(&mut ctx),
+        }
+        let actions = std::mem::take(&mut ctx.actions);
+        self.nodes[dst.index()] = Some(boxed);
+        if let Some(note) = trace_note {
+            self.record(note);
+        }
+        self.apply_actions(dst, actions);
+    }
+
+    fn apply_actions(&mut self, src: NodeId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send {
+                    to,
+                    kind,
+                    bytes,
+                    after,
+                } => {
+                    self.stats.record_send(kind, bytes.len(), 1);
+                    match self.topo.delivery_verdict(src, to, &mut self.rng) {
+                        Ok(()) => {
+                            let delay = self.latency.sample(bytes.len(), &mut self.rng);
+                            self.queue.push(
+                                self.now + after + delay,
+                                to,
+                                EventKind::Deliver { from: src, bytes, kind },
+                            );
+                        }
+                        Err(reason) => self.record(TraceEvent::Dropped {
+                            at: self.now,
+                            from: src,
+                            to,
+                            kind,
+                            reason,
+                        }),
+                    }
+                }
+                Action::Multicast {
+                    group,
+                    kind,
+                    bytes,
+                    after,
+                } => {
+                    let members: Vec<NodeId> = {
+                        let mut m: Vec<NodeId> = self.groups[group.index()]
+                            .iter()
+                            .copied()
+                            .filter(|&n| n != src)
+                            .collect();
+                        m.sort_unstable(); // determinism: HashSet order varies
+                        m
+                    };
+                    self.stats.record_send(kind, bytes.len(), members.len());
+                    for to in members {
+                        match self.topo.delivery_verdict(src, to, &mut self.rng) {
+                            Ok(()) => {
+                                let delay = self.latency.sample(bytes.len(), &mut self.rng);
+                                self.queue.push(
+                                    self.now + after + delay,
+                                    to,
+                                    EventKind::Deliver {
+                                        from: src,
+                                        bytes: bytes.clone(),
+                                        kind,
+                                    },
+                                );
+                            }
+                            Err(reason) => self.record(TraceEvent::Dropped {
+                                at: self.now,
+                                from: src,
+                                to,
+                                kind,
+                                reason,
+                            }),
+                        }
+                    }
+                }
+                Action::SetTimer {
+                    delay,
+                    tag,
+                    token,
+                    after,
+                } => {
+                    self.queue.push(
+                        self.now + after + delay,
+                        src,
+                        EventKind::Timer { tag, token },
+                    );
+                }
+                Action::CancelTimer { token } => {
+                    self.cancelled.insert(token);
+                }
+                Action::JoinGroup { group } => {
+                    self.groups[group.index()].insert(src);
+                }
+                Action::LeaveGroup { group } => {
+                    self.groups[group.index()].remove(&src);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts messages and echoes pings.
+    struct Echo {
+        received: u32,
+    }
+
+    impl Node for Echo {
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+            self.received += 1;
+            if bytes == b"ping" {
+                ctx.send(from, "pong", b"pong".to_vec());
+            }
+        }
+    }
+
+    struct Pinger {
+        target: NodeId,
+        pongs: u32,
+        pong_time: Option<Time>,
+    }
+
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send(self.target, "ping", b"ping".to_vec());
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_>, _from: NodeId, bytes: &[u8]) {
+            if bytes == b"pong" {
+                self.pongs += 1;
+                self.pong_time = Some(ctx.now());
+            }
+        }
+    }
+
+    fn ping_pong_sim(seed: u64) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(seed);
+        let echo = sim.add_node(Echo { received: 0 });
+        let pinger = sim.add_node(Pinger {
+            target: echo,
+            pongs: 0,
+            pong_time: None,
+        });
+        (sim, echo, pinger)
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let (mut sim, echo, pinger) = ping_pong_sim(1);
+        sim.run_until(Time::from_millis(100));
+        assert_eq!(sim.node::<Echo>(echo).received, 1);
+        assert_eq!(sim.node::<Pinger>(pinger).pongs, 1);
+        // Two LAN hops: at least 2 * 200us.
+        let t = sim.node::<Pinger>(pinger).pong_time.unwrap();
+        assert!(t >= Time::from_micros(400));
+        assert!(t <= Time::from_millis(2));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (mut s1, _, p1) = ping_pong_sim(7);
+        let (mut s2, _, p2) = ping_pong_sim(7);
+        s1.run_until(Time::from_millis(10));
+        s2.run_until(Time::from_millis(10));
+        assert_eq!(
+            s1.node::<Pinger>(p1).pong_time,
+            s2.node::<Pinger>(p2).pong_time
+        );
+        assert_eq!(s1.events_processed(), s2.events_processed());
+    }
+
+    #[test]
+    fn stats_account_sends() {
+        let (mut sim, _, _) = ping_pong_sim(2);
+        sim.run_until(Time::from_millis(10));
+        assert_eq!(sim.stats().kind("ping").messages_sent, 1);
+        assert_eq!(sim.stats().kind("ping").bytes_sent, 4);
+        assert_eq!(sim.stats().kind("pong").messages_sent, 1);
+    }
+
+    #[test]
+    fn crash_blocks_delivery() {
+        let (mut sim, echo, pinger) = ping_pong_sim(3);
+        sim.crash(echo);
+        sim.run_until(Time::from_millis(10));
+        assert_eq!(sim.node::<Echo>(echo).received, 0);
+        assert_eq!(sim.node::<Pinger>(pinger).pongs, 0);
+        // Bytes are still counted as sent (transmission attempted).
+        assert_eq!(sim.stats().kind("ping").messages_sent, 1);
+    }
+
+    #[test]
+    fn partition_blocks_then_heals() {
+        let (mut sim, echo, pinger) = ping_pong_sim(4);
+        sim.partition(echo, 1);
+        sim.run_until(Time::from_millis(10));
+        assert_eq!(sim.node::<Pinger>(pinger).pongs, 0);
+        sim.heal_partitions();
+        // Re-trigger a ping via invoke.
+        let target = echo;
+        sim.invoke(pinger, |p: &mut Pinger, ctx| {
+            ctx.send(target, "ping", b"ping".to_vec());
+            p.pongs = 0;
+        });
+        sim.run_until(Time::from_millis(20));
+        assert_eq!(sim.node::<Pinger>(pinger).pongs, 1);
+    }
+
+    struct Ticker {
+        fired: Vec<u64>,
+        cancel_me: Option<crate::context::TimerToken>,
+    }
+
+    impl Node for Ticker {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(Duration::from_millis(5), 1);
+            let tok = ctx.set_timer(Duration::from_millis(10), 2);
+            ctx.set_timer(Duration::from_millis(15), 3);
+            self.cancel_me = Some(tok);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _bytes: &[u8]) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+            self.fired.push(tag);
+            if tag == 1 {
+                if let Some(tok) = self.cancel_me.take() {
+                    ctx.cancel_timer(tok);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel() {
+        let mut sim = Simulator::new(5);
+        let t = sim.add_node(Ticker {
+            fired: Vec::new(),
+            cancel_me: None,
+        });
+        sim.run_until(Time::from_millis(100));
+        assert_eq!(sim.node::<Ticker>(t).fired, vec![1, 3]);
+    }
+
+    struct Caster {
+        group: GroupId,
+    }
+
+    impl Node for Caster {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.join_group(self.group);
+            ctx.set_timer(Duration::from_millis(1), 0);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _bytes: &[u8]) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+            ctx.multicast(self.group, "mc", vec![0xaa; 16]);
+        }
+    }
+
+    struct Listener {
+        group: GroupId,
+        got: u32,
+    }
+
+    impl Node for Listener {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.join_group(self.group);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _bytes: &[u8]) {
+            self.got += 1;
+        }
+    }
+
+    #[test]
+    fn multicast_reaches_members_not_sender() {
+        let mut sim = Simulator::new(6);
+        let g = sim.create_group();
+        let caster = sim.add_node(Caster { group: g });
+        let l1 = sim.add_node(Listener { group: g, got: 0 });
+        let l2 = sim.add_node(Listener { group: g, got: 0 });
+        let other_group = sim.create_group();
+        let outsider = sim.add_node(Listener {
+            group: other_group,
+            got: 0,
+        });
+        sim.run_until(Time::from_millis(50));
+        assert_eq!(sim.node::<Listener>(l1).got, 1);
+        assert_eq!(sim.node::<Listener>(l2).got, 1);
+        assert_eq!(sim.node::<Listener>(outsider).got, 0);
+        // Multicast accounted once as sent, twice as delivered... plus
+        // the sender itself is excluded.
+        let mc = sim.stats().kind("mc");
+        assert_eq!(mc.messages_sent, 1);
+        assert_eq!(mc.bytes_sent, 16);
+        assert_eq!(mc.messages_delivered, 2);
+        assert_eq!(mc.bytes_delivered, 32);
+        assert!(sim.group_members(g).contains(&caster));
+    }
+
+    #[test]
+    fn run_until_quiet_drains() {
+        let (mut sim, _, _) = ping_pong_sim(8);
+        assert!(sim.run_until_quiet(1000));
+        assert_eq!(sim.events_processed(), 4); // 2 starts + 2 deliveries
+    }
+
+    #[test]
+    fn cut_link_is_one_way() {
+        let (mut sim, echo, pinger) = ping_pong_sim(9);
+        sim.cut_link(NodeId::from_index(pinger.index()), echo);
+        sim.run_until(Time::from_millis(10));
+        assert_eq!(sim.node::<Echo>(echo).received, 0);
+        sim.restore_link(NodeId::from_index(pinger.index()), echo);
+        sim.invoke(pinger, |p: &mut Pinger, ctx| {
+            let t = p.target;
+            ctx.send(t, "ping", b"ping".to_vec());
+        });
+        sim.run_until(Time::from_millis(20));
+        assert_eq!(sim.node::<Echo>(echo).received, 1);
+    }
+
+    #[test]
+    fn compute_charge_delays_sends() {
+        struct Slow {
+            target: NodeId,
+        }
+        impl Node for Slow {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.charge_compute(Duration::from_millis(100));
+                ctx.send(self.target, "x", vec![1]);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _bytes: &[u8]) {}
+        }
+        struct Sink {
+            arrival: Option<Time>,
+        }
+        impl Node for Sink {
+            fn on_message(&mut self, ctx: &mut Context<'_>, _from: NodeId, _bytes: &[u8]) {
+                self.arrival = Some(ctx.now());
+            }
+        }
+        let mut sim = Simulator::new(10);
+        let sink = sim.add_node(Sink { arrival: None });
+        sim.add_node(Slow { target: sink });
+        sim.run_until(Time::from_secs(1));
+        let arrival = sim.node::<Sink>(sink).arrival.unwrap();
+        assert!(arrival >= Time::from_millis(100), "{arrival}");
+    }
+
+    #[test]
+    fn lossy_network_drops_some() {
+        let mut sim = Simulator::new(11);
+        let g = sim.create_group();
+        struct Blaster {
+            group: GroupId,
+        }
+        impl Node for Blaster {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.join_group(self.group);
+                for _ in 0..100 {
+                    ctx.multicast(self.group, "blast", vec![0; 8]);
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _bytes: &[u8]) {}
+        }
+        let listener = sim.add_node(Listener { group: g, got: 0 });
+        sim.add_node(Blaster { group: g });
+        sim.set_loss_per_mille(500);
+        sim.run_until(Time::from_secs(1));
+        let got = sim.node::<Listener>(listener).got;
+        assert!(got > 10 && got < 90, "got={got}");
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::trace::DropReason;
+
+    struct Silent;
+    impl Node for Silent {
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _bytes: &[u8]) {}
+    }
+
+    struct Chirper {
+        target: NodeId,
+    }
+    impl Node for Chirper {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send(self.target, "chirp", vec![1, 2, 3]);
+            ctx.set_timer(Duration::from_millis(1), 42);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _bytes: &[u8]) {}
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, _tag: u64) {}
+    }
+
+    #[test]
+    fn trace_records_delivery_and_timer() {
+        let mut sim = Simulator::new(1);
+        sim.enable_trace(100);
+        let sink = sim.add_node(Silent);
+        sim.add_node(Chirper { target: sink });
+        sim.run_until(Time::from_millis(10));
+        let events = sim.trace_events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Delivered { kind: "chirp", len: 3, .. }
+        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::TimerFired { tag: 42, .. })));
+        assert!(sim.trace_recorded() >= 2);
+    }
+
+    #[test]
+    fn trace_records_drop_reasons() {
+        let mut sim = Simulator::new(2);
+        sim.enable_trace(100);
+        let sink = sim.add_node(Silent);
+        let chirper = sim.add_node(Chirper { target: sink });
+        sim.partition(sink, 7);
+        sim.run_until(Time::from_millis(10));
+        assert!(sim.trace_events().iter().any(|e| matches!(
+            e,
+            TraceEvent::Dropped { reason: DropReason::Partitioned, .. }
+        )));
+        // A crashed receiver at delivery time is recorded too.
+        sim.heal_partitions();
+        sim.invoke(chirper, |c: &mut Chirper, ctx| {
+            let t = c.target;
+            ctx.send(t, "chirp", vec![9]);
+        });
+        sim.crash(sink);
+        sim.run_until(Time::from_millis(20));
+        assert!(sim.trace_events().iter().any(|e| matches!(
+            e,
+            TraceEvent::Dropped { reason: DropReason::Crashed, .. }
+        )));
+    }
+
+    #[test]
+    fn tracing_off_costs_nothing_visible() {
+        let mut sim = Simulator::new(3);
+        let sink = sim.add_node(Silent);
+        sim.add_node(Chirper { target: sink });
+        sim.run_until(Time::from_millis(10));
+        assert!(sim.trace_events().is_empty());
+        assert_eq!(sim.trace_recorded(), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Connectivity state: partitions, crashed nodes, and lossy links.
+//!
+//! Section IV of the paper considers exactly these failures: "network
+//! communication partitions or intermediate node/router crashes". The
+//! topology answers one question for the simulator: can a message from
+//! `a` reach `b` right now?
+
+use crate::id::NodeId;
+use crate::trace::DropReason;
+use mykil_crypto::drbg::Drbg;
+use std::collections::{HashMap, HashSet};
+
+/// Mutable connectivity state of the simulated network.
+#[derive(Debug, Default)]
+pub(crate) struct Topology {
+    /// Partition label per node; nodes talk only within one label.
+    /// Nodes absent from the map are in the default partition 0.
+    partition_of: HashMap<NodeId, u32>,
+    /// Crashed nodes neither send nor receive.
+    crashed: HashSet<NodeId>,
+    /// Directed links that silently drop everything.
+    cut_links: HashSet<(NodeId, NodeId)>,
+    /// Probability (in 1/1000) that any given message is dropped.
+    loss_per_mille: u32,
+}
+
+impl Topology {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves `node` into partition `label` (0 = the default partition).
+    pub fn set_partition(&mut self, node: NodeId, label: u32) {
+        if label == 0 {
+            self.partition_of.remove(&node);
+        } else {
+            self.partition_of.insert(node, label);
+        }
+    }
+
+    /// Heals all partitions.
+    pub fn heal_partitions(&mut self) {
+        self.partition_of.clear();
+    }
+
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed.insert(node);
+    }
+
+    pub fn restart(&mut self, node: NodeId) {
+        self.crashed.remove(&node);
+    }
+
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Cuts the directed link `from -> to`.
+    pub fn cut_link(&mut self, from: NodeId, to: NodeId) {
+        self.cut_links.insert((from, to));
+    }
+
+    /// Restores the directed link `from -> to`.
+    pub fn restore_link(&mut self, from: NodeId, to: NodeId) {
+        self.cut_links.remove(&(from, to));
+    }
+
+    /// Sets a uniform message-loss probability in permille (0–1000).
+    pub fn set_loss_per_mille(&mut self, per_mille: u32) {
+        self.loss_per_mille = per_mille.min(1000);
+    }
+
+    fn partition(&self, node: NodeId) -> u32 {
+        self.partition_of.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Decides whether a message sent now from `from` to `to` is
+    /// delivered. Consumes randomness only when lossy links are
+    /// configured, so loss-free runs stay byte-identical when the loss
+    /// knob is unused.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn delivers(&self, from: NodeId, to: NodeId, rng: &mut Drbg) -> bool {
+        self.delivery_verdict(from, to, rng).is_ok()
+    }
+
+    /// Like [`Self::delivers`], reporting *why* a message is dropped.
+    pub fn delivery_verdict(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        rng: &mut Drbg,
+    ) -> Result<(), DropReason> {
+        if self.is_crashed(from) || self.is_crashed(to) {
+            return Err(DropReason::Crashed);
+        }
+        if self.partition(from) != self.partition(to) {
+            return Err(DropReason::Partitioned);
+        }
+        if self.cut_links.contains(&(from, to)) {
+            return Err(DropReason::LinkCut);
+        }
+        if self.loss_per_mille > 0 && rng.gen_range(1000) < self.loss_per_mille as u64 {
+            return Err(DropReason::RandomLoss);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn default_everything_connected() {
+        let t = Topology::new();
+        let mut rng = Drbg::from_seed(1);
+        assert!(t.delivers(n(0), n(1), &mut rng));
+        assert!(t.delivers(n(1), n(0), &mut rng));
+    }
+
+    #[test]
+    fn partitions_split_and_heal() {
+        let mut t = Topology::new();
+        let mut rng = Drbg::from_seed(2);
+        t.set_partition(n(1), 1);
+        assert!(!t.delivers(n(0), n(1), &mut rng));
+        assert!(!t.delivers(n(1), n(0), &mut rng));
+        // Two nodes in the same non-default partition can talk.
+        t.set_partition(n(2), 1);
+        assert!(t.delivers(n(1), n(2), &mut rng));
+        t.heal_partitions();
+        assert!(t.delivers(n(0), n(1), &mut rng));
+    }
+
+    #[test]
+    fn moving_back_to_default_partition() {
+        let mut t = Topology::new();
+        let mut rng = Drbg::from_seed(3);
+        t.set_partition(n(1), 5);
+        assert!(!t.delivers(n(0), n(1), &mut rng));
+        t.set_partition(n(1), 0);
+        assert!(t.delivers(n(0), n(1), &mut rng));
+    }
+
+    #[test]
+    fn crash_blocks_both_directions() {
+        let mut t = Topology::new();
+        let mut rng = Drbg::from_seed(4);
+        t.crash(n(0));
+        assert!(t.is_crashed(n(0)));
+        assert!(!t.delivers(n(0), n(1), &mut rng));
+        assert!(!t.delivers(n(1), n(0), &mut rng));
+        t.restart(n(0));
+        assert!(t.delivers(n(0), n(1), &mut rng));
+    }
+
+    #[test]
+    fn cut_link_is_directional() {
+        let mut t = Topology::new();
+        let mut rng = Drbg::from_seed(5);
+        t.cut_link(n(0), n(1));
+        assert!(!t.delivers(n(0), n(1), &mut rng));
+        assert!(t.delivers(n(1), n(0), &mut rng));
+        t.restore_link(n(0), n(1));
+        assert!(t.delivers(n(0), n(1), &mut rng));
+    }
+
+    #[test]
+    fn loss_probability_drops_roughly_that_fraction() {
+        let mut t = Topology::new();
+        let mut rng = Drbg::from_seed(6);
+        t.set_loss_per_mille(500);
+        let delivered = (0..2000)
+            .filter(|_| t.delivers(n(0), n(1), &mut rng))
+            .count();
+        assert!((800..1200).contains(&delivered), "delivered={delivered}");
+        t.set_loss_per_mille(0);
+        assert!(t.delivers(n(0), n(1), &mut rng));
+    }
+
+    #[test]
+    fn loss_clamped_to_1000() {
+        let mut t = Topology::new();
+        let mut rng = Drbg::from_seed(7);
+        t.set_loss_per_mille(5000);
+        assert!(!t.delivers(n(0), n(1), &mut rng));
+    }
+}

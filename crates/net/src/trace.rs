@@ -1,0 +1,152 @@
+//! Event tracing: a bounded in-memory log of what the network did.
+//!
+//! Disabled by default (zero cost); enable with
+//! [`Simulator::enable_trace`](crate::Simulator::enable_trace) to record
+//! deliveries, drops, and timer firings — the first tool to reach for
+//! when a protocol test fails ("did the rekey multicast ever arrive?").
+
+use crate::id::NodeId;
+use crate::time::Time;
+use std::collections::VecDeque;
+
+/// Why a message did not reach its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Source or destination was crashed.
+    Crashed,
+    /// Endpoints were in different partitions.
+    Partitioned,
+    /// The directed link was cut.
+    LinkCut,
+    /// Random loss (lossy-network knob).
+    RandomLoss,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was handed to the destination node.
+    Delivered {
+        /// Virtual time of delivery.
+        at: Time,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Accounting kind of the message.
+        kind: &'static str,
+        /// Payload length in bytes.
+        len: usize,
+    },
+    /// A send was suppressed by the failure model.
+    Dropped {
+        /// Virtual time of the (attempted) send.
+        at: Time,
+        /// Sender.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Accounting kind of the message.
+        kind: &'static str,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+    /// A timer fired at a node.
+    TimerFired {
+        /// Virtual time.
+        at: Time,
+        /// The node whose timer fired.
+        node: NodeId,
+        /// The timer's tag.
+        tag: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The virtual time of the event.
+    pub fn at(&self) -> Time {
+        match self {
+            TraceEvent::Delivered { at, .. }
+            | TraceEvent::Dropped { at, .. }
+            | TraceEvent::TimerFired { at, .. } => *at,
+        }
+    }
+}
+
+/// Bounded event log (oldest events evicted first).
+#[derive(Debug)]
+pub(crate) struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    recorded: u64,
+}
+
+impl Trace {
+    pub fn new(capacity: usize) -> Trace {
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            recorded: 0,
+        }
+    }
+
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+        self.recorded += 1;
+    }
+
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delivered(at_us: u64) -> TraceEvent {
+        TraceEvent::Delivered {
+            at: Time::from_micros(at_us),
+            from: NodeId::from_index(0),
+            to: NodeId::from_index(1),
+            kind: "test",
+            len: 10,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.push(delivered(i));
+        }
+        let times: Vec<u64> = t.events().map(|e| e.at().as_micros()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(t.recorded(), 5);
+    }
+
+    #[test]
+    fn event_time_accessor() {
+        let e = TraceEvent::TimerFired {
+            at: Time::from_millis(7),
+            node: NodeId::from_index(2),
+            tag: 9,
+        };
+        assert_eq!(e.at(), Time::from_millis(7));
+        let d = TraceEvent::Dropped {
+            at: Time::from_millis(8),
+            from: NodeId::from_index(0),
+            to: NodeId::from_index(1),
+            kind: "x",
+            reason: DropReason::Partitioned,
+        };
+        assert_eq!(d.at(), Time::from_millis(8));
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for key-tree operations.
+
+use crate::MemberId;
+use std::fmt;
+
+/// Errors produced by [`KeyTree`](crate::KeyTree) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreeError {
+    /// The member is already associated with a leaf.
+    AlreadyMember(MemberId),
+    /// The member is not in this tree.
+    NotAMember(MemberId),
+    /// A batch contained the same member twice, or a member in both the
+    /// join and leave sets.
+    DuplicateInBatch(MemberId),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::AlreadyMember(m) => write!(f, "member {m} already in the tree"),
+            TreeError::NotAMember(m) => write!(f, "member {m} is not in the tree"),
+            TreeError::DuplicateInBatch(m) => {
+                write!(f, "member {m} appears more than once in the batch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_member() {
+        let e = TreeError::NotAMember(MemberId(7));
+        assert!(e.to_string().contains("m7"));
+        let e = TreeError::AlreadyMember(MemberId(1));
+        assert!(e.to_string().contains("m1"));
+        let e = TreeError::DuplicateInBatch(MemberId(2));
+        assert!(e.to_string().contains("m2"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync>(_e: E) {}
+        takes_err(TreeError::NotAMember(MemberId(0)));
+    }
+}

@@ -1,0 +1,220 @@
+//! Tree snapshots for area-controller replication.
+//!
+//! Section IV-C of the paper: a Mykil area controller is replicated with
+//! a primary-backup scheme, and the replicated state includes "the
+//! complete auxiliary tree". [`KeyTree::snapshot`] serializes exactly
+//! that state; [`KeyTree::restore`] rebuilds a tree a backup can take
+//! over with.
+
+use crate::tree::{KeyTree, TreeConfig};
+use crate::MemberId;
+use std::fmt;
+
+/// Error returned by [`KeyTree::restore`] on corrupt input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError(&'static str);
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt tree snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+const MAGIC: &[u8; 4] = b"MKT1";
+
+struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        let (&b, rest) = self.0.split_first().ok_or(SnapshotError("truncated"))?;
+        self.0 = rest;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        if self.0.len() < 8 {
+            return Err(SnapshotError("truncated"));
+        }
+        let (head, rest) = self.0.split_at(8);
+        self.0 = rest;
+        Ok(u64::from_be_bytes(head.try_into().unwrap()))
+    }
+
+    fn bytes16(&mut self) -> Result<[u8; 16], SnapshotError> {
+        if self.0.len() < 16 {
+            return Err(SnapshotError("truncated"));
+        }
+        let (head, rest) = self.0.split_at(16);
+        self.0 = rest;
+        Ok(head.try_into().unwrap())
+    }
+}
+
+impl KeyTree {
+    /// Serializes the complete tree (structure, keys, versions,
+    /// occupancy) for transfer to a backup controller.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.node_count() * 40 + 16);
+        out.extend_from_slice(MAGIC);
+        out.push(self.config().arity() as u8);
+        out.extend_from_slice(&(self.node_count() as u64).to_be_bytes());
+        for i in 0..self.node_count() {
+            let node = crate::tree::NodeIdx::from_raw(i);
+            let parent = self.parent_of(node);
+            out.extend_from_slice(
+                &(parent.map(|p| p.raw() as u64 + 1).unwrap_or(0)).to_be_bytes(),
+            );
+            out.extend_from_slice(self.key_of(node).as_bytes());
+            out.extend_from_slice(&self.version_of(node).to_be_bytes());
+            match self.occupant_of(node) {
+                Some(m) => {
+                    out.push(1);
+                    out.extend_from_slice(&m.0.to_be_bytes());
+                }
+                None => out.push(0),
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a tree from [`Self::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on truncated or malformed input.
+    pub fn restore(bytes: &[u8]) -> Result<KeyTree, SnapshotError> {
+        if bytes.len() < 4 || &bytes[..4] != MAGIC {
+            return Err(SnapshotError("bad magic"));
+        }
+        let mut r = Reader(&bytes[4..]);
+        let arity = r.u8()? as usize;
+        if !(2..=16).contains(&arity) {
+            return Err(SnapshotError("bad arity"));
+        }
+        let count = r.u64()? as usize;
+        if count == 0 {
+            return Err(SnapshotError("no root"));
+        }
+        let mut tree = KeyTree::restore_shell(TreeConfig::with_arity(arity), count);
+        for i in 0..count {
+            let parent_raw = r.u64()?;
+            let parent = if parent_raw == 0 {
+                None
+            } else {
+                let p = parent_raw as usize - 1;
+                if p >= i {
+                    return Err(SnapshotError("parent after child"));
+                }
+                Some(crate::tree::NodeIdx::from_raw(p))
+            };
+            if (parent.is_none()) != (i == 0) {
+                return Err(SnapshotError("root/parent mismatch"));
+            }
+            let key = r.bytes16()?;
+            let version = r.u64()?;
+            let occupant = match r.u8()? {
+                0 => None,
+                1 => Some(MemberId(r.u64()?)),
+                _ => return Err(SnapshotError("bad occupancy tag")),
+            };
+            tree.restore_node(i, parent, key, version, occupant)
+                .map_err(|_| SnapshotError("inconsistent node"))?;
+        }
+        if !r.0.is_empty() {
+            return Err(SnapshotError("trailing bytes"));
+        }
+        tree.rebuild_indices();
+        Ok(tree)
+    }
+}
+
+/// Internal restore plumbing lives on `KeyTree` in `tree.rs`; this
+/// module only owns the byte format.
+#[allow(unused)]
+fn _doc_anchor() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeConfig;
+    use mykil_crypto::drbg::Drbg;
+
+    fn sample_tree(n: u64) -> KeyTree {
+        let mut rng = Drbg::from_seed(9);
+        let mut t = KeyTree::new(TreeConfig::quad(), &mut rng);
+        for m in 0..n {
+            t.join(MemberId(m), &mut rng).unwrap();
+        }
+        for m in [1u64, 4, 9] {
+            if m < n {
+                t.leave(MemberId(m), &mut rng).unwrap();
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let tree = sample_tree(30);
+        let restored = KeyTree::restore(&tree.snapshot()).unwrap();
+        restored.check_invariants();
+        assert_eq!(restored.node_count(), tree.node_count());
+        assert_eq!(restored.member_count(), tree.member_count());
+        assert_eq!(restored.area_key(), tree.area_key());
+        for m in tree.members() {
+            assert!(restored.contains(m));
+            assert_eq!(
+                tree.path_keys(m).unwrap(),
+                restored.path_keys(m).unwrap(),
+                "{m} path differs"
+            );
+        }
+    }
+
+    #[test]
+    fn restored_tree_is_operable() {
+        let tree = sample_tree(20);
+        let mut rng = Drbg::from_seed(10);
+        let mut restored = KeyTree::restore(&tree.snapshot()).unwrap();
+        // The backup can continue where the primary stopped.
+        restored.join(MemberId(1000), &mut rng).unwrap();
+        restored.leave(MemberId(0), &mut rng).unwrap();
+        restored.check_invariants();
+        assert_eq!(restored.member_count(), tree.member_count());
+    }
+
+    #[test]
+    fn empty_tree_round_trips() {
+        let mut rng = Drbg::from_seed(11);
+        let tree = KeyTree::new(TreeConfig::binary(), &mut rng);
+        let restored = KeyTree::restore(&tree.snapshot()).unwrap();
+        restored.check_invariants();
+        assert_eq!(restored.node_count(), 1);
+        assert_eq!(restored.area_key(), tree.area_key());
+    }
+
+    #[test]
+    fn corrupt_snapshots_rejected() {
+        let tree = sample_tree(10);
+        let snap = tree.snapshot();
+        assert!(KeyTree::restore(&[]).is_err());
+        assert!(KeyTree::restore(b"XXXX").is_err());
+        assert!(KeyTree::restore(&snap[..snap.len() - 1]).is_err());
+        let mut extra = snap.clone();
+        extra.push(0);
+        assert!(KeyTree::restore(&extra).is_err());
+        let mut bad_magic = snap.clone();
+        bad_magic[0] = b'Z';
+        assert!(KeyTree::restore(&bad_magic).is_err());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let tree = sample_tree(15);
+        assert_eq!(tree.snapshot(), tree.snapshot());
+        let restored = KeyTree::restore(&tree.snapshot()).unwrap();
+        assert_eq!(restored.snapshot(), tree.snapshot());
+    }
+}

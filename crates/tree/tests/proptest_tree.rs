@@ -1,0 +1,183 @@
+//! Property-based tests: tree invariants and executable secrecy
+//! properties under arbitrary churn schedules.
+
+use mykil_crypto::drbg::Drbg;
+use mykil_tree::{KeyTree, MemberId, MemberView, TreeConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A churn schedule: each step joins `j` members and removes a subset of
+/// the currently present ones selected by index.
+#[derive(Debug, Clone)]
+enum Op {
+    Join(u8),
+    LeaveNth(u8),
+    BatchLeave(Vec<u8>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u8..5).prop_map(Op::Join),
+        (0u8..255).prop_map(Op::LeaveNth),
+        proptest::collection::vec(0u8..255, 1..5).prop_map(Op::BatchLeave),
+    ]
+}
+
+/// Applies ops, maintaining per-member views exactly as the protocol
+/// distributes keys, and checks invariants + secrecy at each step.
+fn run_schedule(arity: usize, seed: u64, ops: &[Op]) {
+    run_schedule_cfg(TreeConfig::with_arity(arity), seed, ops)
+}
+
+fn run_schedule_cfg(cfg: TreeConfig, seed: u64, ops: &[Op]) {
+    let mut rng = Drbg::from_seed(seed);
+    let mut tree = KeyTree::new(cfg, &mut rng);
+    let mut views: BTreeMap<MemberId, MemberView> = BTreeMap::new();
+    let mut next_member = 0u64;
+
+    let apply_plan = |views: &mut BTreeMap<MemberId, MemberView>,
+                          plan: &mykil_tree::RekeyPlan| {
+        for v in views.values_mut() {
+            v.apply_plan(plan);
+        }
+        for u in &plan.unicasts {
+            views
+                .entry(u.member)
+                .or_insert_with(|| MemberView::new(u.member))
+                .apply_unicast(u);
+        }
+    };
+
+    for op in ops {
+        match op {
+            Op::Join(k) => {
+                for _ in 0..*k {
+                    let m = MemberId(next_member);
+                    next_member += 1;
+                    let plan = tree.join(m, &mut rng).unwrap();
+                    apply_plan(&mut views, &plan);
+                }
+            }
+            Op::LeaveNth(n) => {
+                let members: Vec<MemberId> = tree.members().collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let victim = members[*n as usize % members.len()];
+                let plan = tree.leave(victim, &mut rng).unwrap();
+                let mut gone = views.remove(&victim).unwrap();
+                // Forward secrecy: departed member learns nothing.
+                assert_eq!(gone.apply_plan(&plan), 0);
+                apply_plan(&mut views, &plan);
+            }
+            Op::BatchLeave(ns) => {
+                let members: Vec<MemberId> = tree.members().collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let mut victims: Vec<MemberId> = ns
+                    .iter()
+                    .map(|n| members[*n as usize % members.len()])
+                    .collect();
+                victims.sort_unstable();
+                victims.dedup();
+                let out = tree.batch_leave(&victims, &mut rng).unwrap();
+                for v in &victims {
+                    let mut gone = views.remove(v).unwrap();
+                    assert_eq!(gone.apply_plan(&out.plan), 0);
+                }
+                apply_plan(&mut views, &out.plan);
+            }
+        }
+        tree.check_invariants();
+        // Liveness: every present member's view matches its tree path.
+        for m in tree.members() {
+            let v = &views[&m];
+            for (node, key) in tree.path_keys(m).unwrap() {
+                assert_eq!(v.key(node), Some(key), "{m} stale at {node}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn churn_preserves_invariants_and_secrecy_binary(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+    ) {
+        run_schedule(2, seed, &ops);
+    }
+
+    #[test]
+    fn churn_preserves_invariants_and_secrecy_quad(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+    ) {
+        run_schedule(4, seed, &ops);
+    }
+
+    #[test]
+    fn churn_preserves_invariants_in_prune_mode(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+    ) {
+        run_schedule_cfg(TreeConfig::quad().prune_on_leave(true), seed, &ops);
+    }
+
+    #[test]
+    fn batched_leave_never_costs_more_than_sequential(
+        seed in any::<u64>(),
+        n_members in 8u64..40,
+        picks in proptest::collection::vec(0u8..255, 2..6),
+    ) {
+        let mut rng = Drbg::from_seed(seed);
+        let mut tree = KeyTree::new(TreeConfig::quad(), &mut rng);
+        for m in 0..n_members {
+            tree.join(MemberId(m), &mut rng).unwrap();
+        }
+        let members: Vec<MemberId> = tree.members().collect();
+        let mut victims: Vec<MemberId> = picks
+            .iter()
+            .map(|p| members[*p as usize % members.len()])
+            .collect();
+        victims.sort_unstable();
+        victims.dedup();
+
+        let mut sequential = tree.clone();
+        let out = tree.batch_leave(&victims, &mut rng).unwrap();
+        let mut seq_bytes = 0;
+        for v in &victims {
+            seq_bytes += sequential.leave(*v, &mut rng).unwrap().multicast_bytes();
+        }
+        prop_assert!(
+            out.plan.multicast_bytes() <= seq_bytes,
+            "batched {} > sequential {}",
+            out.plan.multicast_bytes(),
+            seq_bytes
+        );
+    }
+
+    #[test]
+    fn join_paths_have_logarithmic_length(
+        n in 1u64..200,
+        arity in 2usize..5,
+    ) {
+        let mut rng = Drbg::from_seed(n);
+        let mut tree = KeyTree::new(TreeConfig::with_arity(arity), &mut rng);
+        for m in 0..n {
+            tree.join(MemberId(m), &mut rng).unwrap();
+        }
+        let bound = ((n as f64).log(arity as f64).ceil() as usize + 2).max(2);
+        for m in tree.members() {
+            let path = tree.path_keys(m).unwrap();
+            prop_assert!(
+                path.len() <= bound + 1,
+                "path {} exceeds bound {} for n={} arity={}",
+                path.len(), bound, n, arity
+            );
+        }
+    }
+}

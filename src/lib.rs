@@ -1,0 +1,19 @@
+//! Umbrella crate for the Mykil reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests in
+//! `tests/` and the runnable examples in `examples/`. The real library
+//! surface lives in the member crates:
+//!
+//! - [`mykil`] — the Mykil protocol (join, rejoin, batching, fault tolerance)
+//! - [`mykil_crypto`] — from-scratch RSA / SHA-256 / HMAC / RC4 / DRBG
+//! - [`mykil_net`] — deterministic discrete-event network simulator
+//! - [`mykil_tree`] — LKH auxiliary-key tree and batch rekeying
+//! - [`mykil_baselines`] — Iolus and flat-LKH comparators
+//! - [`mykil_analysis`] — closed-form cost models from the paper's Section V
+
+pub use mykil;
+pub use mykil_analysis;
+pub use mykil_baselines;
+pub use mykil_crypto;
+pub use mykil_net;
+pub use mykil_tree;

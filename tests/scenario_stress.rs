@@ -1,0 +1,120 @@
+//! A combined long-running scenario: the kind of week a production
+//! deployment would actually have — growth, churn, roaming, a
+//! controller crash with failover, a partition, and message loss — all
+//! in one deterministic run that must end fully consistent.
+
+use mykil::group::GroupBuilder;
+use mykil::member::Member;
+use mykil_net::Duration;
+
+#[test]
+fn one_bad_week_in_production() {
+    let mut g = GroupBuilder::new(777).areas(3).replicated(true).build();
+
+    // Monday: launch with six subscribers.
+    let mut members: Vec<_> = (0..6).map(|i| g.register_member(i)).collect();
+    g.settle();
+    for &m in &members {
+        assert!(g.is_member(m), "launch subscriber failed to join");
+    }
+
+    // Tuesday: traffic flows.
+    g.send_data(members[0], b"tuesday frame");
+    g.run_for(Duration::from_secs(2));
+
+    // Wednesday: one member roams to another area.
+    let roamer = members[1];
+    let home = g.member(roamer).area().unwrap().0 as usize;
+    let home_ac = g.primaries[home];
+    g.sim.cut_link(roamer, home_ac);
+    g.sim.cut_link(home_ac, roamer);
+    g.run_for(Duration::from_secs(6)); // auto-detect + auto-rejoin
+    assert!(g.is_member(roamer), "roamer lost membership");
+    assert_ne!(g.member(roamer).area().unwrap().0 as usize, home);
+
+    // Thursday: a controller machine dies; its backup takes over.
+    // (Pick an area that is nobody's parent bridge for the roamer.)
+    g.crash_ac(2);
+    g.run_for(Duration::from_secs(3));
+    assert_eq!(
+        g.backup(2).role(),
+        mykil::area::Role::Primary,
+        "no failover happened"
+    );
+
+    // Friday: a lossy afternoon (10%), with churn on top.
+    g.sim.set_loss_per_mille(100);
+    let late = g.register_member(100);
+    g.sim.invoke(members[5], |m: &mut Member, ctx| m.leave(ctx));
+    members.remove(5);
+    g.run_for(Duration::from_secs(10));
+    g.sim.set_loss_per_mille(0);
+    g.run_for(Duration::from_secs(5));
+    assert!(g.is_member(late), "friday joiner never made it");
+    members.push(late);
+
+    // Weekend: everything consistent, everyone receives fresh data.
+    g.run_for(Duration::from_secs(5));
+    let sender = members[0];
+    let before: Vec<usize> = members.iter().map(|&m| g.received_data(m).len()).collect();
+    g.send_data(sender, b"sunday broadcast");
+    g.run_for(Duration::from_secs(3));
+    for (&m, &seen) in members.iter().zip(&before) {
+        assert!(g.is_member(m));
+        assert!(
+            g.received_data(m).len() > seen,
+            "member in area {:?} missed the sunday broadcast",
+            g.member(m).area()
+        );
+    }
+
+    // Final key consistency across all areas (primary 2 is dead; its
+    // promoted backup holds the truth for area 2).
+    for &m in &members {
+        let area = g.member(m).area().unwrap().0 as usize;
+        let authoritative = if area == 2 {
+            g.backup(2).area_key()
+        } else {
+            g.ac(area).area_key()
+        };
+        assert_eq!(
+            g.member(m).current_area_key(),
+            Some(authoritative),
+            "member in area {area} diverged"
+        );
+    }
+}
+
+#[test]
+fn medium_scale_growth_and_decay() {
+    // 12 members arrive in waves across 2 areas, then half drop off;
+    // everyone remaining stays consistent throughout.
+    let mut g = GroupBuilder::new(778).areas(2).build();
+    let mut members = Vec::new();
+    for wave in 0..3 {
+        for i in 0..4 {
+            members.push(g.register_member(wave * 10 + i));
+        }
+        g.run_for(Duration::from_secs(3));
+    }
+    for &m in &members {
+        assert!(g.is_member(m));
+    }
+    assert_eq!(g.ac(0).member_count() + g.ac(1).member_count(), 12);
+
+    // Half the group goes dark and is evicted.
+    for &m in members.iter().step_by(2) {
+        g.sim.partition(m, 9);
+    }
+    g.run_for(Duration::from_secs(8));
+    assert_eq!(g.ac(0).member_count() + g.ac(1).member_count(), 6);
+
+    // The survivors all hold their areas' current keys.
+    for &m in members.iter().skip(1).step_by(2) {
+        let area = g.member(m).area().unwrap().0 as usize;
+        assert_eq!(
+            g.member(m).current_area_key(),
+            Some(g.ac(area).area_key())
+        );
+    }
+}
