@@ -40,7 +40,7 @@ impl IolusGroup {
 
     /// The current subgroup key.
     pub fn subgroup_key(&self) -> SymmetricKey {
-        self.subgroup_key
+        self.subgroup_key.clone()
     }
 
     /// Whether a member is present.

@@ -2,6 +2,7 @@
 //! admission path used by joins and rejoins.
 
 use super::{AreaController, MemberRecord, PendingAdmission};
+use crate::error::ProtocolError;
 use crate::identity::{ClientId, DeviceId};
 use crate::msg::Msg;
 use crate::rekey::encode_path;
@@ -87,7 +88,7 @@ impl AreaController {
         else {
             return;
         };
-        let welcome = self.admit(
+        let Ok(welcome) = self.admit(
             ctx,
             pending.client,
             pending.pubkey.clone(),
@@ -95,7 +96,10 @@ impl AreaController {
             pending.valid_until,
             from,
             nonce_ca.wrapping_add(1),
-        );
+        ) else {
+            ctx.stats().bump("ac-admissions-rejected", 1);
+            return;
+        };
         ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
         let Ok(ct7) = HybridCiphertext::encrypt(&pending.pubkey, &welcome.to_bytes(), ctx.rng())
         else {
@@ -109,6 +113,12 @@ impl AreaController {
     /// Shared admission path: updates the tree, buffers the key-update
     /// multicast, unicasts fresh keys to any displaced member, issues a
     /// ticket, and builds the welcome payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::UnexpectedMessage`] when the key tree
+    /// refuses the join — state drift between the membership map and
+    /// the tree must reject the admission, never panic the controller.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn admit(
         &mut self,
@@ -119,7 +129,7 @@ impl AreaController {
         valid_until: Time,
         node: NodeId,
         nonce_echo: u64,
-    ) -> Welcome {
+    ) -> Result<Welcome, ProtocolError> {
         let member = MemberId(client.0);
         self.note_area_key();
         // Re-admission cancels any departure still queued in the batch
@@ -134,7 +144,7 @@ impl AreaController {
         let plan = self
             .tree
             .join(member, ctx.rng())
-            .expect("member absent after cleanup");
+            .map_err(|_| ProtocolError::UnexpectedMessage("key tree refused the join"))?;
         self.buffer_join_plan(&plan);
         self.send_displaced_unicasts(ctx, &plan, member);
 
@@ -145,7 +155,7 @@ impl AreaController {
             .map(|u| {
                 u.keys
                     .iter()
-                    .map(|(n, k)| (n.raw() as u32, *k))
+                    .map(|(n, k)| (n.raw() as u32, k.clone()))
                     .collect()
             })
             .unwrap_or_default();
@@ -174,7 +184,7 @@ impl AreaController {
         self.recorded_members.insert(client, self.epoch);
         self.update_needed = true;
 
-        Welcome {
+        Ok(Welcome {
             nonce_echo,
             client,
             area: self.deploy.area,
@@ -190,7 +200,7 @@ impl AreaController {
             path,
             epoch: self.epoch,
             valid_until_us: valid_until.as_micros(),
-        }
+        })
     }
 
     /// Unicasts fresh leaf keys to members displaced by a leaf split
@@ -221,7 +231,7 @@ impl AreaController {
             let path: Vec<(u32, SymmetricKey)> = u
                 .keys
                 .iter()
-                .map(|(n, k)| (n.raw() as u32, *k))
+                .map(|(n, k)| (n.raw() as u32, k.clone()))
                 .collect();
             ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
             if let Ok(ct) =

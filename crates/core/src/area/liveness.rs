@@ -206,7 +206,12 @@ impl AreaController {
         if self.tree.contains(member) {
             let _ = self.tree.leave(member, ctx.rng());
         }
-        let plan = self.tree.join(member, ctx.rng()).expect("child readmission");
+        // The membership was cleared just above; refusal means the tree
+        // and the child registry drifted — reject the enrollment.
+        let Ok(plan) = self.tree.join(member, ctx.rng()) else {
+            ctx.stats().bump("ac-admissions-rejected", 1);
+            return;
+        };
         self.child_ac_members.insert(member.0, from);
         self.buffer_join_plan(&plan);
         self.send_displaced_unicasts(ctx, &plan, member);
@@ -216,7 +221,7 @@ impl AreaController {
             .unicasts
             .iter()
             .find(|u| u.member == member)
-            .map(|u| u.keys.iter().map(|(n, k)| (n.raw() as u32, *k)).collect())
+            .map(|u| u.keys.iter().map(|(n, k)| (n.raw() as u32, k.clone())).collect())
             .unwrap_or_default();
 
         // Ack: {my area, my group, my rekey epoch, the child's path
@@ -371,7 +376,7 @@ impl AreaController {
                 return;
             };
             let path: Vec<(u32, SymmetricKey)> =
-                path.iter().map(|(n, k)| (n.raw() as u32, *k)).collect();
+                path.iter().map(|(n, k)| (n.raw() as u32, k.clone())).collect();
             ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
             if let Ok(ct) = HybridCiphertext::encrypt(
                 &pubkey,

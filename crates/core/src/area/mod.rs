@@ -346,6 +346,9 @@ impl AreaController {
     ) {
         self.note_area_key();
         let member = MemberId(AC_MEMBER_BASE + child.deploy.area.0 as u64);
+        // Deployment-time wiring, not a message handler: duplicate
+        // enrollment is an operator configuration bug worth stopping on.
+        // mykil-lint: allow(L001)
         let plan = self.tree.join(member, rng).expect("child not yet enrolled");
         self.child_ac_members.insert(member.0, child_node);
         // Deployment-time enrollment: hand the child its path directly.
@@ -354,7 +357,7 @@ impl AreaController {
                 let path: Vec<(u32, SymmetricKey)> = u
                     .keys
                     .iter()
-                    .map(|(n, k)| (n.raw() as u32, *k))
+                    .map(|(n, k)| (n.raw() as u32, k.clone()))
                     .collect();
                 child.parent_keys.install_path(&path);
             }
@@ -383,7 +386,7 @@ impl AreaController {
     pub(crate) fn own_area_keys(&self) -> Vec<SymmetricKey> {
         let mut out = Vec::with_capacity(1 + self.prev_area_keys.len());
         out.push(self.tree.area_key());
-        out.extend(self.prev_area_keys.iter().copied());
+        out.extend(self.prev_area_keys.iter().cloned());
         out
     }
 
@@ -492,7 +495,19 @@ impl Node for AreaController {
             Msg::Takeover { area, sig, pubkey } => {
                 self.handle_neighbor_takeover(ctx, from, area, &sig, &pubkey)
             }
-            _ => {}
+            // Client-bound or RS-bound steps and replica traffic the
+            // primary never consumes (listed explicitly so a new wire
+            // message fails to compile until triaged here).
+            Msg::Join1 { .. }
+            | Msg::Join2 { .. }
+            | Msg::Join3 { .. }
+            | Msg::Join5 { .. }
+            | Msg::Join7 { .. }
+            | Msg::Rejoin2 { .. }
+            | Msg::Rejoin6 { .. }
+            | Msg::RejoinDenied { .. }
+            | Msg::Heartbeat { .. }
+            | Msg::StateSync { .. } => {}
         }
     }
 

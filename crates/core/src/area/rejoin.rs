@@ -109,11 +109,12 @@ impl AreaController {
             return;
         }
 
-        let (prev_ac, _prev_area) = self
-            .pending_rejoin_prev_ac
-            .get(&from)
-            .copied()
-            .expect("recorded at step 1");
+        // Recorded at step 1; a missing entry means the peer skipped the
+        // handshake order — drop the rejoin rather than panic.
+        let Some((prev_ac, _prev_area)) = self.pending_rejoin_prev_ac.get(&from).copied() else {
+            self.pending_rejoins.remove(&from);
+            return;
+        };
 
         // Ablation / paper Section V-D: skip the departure check
         // entirely (the 0.28 s rejoin variant).
@@ -289,7 +290,7 @@ impl AreaController {
             return;
         };
         self.pending_rejoin_prev_ac.remove(&client_node);
-        let welcome = self.admit(
+        let Ok(welcome) = self.admit(
             ctx,
             pending.client,
             pending.pubkey.clone(),
@@ -297,7 +298,10 @@ impl AreaController {
             pending.valid_until,
             client_node,
             0,
-        );
+        ) else {
+            ctx.stats().bump("ac-admissions-rejected", 1);
+            return;
+        };
         ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
         let Ok(ct6) = HybridCiphertext::encrypt(&pending.pubkey, &welcome.to_bytes(), ctx.rng())
         else {

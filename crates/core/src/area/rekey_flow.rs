@@ -27,7 +27,7 @@ impl AreaController {
             let node = change.node.raw() as u32;
             for (under, key) in &change.encryptions {
                 if matches!(under, mykil_tree::EncryptUnder::PreviousSelf) {
-                    self.buffered_join_updates.entry(node).or_insert(*key);
+                    self.buffered_join_updates.entry(node).or_insert(key.clone());
                 }
             }
         }
@@ -43,7 +43,7 @@ impl AreaController {
         };
         let path: Vec<(u32, mykil_crypto::keys::SymmetricKey)> = path
             .iter()
-            .map(|(n, k)| (n.raw() as u32, *k))
+            .map(|(n, k)| (n.raw() as u32, k.clone()))
             .collect();
         ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
         if let Ok(ct) = mykil_crypto::envelope::HybridCiphertext::encrypt(
@@ -115,7 +115,7 @@ impl AreaController {
         let join_nodes: Vec<(u32, mykil_crypto::keys::SymmetricKey)> = self
             .buffered_join_updates
             .iter()
-            .map(|(n, k)| (*n, *k))
+            .map(|(n, k)| (*n, k.clone()))
             .collect();
         self.buffered_join_updates.clear();
 
@@ -130,11 +130,14 @@ impl AreaController {
             None
         } else {
             self.note_area_key();
-            Some(
-                self.tree
-                    .batch_leave(&leavers, ctx.rng())
-                    .expect("leavers validated against tree"),
-            )
+            // Leavers are pre-filtered with `contains`; a refusal here
+            // means tree-state drift. Defer the eviction batch to the
+            // next sweep instead of panicking mid-rekey.
+            let plan = self.tree.batch_leave(&leavers, ctx.rng());
+            if plan.is_err() {
+                ctx.stats().bump("ac-evictions-deferred", 1);
+            }
+            plan.ok()
         };
 
         let leave_changed: std::collections::HashSet<u32> = leave_plan

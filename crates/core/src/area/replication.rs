@@ -159,7 +159,37 @@ impl AreaController {
                     self.replica_state = Some(plain);
                 }
             }
-            _ => { /* a standby replica ignores everything else */ }
+            // Replication traffic from impostor nodes, and every area/
+            // join/rekey message: a standby replica ignores them all
+            // (listed explicitly so a new wire message fails to compile
+            // until triaged here).
+            Msg::Heartbeat { .. }
+            | Msg::StateSync { .. }
+            | Msg::Join1 { .. }
+            | Msg::Join2 { .. }
+            | Msg::Join3 { .. }
+            | Msg::Join4 { .. }
+            | Msg::Join5 { .. }
+            | Msg::Join6 { .. }
+            | Msg::Join7 { .. }
+            | Msg::Rejoin1 { .. }
+            | Msg::Rejoin2 { .. }
+            | Msg::Rejoin3 { .. }
+            | Msg::Rejoin4 { .. }
+            | Msg::Rejoin5 { .. }
+            | Msg::Rejoin6 { .. }
+            | Msg::RejoinDenied { .. }
+            | Msg::AreaJoinReq { .. }
+            | Msg::AreaJoinAck { .. }
+            | Msg::KeyUpdate { .. }
+            | Msg::KeyUnicast { .. }
+            | Msg::KeyRefreshRequest { .. }
+            | Msg::LeaveRequest { .. }
+            | Msg::Data { .. }
+            | Msg::AcAlive { .. }
+            | Msg::MemberAlive { .. }
+            | Msg::HeartbeatAck { .. }
+            | Msg::Takeover { .. } => {}
         }
     }
 

@@ -138,12 +138,15 @@ impl GroupBuilder {
         let mut keyrng = Drbg::from_seed(self.seed ^ 0x6b65_7967_656e);
         let mut sim = Simulator::with_latency(self.seed, self.latency.clone());
 
+        // mykil-lint: allow(L001) -- deployment harness, not peer input
         let rs_pair = RsaKeyPair::generate(self.key_bits, &mut keyrng).expect("rs keygen");
         let ac_pairs: Vec<RsaKeyPair> = (0..self.areas)
+            // mykil-lint: allow(L001) -- deployment harness, not peer input
             .map(|_| RsaKeyPair::generate(self.key_bits, &mut keyrng).expect("ac keygen"))
             .collect();
         let backup_pairs: Vec<RsaKeyPair> = if self.replicated {
             (0..self.areas)
+                // mykil-lint: allow(L001) -- deployment harness, not peer input
                 .map(|_| RsaKeyPair::generate(self.key_bits, &mut keyrng).expect("backup keygen"))
                 .collect()
         } else {
@@ -222,7 +225,7 @@ impl GroupBuilder {
                     self.cost,
                     ac_pairs[i].clone(),
                     rs_pair.public().clone(),
-                    k_shared,
+                    k_shared.clone(),
                     deploy,
                     self.seed ^ (0xA5A5 + i as u64),
                 )
@@ -249,9 +252,10 @@ impl GroupBuilder {
             let path: Vec<(u32, SymmetricKey)> = acs[p]
                 .tree()
                 .path_keys(member)
+                // mykil-lint: allow(L001) -- deployment harness: children enrolled in the loop above
                 .expect("child enrolled above")
                 .iter()
-                .map(|(n, k)| (n.raw() as u32, *k))
+                .map(|(n, k)| (n.raw() as u32, k.clone()))
                 .collect();
             acs[i].seed_parent_keys(&path);
         }
@@ -276,7 +280,7 @@ impl GroupBuilder {
                     self.cost,
                     backup_pairs[i].clone(),
                     rs_pair.public().clone(),
-                    k_shared,
+                    k_shared.clone(),
                     deploy,
                     self.seed ^ (0xB5B5 + i as u64),
                 )
@@ -370,6 +374,7 @@ impl GroupHandle {
     }
 
     fn add_member(&mut self, device_seed: u64, auto: bool) -> NodeId {
+        // mykil-lint: allow(L001) -- deployment harness, not peer input
         let pair = RsaKeyPair::generate(self.key_bits, &mut self.keyrng).expect("member keygen");
         let device = DeviceId::from_seed(device_seed.wrapping_add(self.next_device));
         self.next_device += 1;
@@ -466,6 +471,7 @@ impl GroupHandle {
     /// Registers a member presenting specific authorization bytes
     /// (default members present `subscriber-<seed>`).
     pub fn register_member_with_auth(&mut self, device_seed: u64, auth_info: &[u8]) -> NodeId {
+        // mykil-lint: allow(L001) -- deployment harness, not peer input
         let pair = RsaKeyPair::generate(self.key_bits, &mut self.keyrng).expect("member keygen");
         let device = DeviceId::from_seed(device_seed.wrapping_add(self.next_device));
         self.next_device += 1;

@@ -749,7 +749,27 @@ impl Node for Member {
                     self.request_key_refresh(ctx);
                 }
             Msg::Takeover { area, sig, .. } => self.handle_takeover(area, &sig, from),
-            _ => {}
+            // Alive beacons that failed the resync guard above.
+            Msg::AcAlive { .. } => {}
+            // Traffic addressed to the RS, to ACs, or to replicas — a
+            // member deliberately ignores it (listed explicitly so a new
+            // wire message fails to compile until triaged here).
+            Msg::Join1 { .. }
+            | Msg::Join3 { .. }
+            | Msg::Join4 { .. }
+            | Msg::Join6 { .. }
+            | Msg::Rejoin1 { .. }
+            | Msg::Rejoin3 { .. }
+            | Msg::Rejoin4 { .. }
+            | Msg::Rejoin5 { .. }
+            | Msg::AreaJoinReq { .. }
+            | Msg::AreaJoinAck { .. }
+            | Msg::KeyRefreshRequest { .. }
+            | Msg::LeaveRequest { .. }
+            | Msg::MemberAlive { .. }
+            | Msg::Heartbeat { .. }
+            | Msg::HeartbeatAck { .. }
+            | Msg::StateSync { .. } => {}
         }
     }
 

@@ -288,7 +288,33 @@ impl Node for RegistrationServer {
             Msg::Takeover { area, sig, pubkey } => {
                 self.handle_takeover(area, &sig, &pubkey, from)
             }
-            _ => {
+            // Everything else belongs to ACs, members, or replicas; the
+            // RS counts it as rejected (listed explicitly so a new wire
+            // message fails to compile until triaged here).
+            Msg::Join2 { .. }
+            | Msg::Join4 { .. }
+            | Msg::Join5 { .. }
+            | Msg::Join6 { .. }
+            | Msg::Join7 { .. }
+            | Msg::Rejoin1 { .. }
+            | Msg::Rejoin2 { .. }
+            | Msg::Rejoin3 { .. }
+            | Msg::Rejoin4 { .. }
+            | Msg::Rejoin5 { .. }
+            | Msg::Rejoin6 { .. }
+            | Msg::RejoinDenied { .. }
+            | Msg::AreaJoinReq { .. }
+            | Msg::AreaJoinAck { .. }
+            | Msg::KeyUpdate { .. }
+            | Msg::KeyUnicast { .. }
+            | Msg::KeyRefreshRequest { .. }
+            | Msg::LeaveRequest { .. }
+            | Msg::Data { .. }
+            | Msg::AcAlive { .. }
+            | Msg::MemberAlive { .. }
+            | Msg::Heartbeat { .. }
+            | Msg::HeartbeatAck { .. }
+            | Msg::StateSync { .. } => {
                 self.stats.rejected_messages += 1;
             }
         }

@@ -173,16 +173,16 @@ impl KeyState {
     pub fn install_path(&mut self, path: &[(u32, SymmetricKey)]) {
         for (node, key) in path {
             if *node == AREA_KEY_NODE {
-                self.note_root_change(*key);
+                self.note_root_change(key.clone());
             }
-            self.keys.insert(*node, *key);
+            self.keys.insert(*node, key.clone());
         }
     }
 
     fn note_root_change(&mut self, new: SymmetricKey) {
         if let Some(old) = self.keys.get(&AREA_KEY_NODE) {
             if *old != new {
-                self.previous_roots.push_front(*old);
+                self.previous_roots.push_front(old.clone());
                 self.previous_roots.truncate(AREA_KEY_HISTORY);
             }
         }
@@ -197,13 +197,13 @@ impl KeyState {
                 UnderTag::PrevSelf => self.keys.get(&e.node),
                 UnderTag::Child(c) => self.keys.get(&c),
             };
-            let Some(trial) = trial.copied() else { continue };
+            let Some(trial) = trial.cloned() else { continue };
             match envelope::open(&trial, &e.env) {
                 Ok(plain) => {
                     if let Ok(raw) = <[u8; 16]>::try_from(plain.as_slice()) {
                         let new = SymmetricKey::from_bytes(raw);
                         if e.node == AREA_KEY_NODE {
-                            self.note_root_change(new);
+                            self.note_root_change(new.clone());
                         }
                         self.keys.insert(e.node, new);
                         outcome.learned += 1;
@@ -222,7 +222,7 @@ impl KeyState {
 
     /// The current area key, if known.
     pub fn area_key(&self) -> Option<SymmetricKey> {
-        self.keys.get(&AREA_KEY_NODE).copied()
+        self.keys.get(&AREA_KEY_NODE).cloned()
     }
 
     /// The current area key followed by recently superseded ones
@@ -230,7 +230,7 @@ impl KeyState {
     pub fn area_keys_with_history(&self) -> Vec<SymmetricKey> {
         let mut out = Vec::with_capacity(1 + self.previous_roots.len());
         out.extend(self.area_key());
-        out.extend(self.previous_roots.iter().copied());
+        out.extend(self.previous_roots.iter().cloned());
         out
     }
 
@@ -247,7 +247,7 @@ impl KeyState {
     /// Serializes the key store (used by AC replication).
     pub fn to_bytes(&self) -> Vec<u8> {
         let path: Vec<(u32, SymmetricKey)> =
-            self.keys.iter().map(|(n, k)| (*n, *k)).collect();
+            self.keys.iter().map(|(n, k)| (*n, k.clone())).collect();
         encode_path(&path)
     }
 
@@ -314,7 +314,7 @@ mod tests {
                 let path: Vec<(u32, SymmetricKey)> = u
                     .keys
                     .iter()
-                    .map(|(n, k)| (n.raw() as u32, *k))
+                    .map(|(n, k)| (n.raw() as u32, k.clone()))
                     .collect();
                 states
                     .entry(u.member.0)

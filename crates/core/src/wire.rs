@@ -110,12 +110,12 @@ impl<'a> Reader<'a> {
 
     /// Reads a big-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, ProtocolError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_be_bytes(self.array()?))
     }
 
     /// Reads a big-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, ProtocolError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_be_bytes(self.array()?))
     }
 
     /// Reads exactly `n` raw bytes.
@@ -125,7 +125,9 @@ impl<'a> Reader<'a> {
 
     /// Reads a fixed-size array.
     pub fn array<const N: usize>(&mut self) -> Result<[u8; N], ProtocolError> {
-        Ok(self.take(N)?.try_into().unwrap())
+        self.take(N)?
+            .try_into()
+            .map_err(|_| ProtocolError::Malformed("bad fixed-size field"))
     }
 
     /// Reads a `u32`-length-prefixed byte string (capped at 16 MiB to

@@ -287,7 +287,7 @@ fn group_converges_despite_message_loss() {
     assert!(g.is_member(a), "member a never joined under loss");
     assert!(g.is_member(b), "member b never joined under loss");
     let key = g.ac(0).area_key();
-    assert_eq!(g.member(a).current_area_key(), Some(key));
+    assert_eq!(g.member(a).current_area_key(), Some(key.clone()));
     assert_eq!(g.member(b).current_area_key(), Some(key));
 
     // Clean network again: data flows.

@@ -130,6 +130,17 @@ fn run_schedule(seed: u64, ops: Vec<Op>) {
     }
 }
 
+/// Regression: the shrunk failure case recorded in
+/// `proptest_protocol.proptest-regressions` (`seed = 0, ops =
+/// [Move(0)]`) — a single roam with the minimal two-member group used
+/// to leave the mover without the destination area's key. Folded into
+/// a named deterministic test so the case always runs, regardless of
+/// the property-testing engine's seed-persistence behavior.
+#[test]
+fn regression_single_move_with_minimal_group() {
+    run_schedule(0, vec![Op::Move(0)]);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 10,

@@ -31,7 +31,7 @@ fn member_holds_current_area_key_and_path() {
     g.settle();
 
     let ak = g.ac(0).area_key();
-    assert_eq!(g.member(a).current_area_key(), Some(ak));
+    assert_eq!(g.member(a).current_area_key(), Some(ak.clone()));
     assert_eq!(g.member(b).current_area_key(), Some(ak));
     // Path storage: at least leaf + root.
     assert!(g.member(a).key_count() >= 2);
@@ -50,7 +50,7 @@ fn later_joins_rotate_area_key_for_existing_members() {
     // the rotation via the key-update multicast.
     let key_after = g.ac(0).area_key();
     assert_ne!(key_before, key_after);
-    assert_eq!(g.member(a).current_area_key(), Some(key_after));
+    assert_eq!(g.member(a).current_area_key(), Some(key_after.clone()));
     assert_eq!(g.member(b).current_area_key(), Some(key_after));
 }
 

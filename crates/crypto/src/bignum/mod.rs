@@ -59,6 +59,13 @@ impl BigUint {
         BigUint { limbs: vec![1] }
     }
 
+    /// Volatile-wipes the limbs and leaves the value zero. Used by key
+    /// types whose components are private material.
+    pub(crate) fn zeroize(&mut self) {
+        crate::ct::zeroize_u32(&mut self.limbs);
+        self.limbs.clear();
+    }
+
     /// Builds a value from little-endian limbs, normalizing trailing zeros.
     pub(crate) fn from_limbs(mut limbs: Vec<u32>) -> Self {
         while limbs.last() == Some(&0) {

@@ -31,6 +31,16 @@ impl std::fmt::Debug for ChaCha20 {
     }
 }
 
+impl Drop for ChaCha20 {
+    fn drop(&mut self) {
+        // State words 4..12 hold the key; wipe everything, including
+        // buffered keystream bytes.
+        crate::ct::zeroize_u32(&mut self.state);
+        crate::ct::zeroize(&mut self.buffer);
+        self.buffered = 0;
+    }
+}
+
 impl ChaCha20 {
     /// Creates a cipher instance positioned at block `counter`.
     pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {

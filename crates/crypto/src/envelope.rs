@@ -73,11 +73,7 @@ pub fn open(key: &SymmetricKey, envelope: &[u8]) -> Result<Vec<u8>, CryptoError>
     mac.update(nonce_bytes);
     mac.update(body);
     let expected = mac.finalize();
-    let mut diff = 0u8;
-    for (a, b) in expected[..ENVELOPE_MAC_LEN].iter().zip(tag) {
-        diff |= a ^ b;
-    }
-    if diff != 0 {
+    if !crate::ct::ct_eq(&expected[..ENVELOPE_MAC_LEN], tag) {
         return Err(CryptoError::VerificationFailed);
     }
     let nonce: [u8; ENVELOPE_NONCE_LEN] = nonce_bytes.try_into().unwrap();

@@ -49,14 +49,7 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
 /// Returns `false` for any length mismatch.
 pub fn verify_hmac(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
     let expected = hmac_sha256(key, message);
-    if tag.len() != expected.len() {
-        return false;
-    }
-    let mut diff = 0u8;
-    for (a, b) in expected.iter().zip(tag) {
-        diff |= a ^ b;
-    }
-    diff == 0
+    crate::ct::ct_eq(&expected, tag)
 }
 
 /// Incremental HMAC builder for multi-part messages.

@@ -11,10 +11,35 @@ use rand::RngCore;
 
 /// A 128-bit symmetric key.
 ///
-/// Compared only via `Eq` (tests and tree bookkeeping); the `Debug`
-/// impl prints a short fingerprint rather than key bytes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+/// Equality is constant-time ([`crate::ct::ct_eq`]); `Hash` mixes a
+/// SHA-256 fingerprint rather than raw key bytes; the `Debug` impl
+/// prints a short fingerprint. The key bytes are zeroized on `Drop`,
+/// which is also why the type is `Clone` but deliberately not `Copy`:
+/// implicit copies would leave unwiped duplicates on the stack.
+#[derive(Clone)]
 pub struct SymmetricKey([u8; SYMMETRIC_KEY_LEN]);
+
+impl PartialEq for SymmetricKey {
+    fn eq(&self, other: &Self) -> bool {
+        crate::ct::ct_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for SymmetricKey {}
+
+impl std::hash::Hash for SymmetricKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Feed the hasher a digest, not the key itself: hashers are not
+        // secrecy-preserving, and equal keys still hash equally.
+        crate::sha256::Sha256::digest(&self.0).hash(state);
+    }
+}
+
+impl Drop for SymmetricKey {
+    fn drop(&mut self) {
+        crate::ct::zeroize(&mut self.0);
+    }
+}
 
 impl SymmetricKey {
     /// Wraps raw key bytes.
@@ -114,5 +139,30 @@ mod tests {
         let arr = [7u8; 16];
         let k: SymmetricKey = arr.into();
         assert_eq!(k.as_bytes(), &arr);
+    }
+
+    #[test]
+    fn drop_zeroizes_key_bytes() {
+        let mut k = core::mem::ManuallyDrop::new(SymmetricKey::from_bytes([0xAB; 16]));
+        // SAFETY: the value is never used as a SymmetricKey again; the
+        // backing array stays valid, letting the test observe the wipe.
+        unsafe { core::mem::ManuallyDrop::drop(&mut k) };
+        assert_eq!(k.0, [0u8; 16]);
+    }
+
+    #[test]
+    fn equality_is_by_value_and_hash_is_consistent() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = SymmetricKey::from_bytes([3; 16]);
+        let b = SymmetricKey::from_bytes([3; 16]);
+        assert_eq!(a, b);
+        let hash_of = |k: &SymmetricKey| {
+            let mut h = DefaultHasher::new();
+            k.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_ne!(a, SymmetricKey::from_bytes([4; 16]));
     }
 }

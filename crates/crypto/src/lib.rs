@@ -41,6 +41,7 @@
 
 pub mod bignum;
 pub mod chacha;
+pub mod ct;
 pub mod drbg;
 pub mod envelope;
 pub mod error;
@@ -51,6 +52,7 @@ pub mod rc4;
 pub mod rsa;
 pub mod sha256;
 
+pub use ct::ct_eq;
 pub use error::CryptoError;
 
 /// Length in bytes of the symmetric keys used throughout Mykil

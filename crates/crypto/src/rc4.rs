@@ -33,6 +33,15 @@ impl std::fmt::Debug for Rc4 {
     }
 }
 
+impl Drop for Rc4 {
+    fn drop(&mut self) {
+        // The permutation is key-derived; wipe it with the indices.
+        crate::ct::zeroize(&mut self.s);
+        self.i = 0;
+        self.j = 0;
+    }
+}
+
 impl Rc4 {
     /// Initializes the cipher with the key-scheduling algorithm.
     ///

@@ -162,6 +162,19 @@ impl std::fmt::Debug for RsaKeyPair {
     }
 }
 
+impl Drop for RsaKeyPair {
+    fn drop(&mut self) {
+        // The public half is public by definition; every CRT component
+        // reveals the factorization and must be wiped.
+        self.d.zeroize();
+        self.p.zeroize();
+        self.q.zeroize();
+        self.d_p.zeroize();
+        self.d_q.zeroize();
+        self.q_inv.zeroize();
+    }
+}
+
 impl RsaKeyPair {
     /// The public half of the pair.
     pub fn public(&self) -> &RsaPublicKey {

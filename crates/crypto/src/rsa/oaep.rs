@@ -129,7 +129,7 @@ impl RsaKeyPair {
             .map(|(a, b)| a ^ b)
             .collect();
 
-        if db[..DIGEST_LEN] != empty_label_hash() {
+        if !crate::ct::ct_eq(&db[..DIGEST_LEN], &empty_label_hash()) {
             return Err(CryptoError::PaddingError);
         }
         // Skip zero padding, expect a 0x01 separator, rest is the message.

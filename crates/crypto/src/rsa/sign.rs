@@ -74,7 +74,7 @@ impl RsaPublicKey {
         let digest = Sha256::digest(message);
         // Reconstruct the expected encoding and compare in full, which
         // avoids the classic BER-parsing forgery pitfalls.
-        em == emsa_encode(&digest, k)
+        crate::ct::ct_eq(&em, &emsa_encode(&digest, k))
     }
 }
 

@@ -1,0 +1,104 @@
+//! Diagnostics: what a rule reports, and how it is rendered for humans
+//! and machines.
+
+use std::fmt;
+use std::path::Path;
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id, e.g. `L001`.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+impl Diagnostic {
+    /// Renders the finding as one JSON object (machine-readable mode
+    /// emits one object per line — JSON Lines).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            escape_json(self.rule),
+            escape_json(&self.file),
+            self.line,
+            escape_json(&self.message)
+        )
+    }
+}
+
+/// Minimal JSON string escaping (the diagnostics contain no exotic
+/// control characters, but quoting must still be airtight).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Normalizes a path for diagnostics: workspace-relative with forward
+/// slashes.
+pub fn display_path(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn human_format_is_clickable() {
+        let d = Diagnostic {
+            rule: "L001",
+            file: "crates/core/src/x.rs".into(),
+            line: 17,
+            message: "no unwrap".into(),
+        };
+        assert_eq!(d.to_string(), "crates/core/src/x.rs:17: L001: no unwrap");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let d = Diagnostic {
+            rule: "L002",
+            file: "a.rs".into(),
+            line: 1,
+            message: "derive(\"Debug\") forbidden".into(),
+        };
+        let j = d.to_json();
+        assert!(j.contains("\\\"Debug\\\""), "{j}");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn paths_are_workspace_relative() {
+        let root = PathBuf::from("/ws");
+        let p = PathBuf::from("/ws/crates/core/src/a.rs");
+        assert_eq!(display_path(&p, &root), "crates/core/src/a.rs");
+    }
+}

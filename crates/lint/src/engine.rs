@@ -1,0 +1,285 @@
+//! The rule engine: runs every rule over a scanned file, honoring
+//! `#[cfg(test)]` / `#[test]` regions and suppression directives.
+//!
+//! Suppression syntax:
+//!
+//! ```text
+//! risky_call(); // mykil-lint: allow(L001) -- proven unreachable: …
+//!
+//! // mykil-lint: allow(L003)
+//! if mac_a != mac_b { … }      // directive on its own line covers the
+//!                              // next code line
+//! ```
+//!
+//! Several rules may be listed: `allow(L001, L005)`.
+
+use crate::diagnostics::{display_path, Diagnostic};
+use crate::rules::{FileContext, RULES};
+use crate::tokenizer::{scan, Comment, ScannedFile, Token};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Lints one file's source text. `rel_path` must be workspace-relative
+/// with forward slashes — rule scoping keys off it.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let scanned = scan(source);
+    let test_mask = compute_test_mask(&scanned.tokens);
+    let suppressed = suppression_map(&scanned);
+    let ctx = FileContext {
+        path: rel_path,
+        tokens: &scanned.tokens,
+        test_mask: &test_mask,
+    };
+    let mut out = Vec::new();
+    for rule in RULES {
+        for d in (rule.check)(&ctx) {
+            let allowed = suppressed
+                .get(&d.line)
+                .is_some_and(|rules| rules.iter().any(|r| r == d.rule));
+            if !allowed {
+                out.push(d);
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Marks every token that lives inside `#[cfg(test)]` or `#[test]`
+/// code, so rules about production hygiene stay quiet in tests.
+pub fn compute_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        let Some(attr_end) = test_attribute_end(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        // The attribute governs the next item. Only mark if a block
+        // opens before any top-level `;` (so `#[cfg(test)] mod t;`
+        // does not swallow unrelated code).
+        let mut j = attr_end;
+        let mut pdepth = 0i32;
+        let block_start = loop {
+            let Some(tok) = tokens.get(j) else { break None };
+            if tok.is_punct('(') || tok.is_punct('[') {
+                pdepth += 1;
+            } else if tok.is_punct(')') || tok.is_punct(']') {
+                pdepth -= 1;
+            } else if tok.is_punct('{') && pdepth == 0 {
+                break Some(j);
+            } else if tok.is_punct(';') && pdepth == 0 {
+                break None;
+            }
+            j += 1;
+        };
+        if let Some(start) = block_start {
+            let mut depth = 1i32;
+            let mut k = start + 1;
+            while k < tokens.len() && depth > 0 {
+                if tokens[k].is_punct('{') {
+                    depth += 1;
+                } else if tokens[k].is_punct('}') {
+                    depth -= 1;
+                }
+                k += 1;
+            }
+            for flag in &mut mask[i..k] {
+                *flag = true;
+            }
+        }
+        i = attr_end;
+    }
+    mask
+}
+
+/// If a `#[test]`-like attribute starts at `i`, returns the index just
+/// past its closing `]`. Recognizes `#[test]`, `#[cfg(test)]`, and any
+/// `#[cfg(…test…)]` combination such as `#[cfg(all(test, unix))]`.
+fn test_attribute_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if !(tokens.get(i)?.is_punct('#') && tokens.get(i + 1)?.is_punct('[')) {
+        return None;
+    }
+    let head = tokens.get(i + 2)?;
+    let mut is_test_attr = head.is_ident("test");
+    let mut j = i + 2;
+    let mut depth = 1i32; // the `[`
+    while j < tokens.len() && depth > 0 {
+        let tok = &tokens[j];
+        if tok.is_punct('[') {
+            depth += 1;
+        } else if tok.is_punct(']') {
+            depth -= 1;
+        } else if head.is_ident("cfg") && tok.is_ident("test") {
+            is_test_attr = true;
+        }
+        j += 1;
+    }
+    is_test_attr.then_some(j)
+}
+
+/// Builds `line -> allowed rule ids` from suppression comments. A
+/// trailing comment covers its own line; a comment on its own line
+/// covers the next line that has code.
+fn suppression_map(scanned: &ScannedFile) -> HashMap<u32, Vec<String>> {
+    let mut map: HashMap<u32, Vec<String>> = HashMap::new();
+    for comment in &scanned.comments {
+        let Some(rules) = parse_directive(comment) else {
+            continue;
+        };
+        let target = if comment.has_code_before {
+            comment.line
+        } else {
+            scanned
+                .tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|l| *l > comment.line)
+                .unwrap_or(comment.line)
+        };
+        map.entry(target).or_default().extend(rules);
+    }
+    map
+}
+
+/// Parses `mykil-lint: allow(L001, L003) [-- reason]` from a comment.
+fn parse_directive(comment: &Comment) -> Option<Vec<String>> {
+    let text = comment.text.trim();
+    let rest = text.strip_prefix("mykil-lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let (list, _) = rest.split_once(')')?;
+    let rules: Vec<String> = list
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    (!rules.is_empty()).then_some(rules)
+}
+
+/// Recursively collects the `.rs` files the workspace linter covers:
+/// everything under `crates/` except `target/` and the linter's own
+/// fixture directories.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    collect_rs_files(&crates_dir, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every workspace file under `root`, returning diagnostics with
+/// workspace-relative paths.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for path in workspace_files(root)? {
+        let source = std::fs::read_to_string(&path)?;
+        let rel = display_path(&path, root);
+        out.extend(lint_source(&rel, &source));
+    }
+    out.sort_by(|a, b| (a.file.clone(), a.line, a.rule).cmp(&(b.file.clone(), b.line, b.rule)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        let scanned = scan(src);
+        let mask = compute_test_mask(&scanned.tokens);
+        let unwrap_idx = scanned
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .unwrap();
+        let prod_idx = scanned
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("prod"))
+            .unwrap();
+        assert!(mask[unwrap_idx]);
+        assert!(!mask[prod_idx]);
+    }
+
+    #[test]
+    fn cfg_test_path_declaration_marks_nothing_else() {
+        let src = "#[cfg(test)]\nmod tests;\nfn prod() { x.unwrap(); }\n";
+        let scanned = scan(src);
+        let mask = compute_test_mask(&scanned.tokens);
+        let unwrap_idx = scanned
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .unwrap();
+        assert!(!mask[unwrap_idx]);
+    }
+
+    #[test]
+    fn test_fn_attribute_masks_its_body() {
+        let src = "#[test]\nfn check() { y.expect(\"ok\"); }\nfn prod() {}\n";
+        let scanned = scan(src);
+        let mask = compute_test_mask(&scanned.tokens);
+        let expect_idx = scanned
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("expect"))
+            .unwrap();
+        let prod_idx = scanned
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("prod"))
+            .unwrap();
+        assert!(mask[expect_idx]);
+        assert!(!mask[prod_idx]);
+    }
+
+    #[test]
+    fn same_line_suppression() {
+        let src = "fn f() { x.unwrap(); // mykil-lint: allow(L001) -- startup only\n}";
+        assert!(lint_source("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn standalone_suppression_covers_next_line() {
+        let src = "fn f() {\n // mykil-lint: allow(L001)\n x.unwrap();\n}";
+        assert!(lint_source("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_for_other_rule_does_not_apply() {
+        let src = "fn f() { x.unwrap(); // mykil-lint: allow(L003)\n}";
+        let diags = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "L001");
+    }
+
+    #[test]
+    fn multi_rule_directive() {
+        let src = "fn f() { x.unwrap(); // mykil-lint: allow(L003, L001)\n}";
+        assert!(lint_source("crates/core/src/a.rs", src).is_empty());
+    }
+}

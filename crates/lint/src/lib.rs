@@ -1,0 +1,32 @@
+//! mykil-lint: workspace-aware static analysis for Mykil's key-secrecy
+//! and protocol-hygiene invariants.
+//!
+//! The linter is dependency-free: a hand-rolled token scanner
+//! ([`tokenizer`]) feeds a small rule engine ([`engine`]) running five
+//! rules ([`rules`]) tuned to this codebase:
+//!
+//! - **L001** — no `unwrap()`/`expect()` in non-test code of the
+//!   protocol crates (`core`, `net`, `tree`). A Mykil node processing a
+//!   malformed or Byzantine message must degrade to a `ProtocolError`,
+//!   never panic.
+//! - **L002** — secret-bearing types (`SymmetricKey`, `Rc4`,
+//!   `ChaCha20`, `RsaKeyPair`) must not derive `Debug`, `PartialEq`, or
+//!   `Hash`, and must implement `Drop` (zeroization).
+//! - **L003** — MAC/digest/secret byte comparisons must go through
+//!   `mykil_crypto::ct_eq`, never `==`/`!=`.
+//! - **L004** — no `std::time::{SystemTime, Instant}` in the
+//!   sim-deterministic crates (`net`, `core`).
+//! - **L005** — protocol `Msg` dispatch must list variants explicitly;
+//!   no `_ =>` catch-all.
+//!
+//! Findings are suppressed per line with
+//! `// mykil-lint: allow(L00x) -- reason`.
+
+pub mod diagnostics;
+pub mod engine;
+pub mod rules;
+pub mod tokenizer;
+
+pub use diagnostics::Diagnostic;
+pub use engine::{lint_source, lint_workspace};
+pub use rules::RULES;

@@ -1,0 +1,142 @@
+//! `mykil-lint` CLI.
+//!
+//! ```text
+//! mykil-lint --workspace [--format human|json]
+//! mykil-lint [--format human|json] FILE...
+//! mykil-lint --list-rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O
+//! error. JSON mode emits one object per finding (JSON Lines).
+
+use mykil_lint::diagnostics::display_path;
+use mykil_lint::{lint_source, lint_workspace, Diagnostic, RULES};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut format = Format::Human;
+    let mut workspace = false;
+    let mut list_rules = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--list-rules" => list_rules = true,
+            "--json" => format = Format::Json,
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("mykil-lint: --format expects human|json, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("mykil-lint: unknown flag {arg}");
+                print_usage();
+                return ExitCode::from(2);
+            }
+            _ => paths.push(PathBuf::from(arg)),
+        }
+    }
+
+    if list_rules {
+        for rule in RULES {
+            println!("{}  {}", rule.id, normalize_ws(rule.description));
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !workspace && paths.is_empty() {
+        eprintln!("mykil-lint: pass --workspace or at least one file");
+        print_usage();
+        return ExitCode::from(2);
+    }
+
+    let root = workspace_root();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    if workspace {
+        match lint_workspace(&root) {
+            Ok(d) => diagnostics.extend(d),
+            Err(e) => {
+                eprintln!("mykil-lint: workspace walk failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Ok(source) => {
+                let rel = display_path(path, &root);
+                diagnostics.extend(lint_source(&rel, &source));
+            }
+            Err(e) => {
+                eprintln!("mykil-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for d in &diagnostics {
+        match format {
+            Format::Human => println!("{d}"),
+            Format::Json => println!("{}", d.to_json()),
+        }
+    }
+    if diagnostics.is_empty() {
+        if matches!(format, Format::Human) {
+            eprintln!("mykil-lint: clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        if matches!(format, Format::Human) {
+            eprintln!(
+                "mykil-lint: {} finding{}",
+                diagnostics.len(),
+                if diagnostics.len() == 1 { "" } else { "s" }
+            );
+        }
+        ExitCode::from(1)
+    }
+}
+
+/// The workspace root: nearest ancestor of the current directory with a
+/// `Cargo.toml` containing `[workspace]` (falls back to the cwd).
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir: &Path = &cwd;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir.to_path_buf();
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd,
+        }
+    }
+}
+
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: mykil-lint [--workspace] [--format human|json] [--list-rules] [FILE...]\n\
+         exit codes: 0 clean, 1 findings, 2 error"
+    );
+}

@@ -1,0 +1,577 @@
+//! The five Mykil lint rules.
+//!
+//! Each rule reports [`Diagnostic`]s over a scanned file. Rules are
+//! scoped by crate: the linter computes which workspace crate a file
+//! belongs to from its path, and each rule declares which crates and
+//! regions (test vs. non-test) it applies to.
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | L001 | no `unwrap()`/`expect()` in non-test code of protocol crates |
+//! | L002 | secret types derive no `Debug`/`PartialEq`/`Hash` and zeroize on `Drop` |
+//! | L003 | MAC/digest comparisons go through `ct_eq`, never `==`/`!=` |
+//! | L004 | no wall-clock (`SystemTime`/`Instant`) in sim-deterministic crates |
+//! | L005 | protocol `Msg` dispatch has no `_ =>` catch-all |
+
+use crate::diagnostics::Diagnostic;
+use crate::tokenizer::{Token, TokenKind};
+
+/// Crates whose non-test code must be panic-free on peer input (L001).
+pub const PROTOCOL_CRATES: &[&str] = &["core", "net", "tree"];
+
+/// Crates that must never read wall-clock time (L004): all their
+/// behavior flows from the deterministic simulator clock.
+pub const SIM_DETERMINISTIC_CRATES: &[&str] = &["net", "core"];
+
+/// Types holding key material or cipher state (L002): no leaking
+/// derives, mandatory zeroize-on-`Drop`.
+pub const SECRET_TYPES: &[&str] = &["SymmetricKey", "Rc4", "ChaCha20", "RsaKeyPair"];
+
+/// Derives forbidden on secret types: `Debug` prints state, and derived
+/// `PartialEq`/`Hash` walk the bytes with early exit (timing leak).
+const FORBIDDEN_DERIVES: &[&str] = &["Debug", "PartialEq", "Hash"];
+
+/// Identifier segments that mark a value as MAC/digest material (L003).
+const SECRET_COMPARE_SEGMENTS: &[&str] = &["mac", "tag", "digest", "hmac"];
+
+/// Enum names whose dispatch must be exhaustive (L005).
+const DISPATCH_ENUMS: &[&str] = &["Msg"];
+
+/// Everything a rule needs to know about one file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub path: &'a str,
+    /// Code tokens.
+    pub tokens: &'a [Token],
+    /// Per-token flag: inside `#[cfg(test)]` / `#[test]` code.
+    pub test_mask: &'a [bool],
+}
+
+impl FileContext<'_> {
+    /// The `crates/<name>/src/` crate this file belongs to, if any.
+    pub fn crate_name(&self) -> Option<&str> {
+        let rest = self.path.strip_prefix("crates/")?;
+        let (name, tail) = rest.split_once('/')?;
+        tail.starts_with("src/").then_some(name)
+    }
+
+    fn in_protocol_src(&self) -> bool {
+        self.crate_name()
+            .is_some_and(|c| PROTOCOL_CRATES.contains(&c))
+    }
+}
+
+/// A lint rule: id, one-line rationale, and the check itself.
+pub struct RuleInfo {
+    /// Stable rule id (`L001`…).
+    pub id: &'static str,
+    /// One-line description used by `--list-rules` and docs.
+    pub description: &'static str,
+    /// The check function.
+    pub check: fn(&FileContext<'_>) -> Vec<Diagnostic>,
+}
+
+/// The rule registry, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "L001",
+        description: "no unwrap()/expect() in non-test code of protocol crates \
+                      (core, net, tree): malformed peer input must not panic a node",
+        check: check_l001,
+    },
+    RuleInfo {
+        id: "L002",
+        description: "secret-bearing types (SymmetricKey, Rc4, ChaCha20, RsaKeyPair) \
+                      must not derive Debug/PartialEq/Hash and must impl Drop (zeroize)",
+        check: check_l002,
+    },
+    RuleInfo {
+        id: "L003",
+        description: "MAC/digest/secret byte comparisons must use ct_eq, \
+                      never ==/!= (timing side channel)",
+        check: check_l003,
+    },
+    RuleInfo {
+        id: "L004",
+        description: "no wall-clock reads (SystemTime/Instant) in sim-deterministic \
+                      crates (net, core): the simulator owns time",
+        check: check_l004,
+    },
+    RuleInfo {
+        id: "L005",
+        description: "protocol Msg dispatch must match variants exhaustively, \
+                      no `_ =>` catch-all (new wire messages must be triaged)",
+        check: check_l005,
+    },
+];
+
+fn diag(rule: &'static str, ctx: &FileContext<'_>, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        file: ctx.path.to_string(),
+        line,
+        message,
+    }
+}
+
+/// L001: `.unwrap(` / `.expect(` outside test code of protocol crates.
+fn check_l001(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    if !ctx.in_protocol_src() {
+        return Vec::new();
+    }
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    for i in 1..t.len().saturating_sub(1) {
+        if ctx.test_mask[i] {
+            continue;
+        }
+        let name = &t[i];
+        if name.kind == TokenKind::Ident
+            && (name.text == "unwrap" || name.text == "expect")
+            && t[i - 1].is_punct('.')
+            && t[i + 1].is_punct('(')
+        {
+            out.push(diag(
+                "L001",
+                ctx,
+                name.line,
+                format!(
+                    "`{}()` can panic on malformed or Byzantine peer input; \
+                     return a ProtocolError (or annotate a proven-unreachable case)",
+                    name.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// L002: forbidden derives on secret types + mandatory `impl Drop`.
+fn check_l002(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    if ctx.crate_name() != Some("crypto") {
+        return Vec::new();
+    }
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+
+    // Pass 1: derive lists directly preceding a secret struct/enum.
+    let mut i = 0;
+    while i < t.len() {
+        if t[i].is_punct('#') && t.get(i + 1).is_some_and(|x| x.is_punct('[')) {
+            if let Some((derives, attr_end)) = parse_derive_attr(t, i) {
+                if let Some(name) = struct_name_after_attrs(t, attr_end) {
+                    if SECRET_TYPES.contains(&name.text.as_str()) {
+                        for (trait_name, line) in &derives {
+                            if FORBIDDEN_DERIVES.contains(&trait_name.as_str()) {
+                                out.push(diag(
+                                    "L002",
+                                    ctx,
+                                    *line,
+                                    format!(
+                                        "secret type `{}` must not derive `{}` \
+                                         (leaks or timing-compares key material); \
+                                         implement it manually if needed",
+                                        name.text, trait_name
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                i = attr_end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // Pass 2: every secret type *defined* here must impl Drop here.
+    for idx in 0..t.len() {
+        if t[idx].is_ident("struct")
+            && idx > 0
+            && !t[idx - 1].is_ident("impl")
+            && t.get(idx + 1).is_some_and(|n| {
+                n.kind == TokenKind::Ident && SECRET_TYPES.contains(&n.text.as_str())
+            })
+        {
+            let name = &t[idx + 1];
+            let has_drop = t.windows(4).any(|w| {
+                w[0].is_ident("impl")
+                    && w[1].is_ident("Drop")
+                    && w[2].is_ident("for")
+                    && w[3].is_ident(&name.text)
+            });
+            if !has_drop {
+                out.push(diag(
+                    "L002",
+                    ctx,
+                    name.line,
+                    format!(
+                        "secret type `{}` must zeroize on Drop \
+                         (`impl Drop for {}` not found in this file)",
+                        name.text, name.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parses `#[derive(A, B, …)]` starting at the `#` token. Returns the
+/// derive list (name, line) and the index just past the closing `]`.
+fn parse_derive_attr(t: &[Token], i: usize) -> Option<(Vec<(String, u32)>, usize)> {
+    if !(t.get(i)?.is_punct('#') && t.get(i + 1)?.is_punct('[') && t.get(i + 2)?.is_ident("derive"))
+    {
+        return None;
+    }
+    let mut derives = Vec::new();
+    let mut j = i + 3;
+    if !t.get(j)?.is_punct('(') {
+        return None;
+    }
+    j += 1;
+    let mut depth = 1u32;
+    while j < t.len() && depth > 0 {
+        if t[j].is_punct('(') {
+            depth += 1;
+        } else if t[j].is_punct(')') {
+            depth -= 1;
+        } else if depth == 1 && t[j].kind == TokenKind::Ident {
+            derives.push((t[j].text.clone(), t[j].line));
+        }
+        j += 1;
+    }
+    // Expect the closing `]`.
+    if t.get(j).is_some_and(|x| x.is_punct(']')) {
+        j += 1;
+    }
+    Some((derives, j))
+}
+
+/// Finds the struct/enum name after any further attributes and
+/// visibility modifiers, without crossing into other items.
+fn struct_name_after_attrs(t: &[Token], mut j: usize) -> Option<&Token> {
+    while j < t.len() {
+        if t[j].is_punct('#') && t.get(j + 1).is_some_and(|x| x.is_punct('[')) {
+            // Skip a whole attribute.
+            let mut depth = 0u32;
+            j += 1;
+            while j < t.len() {
+                if t[j].is_punct('[') {
+                    depth += 1;
+                } else if t[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            continue;
+        }
+        if t[j].is_ident("pub") {
+            j += 1;
+            // Skip `(crate)` etc.
+            if t.get(j).is_some_and(|x| x.is_punct('(')) {
+                let mut depth = 0u32;
+                while j < t.len() {
+                    if t[j].is_punct('(') {
+                        depth += 1;
+                    } else if t[j].is_punct(')') {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            continue;
+        }
+        if t[j].is_ident("struct") || t[j].is_ident("enum") {
+            return t.get(j + 1);
+        }
+        return None;
+    }
+    None
+}
+
+/// L003: `==` / `!=` on values whose names mark them as MAC material.
+fn check_l003(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let Some(c) = ctx.crate_name() else {
+        return Vec::new();
+    };
+    if !(c == "crypto" || PROTOCOL_CRATES.contains(&c)) {
+        return Vec::new();
+    }
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len().saturating_sub(1) {
+        if ctx.test_mask[i] {
+            continue;
+        }
+        let is_eq = t[i].is_punct('=') && t[i + 1].is_punct('=');
+        let is_ne = t[i].is_punct('!') && t[i + 1].is_punct('=');
+        if !(is_eq || is_ne) {
+            continue;
+        }
+        // `a == b` must not be the tail of `<=`, `>=`, `==` already
+        // counted, or `=>`.
+        if i > 0 && (t[i - 1].is_punct('<') || t[i - 1].is_punct('>') || t[i - 1].is_punct('=')) {
+            continue;
+        }
+        if t.get(i + 2).is_some_and(|x| x.is_punct('=')) && is_eq {
+            // `===` cannot occur in Rust; defensive skip.
+            continue;
+        }
+        // Length comparisons are not secret-dependent.
+        if i >= 3 && t[i - 1].is_punct(')') && t[i - 2].is_punct('(') && t[i - 3].is_ident("len") {
+            continue;
+        }
+        let window_hits = |range: &mut dyn Iterator<Item = usize>| -> bool {
+            range.take(8).any(|j| {
+                t.get(j).is_some_and(|tok| {
+                    tok.kind == TokenKind::Ident && ident_is_secret_compare(&tok.text)
+                })
+            })
+        };
+        let left_hit = window_hits(&mut (0..i).rev());
+        let right_hit = window_hits(&mut (i + 2..t.len()));
+        if left_hit || right_hit {
+            out.push(diag(
+                "L003",
+                ctx,
+                t[i].line,
+                format!(
+                    "byte-wise `{}` on MAC/digest material is a timing side channel; \
+                     compare through mykil_crypto::ct_eq",
+                    if is_eq { "==" } else { "!=" }
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Whether an identifier names MAC/digest material: any snake_case
+/// segment equal to one of the marker words.
+fn ident_is_secret_compare(ident: &str) -> bool {
+    ident
+        .split('_')
+        .any(|seg| SECRET_COMPARE_SEGMENTS.contains(&seg.to_ascii_lowercase().as_str()))
+}
+
+/// L004: wall-clock types in sim-deterministic crates.
+fn check_l004(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let Some(c) = ctx.crate_name() else {
+        return Vec::new();
+    };
+    if !SIM_DETERMINISTIC_CRATES.contains(&c) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for tok in ctx.tokens {
+        if tok.kind == TokenKind::Ident && (tok.text == "SystemTime" || tok.text == "Instant") {
+            out.push(diag(
+                "L004",
+                ctx,
+                tok.line,
+                format!(
+                    "`{}` reads wall-clock time; sim-deterministic crates must take \
+                     time from the simulator (`mykil_net::Time`) so runs reproduce bit-exactly",
+                    tok.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// L005: `_ =>` catch-alls inside `Msg` dispatch matches.
+fn check_l005(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    if ctx.crate_name() != Some("core") {
+        return Vec::new();
+    }
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < t.len() {
+        if !t[i].is_ident("match") || ctx.test_mask[i] {
+            i += 1;
+            continue;
+        }
+        // Find the `{` opening the match body (scrutinees cannot contain
+        // top-level braces without parens).
+        let mut j = i + 1;
+        let mut pdepth = 0i32;
+        let body_start = loop {
+            let Some(tok) = t.get(j) else {
+                break None;
+            };
+            if tok.is_punct('(') || tok.is_punct('[') {
+                pdepth += 1;
+            } else if tok.is_punct(')') || tok.is_punct(']') {
+                pdepth -= 1;
+            } else if tok.is_punct('{') && pdepth == 0 {
+                break Some(j);
+            } else if tok.is_punct(';') && pdepth == 0 {
+                break None; // not a match expression after all
+            }
+            j += 1;
+        };
+        let Some(body_start) = body_start else {
+            i += 1;
+            continue;
+        };
+        let (arms, body_end) = collect_match_arms(t, body_start);
+        let dispatches_wire_enum = arms.iter().any(|(pat_start, pat_end, _)| {
+            (*pat_start..*pat_end).any(|k| {
+                t[k].kind == TokenKind::Ident
+                    && DISPATCH_ENUMS.contains(&t[k].text.as_str())
+                    && t.get(k + 1).is_some_and(|a| a.is_punct(':'))
+                    && t.get(k + 2).is_some_and(|a| a.is_punct(':'))
+            })
+        });
+        if dispatches_wire_enum {
+            for (pat_start, pat_end, line) in &arms {
+                let pat = &t[*pat_start..*pat_end];
+                // `_` lexes as an identifier, not punctuation.
+                if pat.len() == 1 && pat[0].is_ident("_") {
+                    out.push(diag(
+                        "L005",
+                        ctx,
+                        *line,
+                        "protocol dispatch uses a `_ =>` catch-all; list the ignored \
+                         Msg variants explicitly so new wire messages are triaged \
+                         deliberately"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        i = body_end.max(i + 1);
+    }
+    out
+}
+
+/// Collects `(pattern_start, pattern_end, line)` for each arm of the
+/// match whose `{` is at `body_start`; returns the index after the
+/// closing `}` as well.
+fn collect_match_arms(t: &[Token], body_start: usize) -> (Vec<(usize, usize, u32)>, usize) {
+    let mut arms = Vec::new();
+    let mut j = body_start + 1;
+    let mut brace = 1i32;
+    let mut paren = 0i32;
+    let mut arm_start: Option<usize> = None;
+    while j < t.len() && brace > 0 {
+        let tok = &t[j];
+        if tok.is_punct('{') {
+            brace += 1;
+        } else if tok.is_punct('}') {
+            brace -= 1;
+            if brace == 0 {
+                break;
+            }
+        } else if tok.is_punct('(') || tok.is_punct('[') {
+            paren += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') {
+            paren -= 1;
+        }
+        if brace == 1 && paren == 0 {
+            if arm_start.is_none() && !tok.is_punct(',') && !tok.is_punct('}') {
+                arm_start = Some(j);
+            }
+            // `=>` terminates the pattern (and any guard).
+            if tok.is_punct('=') && t.get(j + 1).is_some_and(|x| x.is_punct('>')) {
+                if let Some(start) = arm_start.take() {
+                    // Trim a trailing `if guard` from the pattern so a
+                    // lone `_ if cond` still counts as `_`.
+                    let mut end = j;
+                    for k in start..j {
+                        if t[k].is_ident("if") {
+                            end = k;
+                            break;
+                        }
+                    }
+                    arms.push((start, end, t[start].line));
+                }
+                // Skip over the arm body: either a block or until the
+                // next `,` at this depth.
+                j += 2;
+                if t.get(j).is_some_and(|x| x.is_punct('{')) {
+                    let mut d = 1i32;
+                    j += 1;
+                    while j < t.len() && d > 0 {
+                        if t[j].is_punct('{') {
+                            d += 1;
+                        } else if t[j].is_punct('}') {
+                            d -= 1;
+                        }
+                        j += 1;
+                    }
+                } else {
+                    let mut d_paren = 0i32;
+                    let mut d_brace = 0i32;
+                    while j < t.len() {
+                        let b = &t[j];
+                        if b.is_punct('(') || b.is_punct('[') {
+                            d_paren += 1;
+                        } else if b.is_punct(')') || b.is_punct(']') {
+                            d_paren -= 1;
+                        } else if b.is_punct('{') {
+                            d_brace += 1;
+                        } else if b.is_punct('}') {
+                            if d_brace == 0 {
+                                break; // end of the match itself
+                            }
+                            d_brace -= 1;
+                        } else if b.is_punct(',') && d_paren == 0 && d_brace == 0 {
+                            j += 1;
+                            break;
+                        }
+                        j += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        j += 1;
+    }
+    (arms, j + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::lint_source;
+
+    fn rules_fired(path: &str, src: &str) -> Vec<String> {
+        lint_source(path, src)
+            .into_iter()
+            .map(|d| d.rule.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn secret_segment_matching() {
+        assert!(ident_is_secret_compare("expected_tag"));
+        assert!(ident_is_secret_compare("mac"));
+        assert!(ident_is_secret_compare("hmac_out"));
+        assert!(!ident_is_secret_compare("stage"));
+        assert!(!ident_is_secret_compare("message"));
+        // Segment matching, not substring matching: "tags" != "tag".
+        assert!(!ident_is_secret_compare("tags_list"));
+    }
+
+    #[test]
+    fn crate_scoping() {
+        // L001 only applies to protocol crates.
+        let src = "fn f() { x.unwrap(); }";
+        assert_eq!(rules_fired("crates/core/src/a.rs", src), vec!["L001"]);
+        assert_eq!(rules_fired("crates/analysis/src/a.rs", src), Vec::<String>::new());
+        assert_eq!(rules_fired("crates/core/tests/a.rs", src), Vec::<String>::new());
+    }
+}

@@ -1,0 +1,437 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! This is not a full lexer for the Rust grammar — it is exactly enough
+//! to lint reliably: it distinguishes identifiers, punctuation, and
+//! literals; it never confuses comment or string contents for code; it
+//! handles nested block comments, raw strings (`r#"…"#`), byte strings,
+//! char literals, and lifetimes; and every token carries its 1-based
+//! source line.
+//!
+//! Comments are not discarded: line comments are collected per line so
+//! the rule engine can honor `// mykil-lint: allow(<rule>)` suppression
+//! directives.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`match`, `unwrap`, `SymmetricKey`, …).
+    Ident,
+    /// A single punctuation character (`.`, `=`, `{`, …). Multi-char
+    /// operators appear as consecutive tokens.
+    Punct,
+    /// String, raw-string, byte-string, char, or numeric literal. The
+    /// text of string-like literals is the *delimiters only* (`"…"`),
+    /// so rule patterns can never match inside quoted data.
+    Literal,
+    /// A lifetime such as `'a` (kept distinct so char-literal handling
+    /// cannot eat code).
+    Lifetime,
+}
+
+/// One lexeme with its location.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The kind of lexeme.
+    pub kind: TokenKind,
+    /// Token text; string-like literals are collapsed to `"…"`.
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A line comment found during scanning (block comments are folded to
+/// their first line).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` delimiters, trimmed.
+    pub text: String,
+    /// Whether anything other than whitespace preceded the comment on
+    /// its line (directive comments on their own line apply to the
+    /// *next* line instead).
+    pub has_code_before: bool,
+}
+
+/// Result of scanning one source file.
+#[derive(Debug, Default)]
+pub struct ScannedFile {
+    /// All code tokens in order.
+    pub tokens: Vec<Token>,
+    /// All comments in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Scans Rust source text into tokens and comments.
+pub fn scan(source: &str) -> ScannedFile {
+    let bytes = source.as_bytes();
+    let mut out = ScannedFile::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_had_code = false;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                line_had_code = false;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: source[start..end].trim().to_string(),
+                    has_code_before: line_had_code,
+                });
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let comment_line = line;
+                let had_code = line_had_code;
+                let start = i + 2;
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        line_had_code = false;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: comment_line,
+                    text: source[start..end].trim().to_string(),
+                    has_code_before: had_code,
+                });
+            }
+            '"' => {
+                let consumed = scan_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: "\"…\"".to_string(),
+                    line,
+                });
+                line_had_code = true;
+                i = consumed;
+            }
+            'r' | 'b' if starts_string_prefix(bytes, i) => {
+                let tok_line = line;
+                let consumed = scan_prefixed_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: "\"…\"".to_string(),
+                    line: tok_line,
+                });
+                line_had_code = true;
+                i = consumed;
+            }
+            '\'' => {
+                // Lifetime or char literal. A lifetime is `'` followed by
+                // an identifier NOT terminated by a closing quote.
+                if is_lifetime(bytes, i) {
+                    let mut end = i + 1;
+                    while end < bytes.len() && is_ident_continue(bytes[end]) {
+                        end += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: source[i..end].to_string(),
+                        line,
+                    });
+                    line_had_code = true;
+                    i = end;
+                } else {
+                    let consumed = scan_char_literal(bytes, i);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: "'…'".to_string(),
+                        line,
+                    });
+                    line_had_code = true;
+                    i = consumed;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i + 1;
+                // Good enough for linting: digits, `_`, type suffixes,
+                // hex/oct/bin bodies, and float dots (a dot followed by a
+                // digit, so `0..24` stays two punct tokens).
+                while end < bytes.len()
+                    && (is_ident_continue(bytes[end])
+                        || (bytes[end] == b'.'
+                            && bytes.get(end + 1).is_some_and(u8::is_ascii_digit)
+                            && bytes.get(end.wrapping_sub(1)) != Some(&b'.')))
+                {
+                    end += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[i..end].to_string(),
+                    line,
+                });
+                line_had_code = true;
+                i = end;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut end = i + 1;
+                while end < bytes.len() && is_ident_continue(bytes[end]) {
+                    end += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[i..end].to_string(),
+                    line,
+                });
+                line_had_code = true;
+                i = end;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                line_had_code = true;
+                i += c.len_utf8();
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || (b as char).is_ascii_alphanumeric()
+}
+
+/// Whether the `r`/`b` at `i` starts a raw/byte string or char prefix.
+fn starts_string_prefix(bytes: &[u8], i: usize) -> bool {
+    // r", r#, b", b', br", br#, rb is not valid Rust.
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(bytes.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Consumes a plain `"…"` string starting at `i`; returns the index
+/// after the closing quote and updates `line` for embedded newlines.
+fn scan_string(bytes: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Consumes `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#` forms.
+fn scan_prefixed_string(bytes: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    let mut raw = false;
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') {
+        raw |= bytes[j] == b'r';
+        j += 1;
+    }
+    if !raw {
+        return match bytes.get(j) {
+            Some(b'"') => scan_string(bytes, j, line),
+            Some(b'\'') => scan_char_literal(bytes, j),
+            _ => j + 1,
+        };
+    }
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return j;
+    }
+    j += 1;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Consumes a char literal `'x'`, `'\n'`, `'\\'`, `'\u{…}'`.
+fn scan_char_literal(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// `'` at `i` starts a lifetime (not a char literal) when an identifier
+/// follows and the char after the identifier is not a closing `'`.
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    let Some(&first) = bytes.get(i + 1) else {
+        return false;
+    };
+    if !(first == b'_' || (first as char).is_ascii_alphabetic()) {
+        return false;
+    }
+    let mut j = i + 2;
+    while j < bytes.len() && is_ident_continue(bytes[j]) {
+        j += 1;
+    }
+    bytes.get(j) != Some(&b'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_invisible() {
+        let src = r##"
+            // this unwrap() is a comment
+            /* and this expect() too, /* nested */ still comment */
+            let s = "calling unwrap() in a string";
+            let r = r#"raw unwrap() string"#;
+            let b = b"byte unwrap()";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let scanned = scan(src);
+        let lifetimes: Vec<_> = scanned
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(scanned
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'…'"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let src = r"let q = '\''; let b = '\\'; after();";
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let src = "a();\nb();\n\nc();";
+        let scanned = scan(src);
+        let line_of = |name: &str| {
+            scanned
+                .tokens
+                .iter()
+                .find(|t| t.is_ident(name))
+                .unwrap()
+                .line
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 2);
+        assert_eq!(line_of("c"), 4);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let src = "let s = \"one\ntwo\nthree\";\nafter();";
+        let scanned = scan(src);
+        let after = scanned.tokens.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn comments_record_position_and_code_presence() {
+        let src = "let x = 1; // trailing\n// standalone\nlet y = 2;";
+        let scanned = scan(src);
+        assert_eq!(scanned.comments.len(), 2);
+        assert!(scanned.comments[0].has_code_before);
+        assert_eq!(scanned.comments[0].text, "trailing");
+        assert!(!scanned.comments[1].has_code_before);
+        assert_eq!(scanned.comments[1].line, 2);
+    }
+
+    #[test]
+    fn range_expressions_are_not_floats() {
+        let src = "let r = 0..24;";
+        let scanned = scan(src);
+        let texts: Vec<_> = scanned.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"24"));
+        assert_eq!(texts.iter().filter(|t| **t == ".").count(), 2);
+    }
+}

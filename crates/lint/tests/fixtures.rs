@@ -1,0 +1,269 @@
+//! Fixture tests: every rule must fire on a violating snippet and stay
+//! quiet on clean and suppressed variants.
+
+use mykil_lint::lint_source;
+
+fn rules_at(path: &str, src: &str) -> Vec<(String, u32)> {
+    lint_source(path, src)
+        .into_iter()
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect()
+}
+
+fn rule_ids(path: &str, src: &str) -> Vec<String> {
+    rules_at(path, src).into_iter().map(|(r, _)| r).collect()
+}
+
+// ---------------------------------------------------------------- L001
+
+#[test]
+fn l001_fires_on_unwrap_in_protocol_crate() {
+    let src = "pub fn handle(m: Msg) {\n    let x = decode(m).unwrap();\n    use_it(x);\n}\n";
+    for krate in ["core", "net", "tree"] {
+        let path = format!("crates/{krate}/src/handler.rs");
+        assert_eq!(rules_at(&path, src), vec![("L001".to_string(), 2)], "{krate}");
+    }
+}
+
+#[test]
+fn l001_fires_on_expect() {
+    let src = "fn f() { g().expect(\"boom\"); }";
+    assert_eq!(rule_ids("crates/core/src/a.rs", src), vec!["L001"]);
+}
+
+#[test]
+fn l001_quiet_outside_protocol_crates() {
+    let src = "fn f() { g().unwrap(); }";
+    assert!(rule_ids("crates/crypto/src/a.rs", src).is_empty());
+    assert!(rule_ids("crates/baselines/src/a.rs", src).is_empty());
+    assert!(rule_ids("src/main.rs", src).is_empty());
+}
+
+#[test]
+fn l001_quiet_in_test_code() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { g().unwrap(); }\n}\n";
+    assert!(rule_ids("crates/core/src/a.rs", src).is_empty());
+    // Integration tests live outside src/ and are always exempt.
+    assert!(rule_ids("crates/core/tests/a.rs", "fn f() { g().unwrap(); }").is_empty());
+}
+
+#[test]
+fn l001_quiet_on_identifiers_merely_named_unwrap() {
+    // `unwrap` not called as a method: a field access or free fn.
+    let src = "fn f() { let unwrap = 1; h(unwrap); unwrap_all(); }";
+    assert!(rule_ids("crates/core/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn l001_quiet_on_unwrap_inside_string_or_comment() {
+    let src = "fn f() {\n    // calling .unwrap() would be bad here\n    log(\"never .unwrap() peers\");\n}\n";
+    assert!(rule_ids("crates/core/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn l001_suppressed_with_directive() {
+    let same_line =
+        "fn f() { g().unwrap(); // mykil-lint: allow(L001) -- init-time, config validated\n}";
+    assert!(rule_ids("crates/core/src/a.rs", same_line).is_empty());
+    let own_line =
+        "fn f() {\n    // mykil-lint: allow(L001) -- invariant: key present\n    g().unwrap();\n}";
+    assert!(rule_ids("crates/core/src/a.rs", own_line).is_empty());
+}
+
+// ---------------------------------------------------------------- L002
+
+#[test]
+fn l002_fires_on_debug_derive_for_secret_type() {
+    let src = "#[derive(Clone, Debug)]\npub struct SymmetricKey([u8; 16]);\nimpl Drop for SymmetricKey { fn drop(&mut self) {} }\n";
+    assert_eq!(rule_ids("crates/crypto/src/keys.rs", src), vec!["L002"]);
+}
+
+#[test]
+fn l002_fires_on_derived_partial_eq_and_hash() {
+    let src = "#[derive(PartialEq, Eq, Hash)]\npub struct SymmetricKey([u8; 16]);\nimpl Drop for SymmetricKey { fn drop(&mut self) {} }\n";
+    let ids = rule_ids("crates/crypto/src/keys.rs", src);
+    assert_eq!(ids, vec!["L002", "L002"]); // PartialEq + Hash
+}
+
+#[test]
+fn l002_fires_when_drop_is_missing() {
+    let src = "#[derive(Clone)]\npub struct Rc4 { s: [u8; 256] }\n";
+    let diags = lint_source("crates/crypto/src/rc4.rs", src);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("Drop"), "{}", diags[0].message);
+}
+
+#[test]
+fn l002_quiet_on_clean_secret_type() {
+    let src = "#[derive(Clone)]\npub struct ChaCha20 { state: [u32; 16] }\nimpl Drop for ChaCha20 { fn drop(&mut self) { self.state = [0; 16]; } }\n";
+    assert!(rule_ids("crates/crypto/src/chacha.rs", src).is_empty());
+}
+
+#[test]
+fn l002_quiet_on_non_secret_type_with_debug() {
+    let src = "#[derive(Clone, Debug, PartialEq)]\npub struct KeyId(u64);\n";
+    assert!(rule_ids("crates/crypto/src/keys.rs", src).is_empty());
+}
+
+#[test]
+fn l002_quiet_outside_crypto_crate() {
+    // Other crates may name-collide; the secrecy rule is scoped to the
+    // crate that defines the real types.
+    let src = "#[derive(Debug)]\nstruct SymmetricKey;\n";
+    assert!(rule_ids("crates/analysis/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn l002_suppressed_with_directive() {
+    let src = "// mykil-lint: allow(L002) -- test-only mirror of the real type\n#[derive(Debug)]\npub struct SymmetricKey([u8; 16]);\nimpl Drop for SymmetricKey { fn drop(&mut self) {} }\n";
+    assert!(rule_ids("crates/crypto/src/keys.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- L003
+
+#[test]
+fn l003_fires_on_mac_equality() {
+    let src = "fn verify(expected_mac: &[u8], got_mac: &[u8]) -> bool {\n    expected_mac == got_mac\n}\n";
+    assert_eq!(rules_at("crates/crypto/src/hmac.rs", src), vec![("L003".to_string(), 2)]);
+}
+
+#[test]
+fn l003_fires_on_tag_inequality_in_core() {
+    let src = "fn check(tag: [u8; 16], expected_tag: [u8; 16]) {\n    if tag != expected_tag { reject(); }\n}\n";
+    assert_eq!(rule_ids("crates/core/src/a.rs", src), vec!["L003"]);
+}
+
+#[test]
+fn l003_fires_on_digest_compare() {
+    let src = "fn f(digest: &[u8; 32], other: &[u8; 32]) -> bool { digest == other }";
+    assert_eq!(rule_ids("crates/crypto/src/sha256.rs", src), vec!["L003"]);
+}
+
+#[test]
+fn l003_quiet_on_length_checks() {
+    let src = "fn f(mac: &[u8]) -> bool { mac.len() == 16 }";
+    assert!(rule_ids("crates/crypto/src/hmac.rs", src).is_empty());
+}
+
+#[test]
+fn l003_quiet_on_unrelated_identifiers() {
+    // `stage` and `message` contain no mac/tag/digest snake segment.
+    let src = "fn f(stage: u8, message: u8) -> bool { stage == message }";
+    assert!(rule_ids("crates/crypto/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn l003_quiet_on_ct_eq_usage() {
+    let src = "fn verify(mac: &[u8], expected_mac: &[u8]) -> bool { ct_eq(mac, expected_mac) }";
+    assert!(rule_ids("crates/crypto/src/hmac.rs", src).is_empty());
+}
+
+#[test]
+fn l003_quiet_in_tests() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(mac_a == mac_b); }\n}\n";
+    assert!(rule_ids("crates/crypto/src/hmac.rs", src).is_empty());
+}
+
+#[test]
+fn l003_suppressed_with_directive() {
+    let src = "fn f(mac: &[u8], m2: &[u8]) -> bool {\n    // mykil-lint: allow(L003) -- public values, not secret-dependent\n    mac == m2\n}\n";
+    assert!(rule_ids("crates/crypto/src/a.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- L004
+
+#[test]
+fn l004_fires_on_instant_in_net() {
+    let src = "use std::time::Instant;\nfn now() -> Instant { Instant::now() }\n";
+    let ids = rule_ids("crates/net/src/clock.rs", src);
+    assert!(!ids.is_empty() && ids.iter().all(|r| r == "L004"), "{ids:?}");
+}
+
+#[test]
+fn l004_fires_on_system_time_in_core() {
+    let src = "fn stamp() -> u64 { std::time::SystemTime::now().elapsed().as_secs() }";
+    assert_eq!(rule_ids("crates/core/src/a.rs", src), vec!["L004"]);
+}
+
+#[test]
+fn l004_quiet_on_duration() {
+    let src = "use std::time::Duration;\nfn d() -> Duration { Duration::from_millis(5) }\n";
+    assert!(rule_ids("crates/net/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn l004_quiet_outside_sim_deterministic_crates() {
+    // Benchmarks and the crypto crate may time things for reporting.
+    let src = "use std::time::Instant;\nfn t() { let _ = Instant::now(); }\n";
+    assert!(rule_ids("crates/crypto/src/a.rs", src).is_empty());
+    assert!(rule_ids("crates/net/benches/b.rs", src).is_empty());
+}
+
+#[test]
+fn l004_suppressed_with_directive() {
+    let src = "fn t() {\n    let _ = std::time::Instant::now(); // mykil-lint: allow(L004) -- wall-clock metrics only\n}\n";
+    assert!(rule_ids("crates/net/src/a.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- L005
+
+#[test]
+fn l005_fires_on_catch_all_in_msg_dispatch() {
+    let src = "fn on_msg(&mut self, m: Msg) {\n    match m {\n        Msg::Join1 { .. } => self.join(m),\n        Msg::Data(d) => self.data(d),\n        _ => {}\n    }\n}\n";
+    assert_eq!(rules_at("crates/core/src/member.rs", src), vec![("L005".to_string(), 5)]);
+}
+
+#[test]
+fn l005_fires_on_guarded_catch_all() {
+    let src = "fn on_msg(m: Msg) {\n    match m {\n        Msg::Data(d) => handle(d),\n        _ if true => {}\n        _ => {}\n    }\n}\n";
+    let ids = rule_ids("crates/core/src/member.rs", src);
+    assert_eq!(ids, vec!["L005", "L005"]);
+}
+
+#[test]
+fn l005_quiet_on_exhaustive_dispatch() {
+    let src = "fn on_msg(m: Msg) {\n    match m {\n        Msg::Join1 { .. } | Msg::Join2 { .. } => join(m),\n        Msg::Data(d) => data(d),\n        other => log_unexpected(other),\n    }\n}\n";
+    assert!(rule_ids("crates/core/src/member.rs", src).is_empty());
+}
+
+#[test]
+fn l005_quiet_on_non_msg_matches() {
+    // `_ =>` over ordinary enums and integers is fine.
+    let src = "fn f(x: u8) -> u8 {\n    match x {\n        0 => 1,\n        _ => 0,\n    }\n}\n";
+    assert!(rule_ids("crates/core/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn l005_quiet_outside_core() {
+    let src = "fn f(m: Msg) {\n    match m {\n        Msg::Data(d) => g(d),\n        _ => {}\n    }\n}\n";
+    assert!(rule_ids("crates/net/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn l005_quiet_on_nested_non_msg_match_inside_dispatch_arm() {
+    // The catch-all belongs to the *inner* numeric match, not the Msg
+    // dispatch.
+    let src = "fn f(m: Msg) {\n    match m {\n        Msg::Data(d) => match d.kind {\n            0 => a(),\n            _ => b(),\n        },\n        Msg::Heartbeat => c(),\n        other => log(other),\n    }\n}\n";
+    assert!(rule_ids("crates/core/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn l005_suppressed_with_directive() {
+    let src = "fn f(m: Msg) {\n    match m {\n        Msg::Data(d) => g(d),\n        _ => {} // mykil-lint: allow(L005) -- relay ignores control traffic\n    }\n}\n";
+    assert!(rule_ids("crates/core/src/a.rs", src).is_empty());
+}
+
+// ------------------------------------------------------- cross-cutting
+
+#[test]
+fn diagnostics_are_sorted_and_json_renderable() {
+    let src = "fn f(mac: &[u8], m: &[u8]) {\n    let _ = mac == m;\n    x.unwrap();\n}\n";
+    let diags = lint_source("crates/core/src/a.rs", src);
+    assert_eq!(diags.len(), 2);
+    assert!(diags[0].line <= diags[1].line);
+    for d in &diags {
+        let j = d.to_json();
+        assert!(j.contains(&format!("\"rule\":\"{}\"", d.rule)));
+        assert!(j.contains("\"line\":"));
+    }
+}

@@ -213,7 +213,9 @@ impl Simulator {
     pub fn node<N: Node>(&self, id: NodeId) -> &N {
         let any: &dyn Any = self.nodes[id.index()]
             .as_deref()
+            // mykil-lint: allow(L001) -- documented panic: harness accessor, not a protocol path
             .expect("node is mid-callback");
+        // mykil-lint: allow(L001) -- documented panic: harness accessor, not a protocol path
         any.downcast_ref::<N>().expect("node type mismatch")
     }
 
@@ -228,7 +230,9 @@ impl Simulator {
     pub fn node_mut<N: Node>(&mut self, id: NodeId) -> &mut N {
         let any: &mut dyn Any = self.nodes[id.index()]
             .as_deref_mut()
+            // mykil-lint: allow(L001) -- documented panic: harness accessor, not a protocol path
             .expect("node is mid-callback");
+        // mykil-lint: allow(L001) -- documented panic: harness accessor, not a protocol path
         any.downcast_mut::<N>().expect("node type mismatch")
     }
 
@@ -246,6 +250,7 @@ impl Simulator {
     ) -> T {
         let mut boxed = self.nodes[id.index()]
             .take()
+            // mykil-lint: allow(L001) -- documented panic: harness accessor, not a protocol path
             .expect("node is mid-callback");
         let mut ctx = Context {
             now: self.now,
@@ -257,6 +262,7 @@ impl Simulator {
             next_token: &mut self.next_token,
         };
         let any: &mut dyn Any = boxed.as_mut();
+        // mykil-lint: allow(L001) -- documented panic: harness accessor, not a protocol path
         let node = any.downcast_mut::<N>().expect("node type mismatch");
         let out = f(node, &mut ctx);
         let actions = std::mem::take(&mut ctx.actions);

@@ -55,6 +55,7 @@ impl Time {
         Duration(
             self.0
                 .checked_sub(earlier.0)
+                // mykil-lint: allow(L001) -- documented panic: monotonic clock invariant
                 .expect("time went backwards"),
         )
     }

@@ -52,7 +52,7 @@ impl MemberView {
     pub fn apply_unicast(&mut self, unicast: &UnicastKeys) {
         debug_assert_eq!(unicast.member, self.member, "unicast for someone else");
         for (node, key) in &unicast.keys {
-            self.keys.insert(*node, *key);
+            self.keys.insert(*node, key.clone());
         }
     }
 
@@ -72,7 +72,7 @@ impl MemberView {
                 .iter()
                 .any(|(_, under)| known.contains(under.as_bytes()));
             if decryptable {
-                self.keys.insert(change.node, change.new_key);
+                self.keys.insert(change.node, change.new_key.clone());
                 known.insert(*change.new_key.as_bytes());
                 learned += 1;
             }
@@ -82,7 +82,7 @@ impl MemberView {
 
     /// The key this member holds for `node`, if any.
     pub fn key(&self, node: NodeIdx) -> Option<SymmetricKey> {
-        self.keys.get(&node).copied()
+        self.keys.get(&node).cloned()
     }
 
     /// Whether the member holds `key` for any node.

@@ -39,7 +39,8 @@ impl<'a> Reader<'a> {
         }
         let (head, rest) = self.0.split_at(8);
         self.0 = rest;
-        Ok(u64::from_be_bytes(head.try_into().unwrap()))
+        let arr: [u8; 8] = head.try_into().map_err(|_| SnapshotError("truncated"))?;
+        Ok(u64::from_be_bytes(arr))
     }
 
     fn bytes16(&mut self) -> Result<[u8; 16], SnapshotError> {
@@ -48,7 +49,7 @@ impl<'a> Reader<'a> {
         }
         let (head, rest) = self.0.split_at(16);
         self.0 = rest;
-        Ok(head.try_into().unwrap())
+        head.try_into().map_err(|_| SnapshotError("truncated"))
     }
 }
 

@@ -177,7 +177,7 @@ impl KeyTree {
 
     /// The current area key (the root key).
     pub fn area_key(&self) -> SymmetricKey {
-        self.nodes[0].key
+        self.nodes[0].key.clone()
     }
 
     /// Current key of a node.
@@ -186,7 +186,7 @@ impl KeyTree {
     ///
     /// Panics on an index from a different tree.
     pub fn key_of(&self, node: NodeIdx) -> SymmetricKey {
-        self.nodes[node.0].key
+        self.nodes[node.0].key.clone()
     }
 
     /// Version counter of a node's key (bumped on every change).
@@ -229,7 +229,7 @@ impl KeyTree {
         Ok(self
             .path_to_root(leaf)
             .into_iter()
-            .map(|n| (n, self.nodes[n.0].key))
+            .map(|n| (n, self.nodes[n.0].key.clone()))
             .collect())
     }
 
@@ -258,7 +258,7 @@ impl KeyTree {
 
     fn fresh_key<R: RngCore + ?Sized>(&mut self, node: NodeIdx, rng: &mut R) -> SymmetricKey {
         let k = SymmetricKey::random(rng);
-        self.nodes[node.0].key = k;
+        self.nodes[node.0].key = k.clone();
         self.nodes[node.0].version += 1;
         k
     }
@@ -306,8 +306,10 @@ impl KeyTree {
             .occupied
             .iter()
             .next()
+            // mykil-lint: allow(L001) -- structural invariant: full tree has occupied leaves
             .expect("tree with no capacity must have an occupied leaf");
         self.occupied.remove(&(d, victim));
+        // mykil-lint: allow(L001) -- victim drawn from the occupied set
         let displaced = self.nodes[victim.0].occupant.take().expect("occupied leaf");
         // The victim becomes an interior node with `arity` fresh leaves.
         let vdepth = self.nodes[victim.0].depth;
@@ -368,7 +370,7 @@ impl KeyTree {
         let mut changes = Vec::new();
         if let Some(parent) = self.nodes[leaf.0].parent {
             for node in self.path_to_root(parent) {
-                let old = self.nodes[node.0].key;
+                let old = self.nodes[node.0].key.clone();
                 let new = self.fresh_key(node, rng);
                 changes.push(KeyChange {
                     node,
@@ -383,7 +385,7 @@ impl KeyTree {
             keys: self
                 .path_to_root(leaf)
                 .into_iter()
-                .map(|n| (n, self.nodes[n.0].key))
+                .map(|n| (n, self.nodes[n.0].key.clone()))
                 .collect(),
         }];
         if let Some((displaced_member, new_leaf)) = displaced {
@@ -391,7 +393,7 @@ impl KeyTree {
             // old keys; it only needs its fresh leaf key.
             unicasts.push(UnicastKeys {
                 member: displaced_member,
-                keys: vec![(new_leaf, self.nodes[new_leaf.0].key)],
+                keys: vec![(new_leaf, self.nodes[new_leaf.0].key.clone())],
             });
         }
         Ok(RekeyPlan { changes, unicasts })
@@ -500,7 +502,7 @@ impl KeyTree {
                 }
                 // `c.key` is the fresh key when the child itself changed
                 // (deeper nodes were processed first).
-                encryptions.push((EncryptUnder::Child(child), c.key));
+                encryptions.push((EncryptUnder::Child(child), c.key.clone()));
             }
             changes.push(KeyChange {
                 node,
@@ -518,7 +520,7 @@ impl KeyTree {
     /// change distributed under the previous area key — the periodic
     /// freshness rekey of the paper's Section III-E.
     pub fn rotate_area_key<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> RekeyPlan {
-        let old = self.nodes[0].key;
+        let old = self.nodes[0].key.clone();
         let new = self.fresh_key(NodeIdx(0), rng);
         RekeyPlan {
             changes: vec![KeyChange {

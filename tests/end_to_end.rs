@@ -143,7 +143,7 @@ fn member_keys_match_controller_tree() {
     // Root (area key) agreement end to end.
     assert_eq!(
         g.member(m).current_area_key(),
-        Some(path.last().unwrap().1)
+        Some(path.last().unwrap().1.clone())
     );
     // Member stores at least the whole path.
     assert!(g.member(m).key_count() >= path.len());

@@ -1,0 +1,195 @@
+//! The case-running engine behind the `proptest!` macro.
+
+/// Per-test configuration (mirrors the fields of
+/// `proptest::test_runner::Config` this workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented,
+    /// so this knob has no effect.
+    pub max_shrink_iters: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated before the
+    /// test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            // Upstream defaults to 256; 64 keeps the offline suite fast
+            // while still exercising schedule diversity.
+            cases: 64,
+            max_shrink_iters: 0,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was discarded by `prop_assume!`.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Deterministic RNG driving generation (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// Runs the cases of one property test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        TestRunner { config, name }
+    }
+
+    /// Runs `case` until `config.cases` cases pass; panics on the first
+    /// failure. The RNG seed for case `i` is derived from the test name
+    /// and `i`, so failures reproduce exactly on re-run.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let name_seed = fnv1a(self.name.as_bytes());
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut index = 0u64;
+        while passed < self.config.cases {
+            let mut rng = TestRng::from_seed(name_seed ^ index.wrapping_mul(0x51_7c_c1_b7_27_22_0a_95));
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest {}: too many prop_assume! rejections ({rejected})",
+                            self.name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed at case {} (after {} passing): {}",
+                        self.name, index, passed, msg
+                    );
+                }
+            }
+            index += 1;
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_counts_cases() {
+        let mut seen = 0;
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(17), "count");
+        runner.run(|_| {
+            seen += 1;
+            Ok(())
+        });
+        assert_eq!(seen, 17);
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_cases() {
+        let mut attempts = 0u32;
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(5), "rej");
+        runner.run(|rng| {
+            attempts += 1;
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(attempts > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(3), "fail");
+        runner.run(|_| Err(TestCaseError::fail("boom".into())));
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let collect = |name: &'static str| {
+            let mut vals = Vec::new();
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(8), name);
+            runner.run(|rng| {
+                vals.push(rng.next_u64());
+                Ok(())
+            });
+            vals
+        };
+        assert_eq!(collect("same"), collect("same"));
+        assert_ne!(collect("same"), collect("other"));
+    }
+}
