@@ -135,17 +135,26 @@ impl AreaController {
 
     /// Picks the next preferred parent and sends a signed area-join
     /// request (Section IV-C).
+    ///
+    /// Consecutive attempts rotate through `deploy.preferred_parents`
+    /// (cursor-based), so a dead first candidate cannot absorb every
+    /// retry while live alternatives sit unused.
     pub(crate) fn start_parent_switch(&mut self, ctx: &mut Context<'_>) {
         let current = self.parent.as_ref().map(|p| p.node);
-        let Some(next) = self
-            .deploy
-            .preferred_parents
-            .iter()
-            .find(|p| Some(p.node) != current && p.node != ctx.id())
-            .cloned()
-        else {
+        let n = self.deploy.preferred_parents.len();
+        let mut chosen = None;
+        for i in 0..n {
+            let idx = (self.parent_switch_cursor + i) % n;
+            let cand = &self.deploy.preferred_parents[idx];
+            if Some(cand.node) != current && cand.node != ctx.id() {
+                chosen = Some((idx, cand.clone()));
+                break;
+            }
+        }
+        let Some((idx, next)) = chosen else {
             return;
         };
+        self.parent_switch_cursor = (idx + 1) % n;
         let Some(next_pub) = self.directory_pubkey(next.node) else {
             return;
         };
@@ -159,7 +168,14 @@ impl AreaController {
         ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
         let sig = self.keypair.sign(&ct);
         ctx.stats().bump("ac-parent-switch-attempts", 1);
-        ctx.send(next.node, "area-join", Msg::AreaJoinReq { ct, sig }.to_bytes());
+        // Supersede any older in-flight request: only the latest target
+        // may answer, and its request rides the reliable channel.
+        if let Some((_, old)) = self.pending_parent_join.take() {
+            ctx.cancel_reliable(old);
+        }
+        let token =
+            ctx.send_reliable(next.node, "area-join", Msg::AreaJoinReq { ct, sig }.to_bytes());
+        self.pending_parent_join = Some((next.node, token));
         // Stop treating the dead parent as alive; the ack installs the
         // replacement.
         self.last_heard_parent = ctx.now();
@@ -240,7 +256,9 @@ impl AreaController {
         let ack_ct = ack_ct.to_bytes();
         ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
         let ack_sig = self.keypair.sign(&ack_ct);
-        ctx.send(
+        // Reliable: a lost ack would otherwise strand the child with a
+        // transport-acknowledged request and no installed parent.
+        ctx.send_reliable(
             from,
             "area-join",
             Msg::AreaJoinAck { ct: ack_ct, sig: ack_sig }.to_bytes(),
@@ -249,6 +267,11 @@ impl AreaController {
     }
 
     /// Installs a new parent from an area-join acknowledgement.
+    ///
+    /// Only the node targeted by the in-flight switch/enrollment may
+    /// answer: an ack from anyone else — a replayed exchange, a stale
+    /// candidate from an earlier attempt, or an impostor in the
+    /// directory — is dropped before any crypto work.
     pub(crate) fn handle_area_join_ack(
         &mut self,
         ctx: &mut Context<'_>,
@@ -256,6 +279,13 @@ impl AreaController {
         ct: &[u8],
         sig: &[u8],
     ) {
+        match self.pending_parent_join {
+            Some((target, _)) if target == from => {}
+            _ => {
+                ctx.stats().bump("ac-ack-unexpected", 1);
+                return;
+            }
+        }
         let Some(parent_pub) = self.directory_pubkey(from) else {
             return;
         };
@@ -297,6 +327,11 @@ impl AreaController {
         };
         ctx.join_group(link.group);
         self.parent = Some(link);
+        // The exchange completed; stop any still-pending retransmission
+        // of the request.
+        if let Some((_, token)) = self.pending_parent_join.take() {
+            ctx.cancel_reliable(token);
+        }
         self.parent_keys.clear();
         self.parent_keys.install_path(&path);
         self.parent_epoch = parent_epoch;
@@ -449,5 +484,119 @@ impl AreaController {
             area,
             group: parent.group,
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::AreaController;
+    use crate::group::GroupBuilder;
+    use crate::wire::Writer;
+    use mykil_crypto::drbg::Drbg;
+    use mykil_crypto::envelope::HybridCiphertext;
+    use mykil_net::NodeId;
+
+    /// Regression: a well-formed, freshly-timestamped `AreaJoinAck`
+    /// from a directory-listed controller that was never asked must be
+    /// dropped. Before the in-flight-target gate, it silently rewired
+    /// the parent link.
+    #[test]
+    fn unsolicited_area_join_ack_is_dropped() {
+        let mut g = GroupBuilder::new(93).areas(3).build();
+        g.settle();
+        let ac1 = g.primaries[1];
+        let ac2 = g.primaries[2];
+
+        // Craft a fully valid ack as AC2 would send it: sealed to AC1,
+        // signed by AC2, fresh timestamp, empty path.
+        let (ac2_keypair, ac2_area, ac2_group) =
+            g.sim.invoke(ac2, |ac: &mut AreaController, _ctx| {
+                (ac.keypair.clone(), ac.deploy.area, ac.deploy.group)
+            });
+        let ac1_pub = g
+            .sim
+            .invoke(ac1, |ac: &mut AreaController, _ctx| ac.keypair.public().clone());
+        let mut w = Writer::new();
+        w.u32(ac2_area.0)
+            .u32(ac2_group.index() as u32)
+            .u64(7)
+            .bytes(&crate::rekey::encode_path(&[]))
+            .u64(g.sim.now().as_micros());
+        let mut rng = Drbg::from_seed(17);
+        let ct = HybridCiphertext::encrypt(&ac1_pub, &w.into_bytes(), &mut rng)
+            .expect("encrypt")
+            .to_bytes();
+        let sig = ac2_keypair.sign(&ct);
+
+        let parent_before = g.sim.node::<AreaController>(ac1).parent.clone();
+        assert_eq!(parent_before.as_ref().map(|p| p.area.0), Some(0));
+
+        // No switch is in flight: the ack is unsolicited and must die
+        // at the gate, before signature or timestamp checks even run.
+        g.sim.invoke(ac1, |ac: &mut AreaController, ctx| {
+            ac.handle_area_join_ack(ctx, ac2, &ct, &sig);
+        });
+        let ac1_state = g.sim.node::<AreaController>(ac1);
+        assert_eq!(
+            ac1_state.parent.as_ref().map(|p| p.area.0),
+            Some(0),
+            "unsolicited ack rewired the parent link"
+        );
+        assert_eq!(ac1_state.stats.parent_switches, 0);
+        assert_eq!(g.stats().counter("ac-ack-unexpected"), 1);
+
+        // Control: the *same bytes* are accepted once AC2 really is the
+        // in-flight target — proving the gate, not crypto or
+        // freshness, rejected the replay above.
+        g.sim.invoke(ac1, |ac: &mut AreaController, ctx| {
+            let token = ctx.send_reliable(ac2, "area-join", Vec::new());
+            ac.pending_parent_join = Some((ac2, token));
+            ac.handle_area_join_ack(ctx, ac2, &ct, &sig);
+        });
+        let ac1_state = g.sim.node::<AreaController>(ac1);
+        assert_eq!(ac1_state.parent.as_ref().map(|p| p.node), Some(ac2));
+        assert!(ac1_state.pending_parent_join.is_none());
+    }
+
+    /// An ack from a *different* live candidate than the one currently
+    /// targeted is also dropped — stale answers from earlier rotation
+    /// attempts must not race the newest request.
+    #[test]
+    fn ack_from_stale_switch_target_is_dropped() {
+        let mut g = GroupBuilder::new(94).areas(3).build();
+        g.settle();
+        let ac1 = g.primaries[1];
+        let ac2 = g.primaries[2];
+
+        let (ac2_keypair, ac2_area, ac2_group) =
+            g.sim.invoke(ac2, |ac: &mut AreaController, _ctx| {
+                (ac.keypair.clone(), ac.deploy.area, ac.deploy.group)
+            });
+        let ac1_pub = g
+            .sim
+            .invoke(ac1, |ac: &mut AreaController, _ctx| ac.keypair.public().clone());
+        let mut w = Writer::new();
+        w.u32(ac2_area.0)
+            .u32(ac2_group.index() as u32)
+            .u64(9)
+            .bytes(&crate::rekey::encode_path(&[]))
+            .u64(g.sim.now().as_micros());
+        let mut rng = Drbg::from_seed(18);
+        let ct = HybridCiphertext::encrypt(&ac1_pub, &w.into_bytes(), &mut rng)
+            .expect("encrypt")
+            .to_bytes();
+        let sig = ac2_keypair.sign(&ct);
+
+        // The in-flight switch targets some other node entirely.
+        let decoy = NodeId::from_index(0);
+        g.sim.invoke(ac1, |ac: &mut AreaController, ctx| {
+            let token = ctx.send_reliable(decoy, "area-join", Vec::new());
+            ac.pending_parent_join = Some((decoy, token));
+            ac.handle_area_join_ack(ctx, ac2, &ct, &sig);
+        });
+        let ac1_state = g.sim.node::<AreaController>(ac1);
+        assert_eq!(ac1_state.parent.as_ref().map(|p| p.area.0), Some(0));
+        assert_eq!(ac1_state.pending_parent_join.as_ref().map(|p| p.0), Some(decoy));
+        assert_eq!(g.stats().counter("ac-ack-unexpected"), 1);
     }
 }

@@ -31,7 +31,7 @@ use crate::msg::Msg;
 use crate::rekey::KeyState;
 use mykil_crypto::keys::SymmetricKey;
 use mykil_crypto::rsa::{RsaKeyPair, RsaPublicKey};
-use mykil_net::{Context, GroupId, Node, NodeId, Time};
+use mykil_net::{Context, GroupId, MsgToken, Node, NodeId, Time};
 use mykil_tree::{KeyTree, MemberId};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
@@ -193,6 +193,13 @@ pub struct AreaController {
     pub(crate) child_acs: HashSet<NodeId>,
     /// Tree member id → node address for enrolled child controllers.
     pub(crate) child_ac_members: HashMap<u64, NodeId>,
+    /// In-flight parent switch/enrollment: the only node whose
+    /// `AreaJoinAck` will be accepted, plus the reliable-send token of
+    /// the outstanding request (replay/impostor hardening).
+    pub(crate) pending_parent_join: Option<(NodeId, MsgToken)>,
+    /// Rotation cursor into `deploy.preferred_parents` so consecutive
+    /// switch attempts try different candidates.
+    pub(crate) parent_switch_cursor: usize,
 
     // Data plane.
     /// Recently superseded area keys (own tree), for unwrapping data
@@ -208,6 +215,19 @@ pub struct AreaController {
     pub(crate) last_heartbeat: Time,
     /// Latest decrypted state snapshot (backup role).
     pub(crate) replica_state: Option<Vec<u8>>,
+    /// Monotonic snapshot sequence (primary role) so a retransmitted or
+    /// reordered `StateSync` can never regress the backup.
+    pub(crate) sync_seq: u64,
+    /// Highest snapshot sequence applied (backup role).
+    pub(crate) applied_sync_seq: u64,
+    /// Reliable-send token of the outstanding `StateSync`, cancelled
+    /// when a newer snapshot supersedes it.
+    pub(crate) pending_sync: Option<MsgToken>,
+    /// When the backup last acknowledged a heartbeat (primary role).
+    pub(crate) last_backup_ack: Time,
+    /// Set after `failover_threshold` unacknowledged heartbeats; stops
+    /// `StateSync` traffic to the dead backup until it acks again.
+    pub(crate) backup_presumed_dead: bool,
 
     /// Operation counters.
     pub stats: AcStats,
@@ -263,6 +283,8 @@ impl AreaController {
             last_heard_parent: Time::ZERO,
             child_acs: HashSet::new(),
             child_ac_members: HashMap::new(),
+            pending_parent_join: None,
+            parent_switch_cursor: 0,
             prev_area_keys: VecDeque::new(),
             seen_data: HashSet::new(),
             seen_order: VecDeque::new(),
@@ -271,6 +293,11 @@ impl AreaController {
             hb_seq: 0,
             last_heartbeat: Time::ZERO,
             replica_state: None,
+            sync_seq: 0,
+            applied_sync_seq: 0,
+            pending_sync: None,
+            last_backup_ack: Time::ZERO,
+            backup_presumed_dead: false,
             stats: AcStats::default(),
             deploy,
         }
@@ -419,6 +446,7 @@ impl Node for AreaController {
         }
         self.last_heard_parent = ctx.now();
         self.last_heartbeat = ctx.now();
+        self.last_backup_ack = ctx.now();
         match self.role {
             Role::Primary => {
                 ctx.set_timer(self.cfg.t_idle, TIMER_IDLE_ALIVE);
@@ -491,7 +519,7 @@ impl Node for AreaController {
             }
             Msg::AreaJoinReq { ct, sig } => self.handle_area_join_req(ctx, from, &ct, &sig),
             Msg::AreaJoinAck { ct, sig } => self.handle_area_join_ack(ctx, from, &ct, &sig),
-            Msg::HeartbeatAck { .. } => { /* primary ignores */ }
+            Msg::HeartbeatAck { seq } => self.handle_heartbeat_ack(ctx, from, seq),
             Msg::Takeover { area, sig, pubkey } => {
                 self.handle_neighbor_takeover(ctx, from, area, &sig, &pubkey)
             }
@@ -508,6 +536,39 @@ impl Node for AreaController {
             | Msg::RejoinDenied { .. }
             | Msg::Heartbeat { .. }
             | Msg::StateSync { .. } => {}
+        }
+    }
+
+    fn on_reliable_acked(&mut self, _ctx: &mut Context<'_>, _peer: NodeId, msg: MsgToken) {
+        if self.pending_sync == Some(msg) {
+            self.pending_sync = None;
+        }
+    }
+
+    fn on_reliable_expired(
+        &mut self,
+        ctx: &mut Context<'_>,
+        _to: NodeId,
+        _kind: &'static str,
+        msg: MsgToken,
+    ) {
+        if self.pending_sync == Some(msg) {
+            // The backup never acknowledged the snapshot; heartbeat-ack
+            // tracking decides whether it is presumed dead.
+            self.pending_sync = None;
+            ctx.stats().bump("ac-state-sync-expired", 1);
+            return;
+        }
+        if let Some((_, token)) = self.pending_parent_join {
+            if token == msg {
+                // The prospective parent is unreachable; rotate to the
+                // next preferred candidate right away.
+                self.pending_parent_join = None;
+                ctx.stats().bump("ac-parent-join-expired", 1);
+                if self.role == Role::Primary {
+                    self.start_parent_switch(ctx);
+                }
+            }
         }
     }
 

@@ -58,6 +58,19 @@ impl AreaController {
         for c in children {
             w.u32(c);
         }
+        // Child-AC enrollments (tree member id → node). Without these a
+        // promoted backup rejects every child-AC `KeyRefreshRequest`,
+        // cutting children off from parent-area keys forever.
+        w.u32(self.child_ac_members.len() as u32);
+        let mut enrolled: Vec<(u64, u32)> = self
+            .child_ac_members
+            .iter()
+            .map(|(m, n)| (*m, n.index() as u32))
+            .collect();
+        enrolled.sort_unstable();
+        for (member, node) in enrolled {
+            w.u64(member).u32(node);
+        }
         w.into_bytes()
     }
 
@@ -105,6 +118,13 @@ impl AreaController {
         for _ in 0..child_count {
             child_acs.insert(NodeId::from_index(r.u32().ok()? as usize));
         }
+        let enrolled_count = r.u32().ok()? as usize;
+        let mut child_ac_members = std::collections::HashMap::with_capacity(enrolled_count);
+        for _ in 0..enrolled_count {
+            let member = r.u64().ok()?;
+            let node = NodeId::from_index(r.u32().ok()? as usize);
+            child_ac_members.insert(member, node);
+        }
         r.finish().ok()?;
         self.tree = tree;
         self.members = members;
@@ -112,25 +132,40 @@ impl AreaController {
         self.parent_keys = parent_keys;
         self.epoch = epoch;
         self.child_acs = child_acs;
+        self.child_ac_members = child_ac_members;
         Some(())
     }
 
     /// Pushes current state to the backup (called after every key
     /// update, membership change, or hierarchy change).
+    ///
+    /// Snapshots ride the reliable channel and carry a monotonic
+    /// sequence number, so a retransmitted or reordered stale snapshot
+    /// can never regress the backup. A newer snapshot supersedes the
+    /// outstanding one (its retransmissions are cancelled); nothing is
+    /// sent while the backup is presumed dead.
     pub(crate) fn sync_backup(&mut self, ctx: &mut Context<'_>) {
         let Some(backup) = self.deploy.backup else {
             return;
         };
-        if self.role != Role::Primary {
+        if self.role != Role::Primary || self.backup_presumed_dead {
             return;
         }
-        let snapshot = self.replica_snapshot();
+        self.sync_seq += 1;
+        let mut plain = Writer::new();
+        plain.u64(self.sync_seq).bytes(&self.replica_snapshot());
         ctx.charge_compute(self.cost.symmetric_op);
-        let ct = envelope::seal(&self.repl_key, &snapshot, ctx.rng());
-        ctx.send(backup, "replication", Msg::StateSync { ct }.to_bytes());
+        let ct = envelope::seal(&self.repl_key, &plain.into_bytes(), ctx.rng());
+        if let Some(old) = self.pending_sync.take() {
+            ctx.cancel_reliable(old);
+        }
+        let token = ctx.send_reliable(backup, "state-sync", Msg::StateSync { ct }.to_bytes());
+        self.pending_sync = Some(token);
     }
 
-    /// Primary heartbeat tick.
+    /// Primary heartbeat tick. Heartbeats keep flowing to a presumed-
+    /// dead backup (they are cheap and detect its recovery); only the
+    /// expensive `StateSync` snapshots stop.
     pub(crate) fn tick_heartbeat(&mut self, ctx: &mut Context<'_>) {
         if let Some(backup) = self.deploy.backup {
             self.hb_seq += 1;
@@ -139,8 +174,31 @@ impl AreaController {
                 "replication",
                 Msg::Heartbeat { seq: self.hb_seq }.to_bytes(),
             );
+            let threshold = self
+                .cfg
+                .heartbeat_interval
+                .saturating_mul(self.cfg.failover_threshold as u64);
+            if !self.backup_presumed_dead && ctx.now().since(self.last_backup_ack) >= threshold {
+                self.backup_presumed_dead = true;
+                ctx.stats().bump("backup-presumed-dead", 1);
+            }
         }
         ctx.set_timer(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
+    }
+
+    /// Backup liveness tracking (primary role): `HeartbeatAck` refreshes
+    /// the ack clock, and an ack from a presumed-dead backup revives it
+    /// with an immediate full snapshot.
+    pub(crate) fn handle_heartbeat_ack(&mut self, ctx: &mut Context<'_>, from: NodeId, _seq: u64) {
+        if self.deploy.backup != Some(from) {
+            return;
+        }
+        self.last_backup_ack = ctx.now();
+        if self.backup_presumed_dead {
+            self.backup_presumed_dead = false;
+            ctx.stats().bump("ac-backup-recovered", 1);
+            self.sync_backup(ctx);
+        }
     }
 
     /// Message dispatch while in the backup role.
@@ -156,7 +214,22 @@ impl AreaController {
             Msg::StateSync { ct } if from == primary => {
                 self.last_heartbeat = ctx.now();
                 if let Ok(plain) = envelope::open(&self.repl_key, &ct) {
-                    self.replica_state = Some(plain);
+                    // Monotonic-sequence guard: a reordered or stale
+                    // snapshot must not overwrite a newer one.
+                    let mut r = Reader::new(&plain);
+                    let parsed = r
+                        .u64()
+                        .ok()
+                        .and_then(|seq| r.bytes().ok().map(|s| (seq, s.to_vec())));
+                    let Some((seq, snapshot)) = parsed else {
+                        return;
+                    };
+                    if seq <= self.applied_sync_seq {
+                        ctx.stats().bump("backup-stale-sync-dropped", 1);
+                        return;
+                    }
+                    self.applied_sync_seq = seq;
+                    self.replica_state = Some(snapshot);
                 }
             }
             // Replication traffic from impostor nodes, and every area/
@@ -240,7 +313,9 @@ impl AreaController {
         }
         .to_bytes();
         ctx.multicast(self.deploy.group, "takeover", announce.clone());
-        ctx.send(self.deploy.rs_node, "takeover", announce);
+        // The RS copy must survive loss — a silently lost announcement
+        // leaves the directory pointing at the dead primary.
+        ctx.send_reliable(self.deploy.rs_node, "takeover", announce);
         self.last_area_mcast = ctx.now();
 
         // Re-enroll with the parent so parent-area keys are fresh.
@@ -277,10 +352,141 @@ impl AreaController {
         let ct = ct.to_bytes();
         ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
         let sig = self.keypair.sign(&ct);
-        ctx.send(
+        if let Some((_, old)) = self.pending_parent_join.take() {
+            ctx.cancel_reliable(old);
+        }
+        let token = ctx.send_reliable(
             parent.node,
             "area-join",
             Msg::AreaJoinReq { ct, sig }.to_bytes(),
         );
+        self.pending_parent_join = Some((parent.node, token));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::AreaController;
+    use crate::group::GroupBuilder;
+
+    /// Regression: `child_ac_members` must survive the snapshot round
+    /// trip, or a promoted backup rejects every child-AC key refresh.
+    #[test]
+    fn replica_snapshot_round_trips_child_ac_enrollments() {
+        let mut g = GroupBuilder::new(91).areas(2).replicated(true).build();
+        g.settle();
+        let (bytes, expect_children, expect_epoch) =
+            g.sim.invoke(g.primaries[0], |ac: &mut AreaController, _ctx| {
+                (ac.replica_snapshot(), ac.child_ac_members.clone(), ac.epoch)
+            });
+        assert!(
+            !expect_children.is_empty(),
+            "area 1 should be enrolled as a child of area 0"
+        );
+        let now = g.sim.now();
+        let backup = g.sim.node_mut::<AreaController>(g.backups[0]);
+        backup
+            .apply_replica_snapshot(&bytes, now)
+            .expect("snapshot parses");
+        assert_eq!(backup.child_ac_members, expect_children);
+        assert_eq!(backup.epoch, expect_epoch);
+    }
+
+    /// A stale (lower-sequence) snapshot — e.g. a delayed retransmission
+    /// arriving after a newer sync — must not regress the backup.
+    #[test]
+    fn stale_state_sync_cannot_regress_backup() {
+        use crate::msg::Msg;
+        use crate::wire::Writer;
+        use mykil_crypto::envelope;
+
+        let mut g = GroupBuilder::new(92).areas(1).replicated(true).build();
+        g.register_member(1);
+        g.settle();
+        let backup_node = g.backups[0];
+        let applied = g.sim.node::<AreaController>(backup_node).applied_sync_seq;
+        assert!(applied > 0, "backup never applied a snapshot");
+        let state = g
+            .sim
+            .node::<AreaController>(backup_node)
+            .replica_state
+            .clone();
+
+        // Replay a sealed snapshot with an old sequence number.
+        let primary = g.primaries[0];
+        let (repl_key, snapshot) = g.sim.invoke(primary, |ac: &mut AreaController, _ctx| {
+            (ac.repl_key.clone(), ac.replica_snapshot())
+        });
+        let mut plain = Writer::new();
+        plain.u64(1).bytes(&[0xde; 4]); // bogus body under a stale seq
+        let mut rng = mykil_crypto::drbg::Drbg::from_seed(7);
+        let ct = envelope::seal(&repl_key, &plain.into_bytes(), &mut rng);
+        g.sim.invoke(backup_node, |ac: &mut AreaController, ctx| {
+            ac.on_backup_message(ctx, primary, Msg::StateSync { ct });
+        });
+        let b = g.sim.node::<AreaController>(backup_node);
+        assert_eq!(b.applied_sync_seq, applied, "stale seq must not apply");
+        assert_eq!(b.replica_state, state, "stale snapshot overwrote state");
+        assert_eq!(g.stats().counter("backup-stale-sync-dropped"), 1);
+        drop(snapshot);
+    }
+
+    /// Regression: a primary whose backup died must stop burning
+    /// bandwidth on `StateSync`, and must resume — with a catch-up
+    /// snapshot — the moment the backup acks heartbeats again.
+    #[test]
+    fn primary_detects_dead_backup_and_resyncs_on_recovery() {
+        use mykil_net::Duration;
+
+        let mut g = GroupBuilder::new(95).areas(1).replicated(true).build();
+        let a = g.register_member(1);
+        g.settle();
+        assert!(g.is_member(a));
+        let primary = g.primaries[0];
+        let backup_node = g.backups[0];
+
+        // Kill the backup; heartbeat acks stop and the in-flight
+        // reliable syncs run out their retry budget.
+        g.sim.crash(backup_node);
+        g.run_for(Duration::from_secs(4));
+        assert_eq!(g.stats().counter("backup-presumed-dead"), 1);
+        assert!(g.sim.node::<AreaController>(primary).backup_presumed_dead);
+
+        // Membership churn while the backup is down must not produce
+        // any sync traffic toward the dead node.
+        let syncs_before = g.stats().kind("state-sync").messages_sent;
+        let seq_before = g.sim.node::<AreaController>(primary).sync_seq;
+        let b = g.register_member(2);
+        g.run_for(Duration::from_secs(2));
+        assert!(g.is_member(b));
+        assert_eq!(
+            g.stats().kind("state-sync").messages_sent,
+            syncs_before,
+            "primary kept syncing a presumed-dead backup"
+        );
+        assert_eq!(g.sim.node::<AreaController>(primary).sync_seq, seq_before);
+
+        // The backup returns: the next heartbeat ack revives it and an
+        // immediate catch-up sync closes the replication gap.
+        g.sim.restart(backup_node);
+        g.run_for(Duration::from_secs(2));
+        assert_eq!(g.stats().counter("ac-backup-recovered"), 1);
+        assert!(!g.sim.node::<AreaController>(primary).backup_presumed_dead);
+        assert!(
+            g.stats().kind("state-sync").messages_sent > syncs_before,
+            "no catch-up sync after the backup returned"
+        );
+        // The catch-up snapshot carries the member admitted during the
+        // outage.
+        let snap = g
+            .sim
+            .node::<AreaController>(backup_node)
+            .replica_state
+            .clone()
+            .expect("backup holds no catch-up snapshot");
+        let now = g.sim.now();
+        let probe = g.sim.node_mut::<AreaController>(backup_node);
+        probe.apply_replica_snapshot(&snap, now).expect("snapshot parses");
+        assert_eq!(probe.members.len(), 2);
     }
 }

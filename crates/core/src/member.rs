@@ -291,7 +291,9 @@ impl Member {
         w.u64(client.0).u64(ctx.rng().next_u64());
         ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
         if let Ok(ct) = HybridCiphertext::encrypt(&ac_pub, &w.into_bytes(), ctx.rng()) {
-            ctx.send(ac, "leave", Msg::LeaveRequest { ct: ct.to_bytes() }.to_bytes());
+            // Reliable: a silently lost leave means the AC keeps paying
+            // rekey cost for a departed member until eviction kicks in.
+            ctx.send_reliable(ac, "leave", Msg::LeaveRequest { ct: ct.to_bytes() }.to_bytes());
         }
         if let Some(g) = self.group.take() {
             ctx.leave_group(g);

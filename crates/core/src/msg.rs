@@ -12,6 +12,17 @@
 //! the hybrid envelope's encrypt-then-MAC construction
 //! ([`mykil_crypto::envelope`]), which authenticates exactly the fields
 //! the figures enumerate.
+//!
+//! A note on delivery: most messages are fire-and-forget (loss is
+//! handled by protocol-level retries or the epoch-gap
+//! [`Msg::KeyRefreshRequest`] machinery), but the control-plane
+//! unicasts that would otherwise stall recovery ride the simulator's
+//! reliable channel (`Context::send_reliable` — retransmission with
+//! exponential backoff plus receiver-side dedup):
+//! [`Msg::AreaJoinReq`]/[`Msg::AreaJoinAck`] (parent switch and
+//! post-takeover re-enrollment), [`Msg::StateSync`] (primary → backup,
+//! with a monotonic sequence guard), the unicast [`Msg::Takeover`]
+//! announcement to the registration server, and [`Msg::LeaveRequest`].
 
 use crate::error::ProtocolError;
 use crate::identity::{AreaId, ClientId};

@@ -1,0 +1,216 @@
+//! Control-plane reliability tests: the retransmission/dedup layer
+//! plus the failover state-drift regressions (ISSUE 2).
+//!
+//! These exercise the four bugfix scenarios end to end and sweep the
+//! whole join → parent-switch → takeover pipeline under uniform
+//! message loss.
+
+use mykil::area::Role;
+use mykil::group::GroupBuilder;
+use mykil_net::Duration;
+
+/// Bugfix 1: `child_ac_members` rides the replica snapshot, so a
+/// promoted backup can answer a child controller's
+/// `KeyRefreshRequest` after a missed rekey.
+#[test]
+fn promoted_backup_serves_child_ac_key_refresh() {
+    let mut g = GroupBuilder::new(41).areas(2).replicated(true).build();
+    let members: Vec<_> = (0..4).map(|i| g.register_member(i)).collect();
+    g.settle();
+    let m0 = members
+        .iter()
+        .copied()
+        .find(|&m| g.member(m).area().map(|a| a.0) == Some(0))
+        .expect("no member landed in area 0");
+
+    // Root primary dies; its backup takes over and area 1 repoints.
+    g.crash_ac(0);
+    g.run_for(Duration::from_secs(3));
+    let promoted = g.backups[0];
+    assert_eq!(g.backup(0).role(), Role::Primary);
+    assert_eq!(g.ac(1).parent().map(|p| p.node), Some(promoted));
+
+    // AC1 goes deaf to the promoted parent and misses a rekey (the
+    // area-0 member leaves, forcing a forward-secrecy epoch bump).
+    let ac1_node = g.primaries[1];
+    g.sim.cut_link(promoted, ac1_node);
+    let epoch_before = g.backup(0).epoch();
+    let left = g.sim.invoke(m0, |m: &mut mykil::member::Member, ctx| m.leave(ctx));
+    assert!(left, "area-0 member could not leave");
+    // Departure rekeys are batched; allow a full rekey interval.
+    g.run_for(Duration::from_secs(3));
+    assert!(g.backup(0).epoch() > epoch_before, "leave did not rekey area 0");
+    assert_ne!(
+        g.ac(1).parent_area_key(),
+        Some(g.backup(0).area_key()),
+        "AC1 was supposed to miss the rekey"
+    );
+
+    // The link heals. The next `AcAlive` advertises the missed epoch
+    // and AC1 pulls its path keys back with a `KeyRefreshRequest`.
+    // Without the child-AC enrollments in the replica snapshot, the
+    // promoted backup drops that request and AC1 stays keyless.
+    g.sim.restore_link(promoted, ac1_node);
+    g.run_for(Duration::from_secs(2));
+    assert_eq!(
+        g.ac(1).parent_area_key(),
+        Some(g.backup(0).area_key()),
+        "promoted backup never re-keyed its child controller"
+    );
+}
+
+/// Bugfix 2: the parent switch rotates through *all* preferred
+/// parents instead of hammering the first (possibly dead) candidate.
+#[test]
+fn parent_switch_rotates_past_dead_candidates() {
+    // Areas: 0 is the root, 1 and 2 its children, 3 a child of 1 with
+    // preferred alternates [0, 2]. Killing AC0 *and* AC1 leaves area 3
+    // with a dead parent whose first alternate is dead too — only
+    // cursor rotation onto AC2 can restore the hierarchy.
+    let mut g = GroupBuilder::new(42).areas(4).build();
+    let members: Vec<_> = (0..4).map(|i| g.register_member(i)).collect();
+    g.settle();
+    let by_area = |g: &mykil::group::GroupHandle, area: u32| {
+        members
+            .iter()
+            .copied()
+            .find(|&m| g.member(m).area().map(|a| a.0) == Some(area))
+    };
+    let m3 = by_area(&g, 3);
+    let m2 = by_area(&g, 2);
+
+    g.crash_ac(0);
+    g.crash_ac(1);
+    g.run_for(Duration::from_secs(8));
+
+    assert_eq!(
+        g.ac(3).parent().map(|p| p.node),
+        Some(g.primaries[2]),
+        "area 3 did not land on the only live alternate"
+    );
+    assert!(g.ac(3).stats.parent_switches >= 1);
+    assert!(
+        g.stats().counter("ac-parent-switch-attempts") >= 2,
+        "rotation never even tried the dead candidate"
+    );
+
+    // The re-parented link carries data between areas 3 and 2.
+    if let (Some(m3), Some(m2)) = (m3, m2) {
+        g.send_data(m3, b"via rotated parent");
+        g.run_for(Duration::from_secs(2));
+        assert!(
+            g.received_data(m2).contains(&b"via rotated parent".to_vec()),
+            "area 2 unreachable after rotation"
+        );
+    }
+}
+
+/// The whole control plane — joins, a root-controller crash, parent
+/// switches, automatic member rejoins — converges at 0%, 10% and 20%
+/// uniform message loss.
+#[test]
+fn control_plane_converges_under_loss_sweep() {
+    for &loss in &[0u32, 100, 200] {
+        let mut g = GroupBuilder::new(900 + loss as u64).areas(3).build();
+        g.sim.set_loss_per_mille(loss);
+        let members: Vec<_> = (0..3).map(|i| g.register_member(i)).collect();
+        g.run_for(Duration::from_secs(20));
+        for &m in &members {
+            assert!(g.is_member(m), "loss={loss}: member never joined");
+        }
+
+        g.crash_ac(0);
+        g.run_for(Duration::from_secs(20));
+        let switches = g.ac(1).stats.parent_switches + g.ac(2).stats.parent_switches;
+        assert!(switches >= 1, "loss={loss}: no parent switch");
+
+        // Let stragglers drain on a clean network, then check keys.
+        g.sim.set_loss_per_mille(0);
+        g.run_for(Duration::from_secs(5));
+        for &m in &members {
+            assert!(g.is_member(m), "loss={loss}: member lost after AC crash");
+            let area = g.member(m).area().expect("active member has an area").0;
+            assert!(
+                area == 1 || area == 2,
+                "loss={loss}: member stranded in dead area {area}"
+            );
+            assert_eq!(
+                g.member(m).current_area_key(),
+                Some(g.ac(area as usize).area_key()),
+                "loss={loss}: member key diverged from area {area}"
+            );
+        }
+        // The control plane's reliable channel was exercised: the
+        // enrollment and switch exchanges completed with transport
+        // acks. (Retransmission counts are asserted in the acceptance
+        // test below — at 10% loss a handful of frames can get
+        // through clean.)
+        assert!(
+            g.stats().counter("reliable-acked") > 0,
+            "loss={loss}: no reliable exchange completed"
+        );
+    }
+}
+
+/// Acceptance scenario (ISSUE 2): at 15% loss, run join + backup
+/// takeover + parent-switch rotation; all live members must hold the
+/// final group key of their area, and the dedup window must have
+/// caught actual duplicate deliveries (verified via stats).
+#[test]
+fn lossy_failover_acceptance() {
+    let mut g = GroupBuilder::new(46).areas(3).replicated(true).build();
+    g.sim.set_loss_per_mille(150);
+    let members: Vec<_> = (0..3).map(|i| g.register_member(i)).collect();
+    g.run_for(Duration::from_secs(15));
+    for &m in &members {
+        assert!(g.is_member(m), "member failed to join under 15% loss");
+    }
+
+    // Phase 2: area 2's primary dies; its backup takes over.
+    g.crash_ac(2);
+    g.run_for(Duration::from_secs(10));
+    assert_eq!(g.backup(2).role(), Role::Primary);
+    assert_eq!(g.backup(2).stats.takeovers, 1);
+
+    // Phase 3: the root area dies entirely (primary and backup). The
+    // promoted area-2 controller's first preferred parent is the dead
+    // root, so only rotation can land it on AC1.
+    g.crash_ac(0);
+    g.sim.crash(g.backups[0]);
+    g.run_for(Duration::from_secs(20));
+
+    g.sim.set_loss_per_mille(0);
+    g.run_for(Duration::from_secs(5));
+
+    assert_eq!(
+        g.backup(2).parent().map(|p| p.node),
+        Some(g.primaries[1]),
+        "promoted controller never re-parented onto AC1"
+    );
+    assert!(g.backup(2).stats.parent_switches >= 1);
+
+    // Every member survived and converged on its area's current key.
+    for &m in &members {
+        assert!(g.is_member(m), "member lost after the failover gauntlet");
+        let area = g.member(m).area().expect("active member has an area").0;
+        let key = match area {
+            1 => g.ac(1).area_key(),
+            2 => g.backup(2).area_key(),
+            other => panic!("member stranded in dead area {other}"),
+        };
+        assert_eq!(
+            g.member(m).current_area_key(),
+            Some(key),
+            "member key diverged from area {area}"
+        );
+    }
+
+    // The reliable layer did real work: retransmissions happened, and
+    // the per-peer dedup window swallowed the duplicates so no handler
+    // processed a control message twice.
+    assert!(g.stats().counter("reliable-retransmits") > 0);
+    assert!(
+        g.stats().counter("reliable-dup-dropped") > 0,
+        "no duplicate was ever suppressed — dedup untested by this run"
+    );
+}

@@ -10,6 +10,12 @@ use mykil_crypto::drbg::Drbg;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerToken(pub(crate) u64);
 
+/// Handle to a reliable send (see [`Context::send_reliable`]): identifies
+/// the message in the [`Node`](crate::Node) ack/expiry callbacks and can
+/// cancel a pending retransmission via [`Context::cancel_reliable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsgToken(pub(crate) u64);
+
 /// Deferred effects of a node callback, applied by the simulator after
 /// the callback returns.
 #[derive(Debug)]
@@ -20,6 +26,16 @@ pub(crate) enum Action {
         bytes: Vec<u8>,
         /// Compute time accumulated before this send was issued.
         after: Duration,
+    },
+    SendReliable {
+        to: NodeId,
+        kind: &'static str,
+        bytes: Vec<u8>,
+        msg_id: u64,
+        after: Duration,
+    },
+    CancelReliable {
+        msg_id: u64,
     },
     Multicast {
         group: GroupId,
@@ -57,6 +73,7 @@ pub struct Context<'a> {
     pub(crate) actions: Vec<Action>,
     pub(crate) compute: Duration,
     pub(crate) next_token: &'a mut u64,
+    pub(crate) next_msg_id: &'a mut u64,
 }
 
 impl<'a> Context<'a> {
@@ -105,6 +122,36 @@ impl<'a> Context<'a> {
             bytes,
             after: self.compute,
         });
+    }
+
+    /// Sends `bytes` to `to` with at-least-once delivery: the simulator
+    /// retransmits with exponential backoff until the receiver's network
+    /// layer acknowledges the message or the retry budget is exhausted
+    /// (see [`Simulator::set_reliable_policy`](crate::Simulator::set_reliable_policy)).
+    ///
+    /// Receivers are shielded from the "at-least-once" part by a
+    /// per-peer dedup window, so `on_message` runs at most once per
+    /// reliable send. The outcome is surfaced through
+    /// [`Node::on_reliable_acked`](crate::Node::on_reliable_acked) and
+    /// [`Node::on_reliable_expired`](crate::Node::on_reliable_expired).
+    pub fn send_reliable(&mut self, to: NodeId, kind: &'static str, bytes: Vec<u8>) -> MsgToken {
+        let msg_id = *self.next_msg_id;
+        *self.next_msg_id += 1;
+        self.actions.push(Action::SendReliable {
+            to,
+            kind,
+            bytes,
+            msg_id,
+            after: self.compute,
+        });
+        MsgToken(msg_id)
+    }
+
+    /// Stops retransmitting a reliable send (e.g. because it has been
+    /// superseded); a no-op if it was already acknowledged or expired.
+    /// Neither the ack nor the expiry callback fires afterwards.
+    pub fn cancel_reliable(&mut self, token: MsgToken) {
+        self.actions.push(Action::CancelReliable { msg_id: token.0 });
     }
 
     /// Multicasts `bytes` to every current member of `group` except the

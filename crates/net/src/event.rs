@@ -7,6 +7,15 @@ use crate::time::Time;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// How a delivery travels: plain fire-and-forget, a reliable frame that
+/// must be acknowledged and deduplicated, or the acknowledgement itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Transport {
+    Plain,
+    Reliable { msg_id: u64 },
+    Ack { msg_id: u64 },
+}
+
 /// What happens when an event fires.
 #[derive(Debug)]
 pub(crate) enum EventKind {
@@ -15,9 +24,13 @@ pub(crate) enum EventKind {
         from: NodeId,
         bytes: Vec<u8>,
         kind: &'static str,
+        transport: Transport,
     },
     /// Fire a timer with the given tag (cancelled if `token_cancelled`).
     Timer { tag: u64, token: u64 },
+    /// Retry a reliable send (`dst` is the original sender); a no-op if
+    /// the message was acknowledged or cancelled in the meantime.
+    Retransmit { msg_id: u64 },
     /// Invoke `on_start` for a node added while the simulation runs.
     Start,
 }

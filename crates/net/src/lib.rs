@@ -62,7 +62,7 @@ mod time;
 mod topology;
 mod trace;
 
-pub use context::{Context, TimerToken};
+pub use context::{Context, MsgToken, TimerToken};
 pub use id::{GroupId, NodeId};
 pub use latency::LatencyModel;
 pub use sim::{Node, Simulator};

@@ -20,6 +20,10 @@ pub enum DropReason {
     LinkCut,
     /// Random loss (lossy-network knob).
     RandomLoss,
+    /// A retransmitted reliable frame was already processed (per-peer
+    /// dedup window); the duplicate was acknowledged but not delivered
+    /// to the node.
+    Duplicate,
 }
 
 /// One recorded event.
@@ -60,6 +64,19 @@ pub enum TraceEvent {
         /// The timer's tag.
         tag: u64,
     },
+    /// A reliable send was retransmitted (no ack within the backoff).
+    Retransmitted {
+        /// Virtual time of the retransmission.
+        at: Time,
+        /// Original sender.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Accounting kind of the message.
+        kind: &'static str,
+        /// Transmission attempt number (the initial send is attempt 1).
+        attempt: u32,
+    },
 }
 
 impl TraceEvent {
@@ -68,7 +85,8 @@ impl TraceEvent {
         match self {
             TraceEvent::Delivered { at, .. }
             | TraceEvent::Dropped { at, .. }
-            | TraceEvent::TimerFired { at, .. } => *at,
+            | TraceEvent::TimerFired { at, .. }
+            | TraceEvent::Retransmitted { at, .. } => *at,
         }
     }
 }

@@ -36,6 +36,7 @@ fn main() {
     let mut delivered: BTreeMap<&str, usize> = BTreeMap::new();
     let mut dropped: BTreeMap<String, usize> = BTreeMap::new();
     let mut timers = 0usize;
+    let mut retransmits = 0usize;
     for event in group.sim.trace_events() {
         match event {
             TraceEvent::Delivered { kind, .. } => *delivered.entry(kind).or_default() += 1,
@@ -43,6 +44,7 @@ fn main() {
                 *dropped.entry(format!("{kind} ({reason:?})")).or_default() += 1
             }
             TraceEvent::TimerFired { .. } => timers += 1,
+            TraceEvent::Retransmitted { .. } => retransmits += 1,
         }
     }
     println!("trace: {} events recorded", group.sim.trace_recorded());
@@ -55,6 +57,7 @@ fn main() {
         println!("  {what:<30} {n}");
     }
     println!("timer firings: {timers}");
+    println!("reliable retransmissions: {retransmits}");
 
     // The area's live auxiliary-key tree, as Graphviz.
     println!("\narea 0 auxiliary-key tree (Graphviz):");
