@@ -9,7 +9,7 @@
 
 use super::{AreaController, ParentLink, RejoinStage, TIMER_IDLE_ALIVE, TIMER_PARENT_CHECK, TIMER_REKEY, TIMER_SWEEP};
 use crate::identity::{AreaId, ClientId};
-use crate::msg::Msg;
+use crate::msg::{Msg, RejoinDenyReason};
 use crate::rekey::{decode_entries, decode_path};
 use crate::wire::{Reader, Writer};
 use mykil_crypto::envelope::HybridCiphertext;
@@ -138,14 +138,30 @@ impl AreaController {
     ///
     /// Consecutive attempts rotate through `deploy.preferred_parents`
     /// (cursor-based), so a dead first candidate cannot absorb every
-    /// retry while live alternatives sit unused.
+    /// retry while live alternatives sit unused. Each preferred area
+    /// contributes two candidates: its primary and, when the
+    /// deployment registers one, its backup — after a failover the
+    /// area's live controller is the backup node, and a rotation that
+    /// only knows primaries would retry a demoted (or dead) node
+    /// forever.
     pub(crate) fn start_parent_switch(&mut self, ctx: &mut Context<'_>) {
         let current = self.parent.as_ref().map(|p| p.node);
-        let n = self.deploy.preferred_parents.len();
+        let mut candidates: Vec<ParentLink> = Vec::new();
+        for p in &self.deploy.preferred_parents {
+            candidates.push(p.clone());
+            if let Some(b) = self.deploy.backups.by_area(p.area) {
+                candidates.push(ParentLink {
+                    node: NodeId::from_index(b.node as usize),
+                    area: p.area,
+                    group: p.group,
+                });
+            }
+        }
+        let n = candidates.len();
         let mut chosen = None;
         for i in 0..n {
             let idx = (self.parent_switch_cursor + i) % n;
-            let cand = &self.deploy.preferred_parents[idx];
+            let cand = &candidates[idx];
             if Some(cand.node) != current && cand.node != ctx.id() {
                 chosen = Some((idx, cand.clone()));
                 break;
@@ -402,6 +418,13 @@ impl AreaController {
         if client.0 >= super::AC_MEMBER_BASE {
             // A child controller: re-send its path in this tree.
             if self.child_ac_members.get(&client.0) != Some(&from) {
+                // An unknown child controller believes it is enrolled
+                // here (we evicted it during a partition, or a takeover
+                // snapshot predates its enrollment). Dropping the
+                // request silently would strand it: our alive beacons
+                // keep its parent-silence detector happy while every
+                // rekey passes it by. Tell it the session is dead.
+                self.deny_rejoin(ctx, from, RejoinDenyReason::NotMember);
                 return;
             }
             let Ok(path) = self.tree.path_keys(mykil_tree::MemberId(client.0)) else {
@@ -426,11 +449,20 @@ impl AreaController {
             }
             return;
         }
-        if self.members.get(&client).is_some_and(|r| r.node == from) {
-            if let Some(rec) = self.members.get_mut(&client) {
-                rec.last_heard = ctx.now();
+        match self.members.get(&client) {
+            Some(r) if r.node == from => {
+                if let Some(rec) = self.members.get_mut(&client) {
+                    rec.last_heard = ctx.now();
+                }
+                self.unicast_current_path(ctx, client);
             }
-            self.unicast_current_path(ctx, client);
+            // Someone else's client id: stay silent, a NACK here would
+            // let a spoofer invalidate the real member's session.
+            Some(_) => {}
+            // Evicted (or never admitted): the requester's session is
+            // dead — say so, or it stays keyless while our beacons keep
+            // its disconnect detector quiet.
+            None => self.deny_rejoin(ctx, from, RejoinDenyReason::NotMember),
         }
     }
 

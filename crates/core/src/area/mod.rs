@@ -27,7 +27,7 @@ use crate::config::{BatchPolicy, MykilConfig};
 use crate::crypto_cost::CryptoCost;
 use crate::directory::AcDirectory;
 use crate::identity::{AreaId, ClientId, DeviceId};
-use crate::msg::Msg;
+use crate::msg::{Msg, RejoinDenyReason};
 use crate::rekey::KeyState;
 use mykil_crypto::keys::SymmetricKey;
 use mykil_crypto::rsa::{RsaKeyPair, RsaPublicKey};
@@ -150,6 +150,8 @@ pub struct AcStats {
     pub data_forwarded: u64,
     /// Takeovers performed (backup role only).
     pub takeovers: u64,
+    /// Demotions accepted after a split-brain heal (primary role only).
+    pub demotions: u64,
     /// Parent switches performed.
     pub parent_switches: u64,
 }
@@ -228,6 +230,18 @@ pub struct AreaController {
     /// Set after `failover_threshold` unacknowledged heartbeats; stops
     /// `StateSync` traffic to the dead backup until it acks again.
     pub(crate) backup_presumed_dead: bool,
+    /// Fencing epoch for split-brain reconciliation: bumped on every
+    /// takeover, carried in heartbeats, and compared after a heal — the
+    /// lower-epoch primary demotes itself (Section IV-C extension).
+    pub(crate) takeover_epoch: u64,
+    /// The counterpart's takeover epoch as last seen in heartbeat
+    /// traffic (a backup tracks its primary; a primary its backup).
+    pub(crate) peer_takeover_epoch: u64,
+    /// After a takeover: the primary this node took over from, i.e. the
+    /// only node whose stale heartbeats warrant a signed `Demote`.
+    pub(crate) stale_peer: Option<NodeId>,
+    /// Reliable-send token of the outstanding `Demote`, if any.
+    pub(crate) pending_demote: Option<MsgToken>,
 
     /// Operation counters.
     pub stats: AcStats,
@@ -298,6 +312,10 @@ impl AreaController {
             pending_sync: None,
             last_backup_ack: Time::ZERO,
             backup_presumed_dead: false,
+            takeover_epoch: 0,
+            peer_takeover_epoch: 0,
+            stale_peer: None,
+            pending_demote: None,
             stats: AcStats::default(),
             deploy,
         }
@@ -343,6 +361,23 @@ impl AreaController {
     /// Current rekey epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Current takeover (fencing) epoch — bumped on every promotion.
+    pub fn takeover_epoch(&self) -> u64 {
+        self.takeover_epoch
+    }
+
+    /// Snapshot sequence this controller last shipped to its backup
+    /// (primary role; replication monotonicity checks).
+    pub fn sync_seq(&self) -> u64 {
+        self.sync_seq
+    }
+
+    /// Snapshot sequence this controller last applied from its primary
+    /// (backup role; replication monotonicity checks).
+    pub fn applied_sync_seq(&self) -> u64 {
+        self.applied_sync_seq
     }
 
     /// The current parent link, if any.
@@ -519,9 +554,33 @@ impl Node for AreaController {
             }
             Msg::AreaJoinReq { ct, sig } => self.handle_area_join_req(ctx, from, &ct, &sig),
             Msg::AreaJoinAck { ct, sig } => self.handle_area_join_ack(ctx, from, &ct, &sig),
-            Msg::HeartbeatAck { seq } => self.handle_heartbeat_ack(ctx, from, seq),
+            Msg::HeartbeatAck { seq, takeover_epoch } => {
+                self.handle_heartbeat_ack(ctx, from, seq, takeover_epoch)
+            }
+            // A primary receiving primary heartbeats: the sender also
+            // believes it runs this area (split brain after a heal).
+            Msg::Heartbeat { seq, takeover_epoch } => {
+                self.handle_stale_primary_heartbeat(ctx, from, seq, takeover_epoch)
+            }
+            Msg::Demote { area, takeover_epoch, sig } => {
+                self.handle_demote(ctx, from, area, takeover_epoch, &sig)
+            }
             Msg::Takeover { area, sig, pubkey } => {
                 self.handle_neighbor_takeover(ctx, from, area, &sig, &pubkey)
+            }
+            // The parent refused a key refresh because it no longer
+            // counts us among its children (evicted behind a partition,
+            // or lost from a takeover snapshot). Its alive beacons keep
+            // the parent-silence detector quiet, so without this NACK
+            // the subtree would stay key-partitioned forever; re-run the
+            // signed area-join enrollment.
+            Msg::RejoinDenied { reason: RejoinDenyReason::NotMember } => {
+                if let Some(p) = self.parent.clone() {
+                    if from == p.node && self.pending_parent_join.is_none() {
+                        ctx.stats().bump("ac-reenrollments", 1);
+                        self.request_parent_enrollment(ctx, &p);
+                    }
+                }
             }
             // Client-bound or RS-bound steps and replica traffic the
             // primary never consumes (listed explicitly so a new wire
@@ -534,14 +593,17 @@ impl Node for AreaController {
             | Msg::Rejoin2 { .. }
             | Msg::Rejoin6 { .. }
             | Msg::RejoinDenied { .. }
-            | Msg::Heartbeat { .. }
             | Msg::StateSync { .. } => {}
         }
     }
 
-    fn on_reliable_acked(&mut self, _ctx: &mut Context<'_>, _peer: NodeId, msg: MsgToken) {
+    fn on_reliable_acked(&mut self, ctx: &mut Context<'_>, _peer: NodeId, msg: MsgToken) {
         if self.pending_sync == Some(msg) {
             self.pending_sync = None;
+        }
+        if self.pending_demote == Some(msg) {
+            self.pending_demote = None;
+            self.handle_demote_acked(ctx);
         }
     }
 
@@ -559,6 +621,13 @@ impl Node for AreaController {
             ctx.stats().bump("ac-state-sync-expired", 1);
             return;
         }
+        if self.pending_demote == Some(msg) {
+            // The stale primary went unreachable again; the next of its
+            // heartbeats to arrive restarts the fence.
+            self.pending_demote = None;
+            ctx.stats().bump("ac-demote-expired", 1);
+            return;
+        }
         if let Some((_, token)) = self.pending_parent_join {
             if token == msg {
                 // The prospective parent is unreachable; rotate to the
@@ -568,6 +637,47 @@ impl Node for AreaController {
                 if self.role == Role::Primary {
                     self.start_parent_switch(ctx);
                 }
+            }
+        }
+    }
+
+    fn on_restarted(&mut self, ctx: &mut Context<'_>) {
+        ctx.stats().bump("ac-restarts", 1);
+        // The crash dropped every pending timer and the transport's
+        // reliable-channel state; restart the liveness clocks and forget
+        // in-flight exchanges.
+        self.last_heard_parent = ctx.now();
+        self.last_heartbeat = ctx.now();
+        self.last_backup_ack = ctx.now();
+        self.backup_presumed_dead = false;
+        self.pending_sync = None;
+        self.pending_parent_join = None;
+        self.pending_demote = None;
+        self.pending_admissions.clear();
+        self.pending_rejoins.clear();
+        self.pending_rejoin_prev_ac.clear();
+        match self.role {
+            Role::Primary => {
+                ctx.set_timer(self.cfg.t_idle, TIMER_IDLE_ALIVE);
+                ctx.set_timer(self.cfg.t_active, TIMER_SWEEP);
+                ctx.set_timer(self.cfg.rekey_interval, TIMER_REKEY);
+                ctx.set_timer(self.cfg.t_idle, TIMER_PARENT_CHECK);
+                if self.deploy.backup.is_some() {
+                    ctx.set_timer(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
+                }
+                // Re-enter the hierarchy rather than silently resuming
+                // with possibly-stale keys: re-enrolling with the parent
+                // re-issues this AC's parent-area path. If the backup
+                // was promoted during the outage, its epoch fence
+                // (`Demote`) will step this node down and resync it
+                // through the StateSync path.
+                if let Some(p) = self.parent.clone() {
+                    ctx.join_group(p.group);
+                    self.request_parent_enrollment(ctx, &p);
+                }
+            }
+            Role::Backup { .. } => {
+                ctx.set_timer(self.cfg.heartbeat_interval, TIMER_BACKUP_WATCH);
             }
         }
     }

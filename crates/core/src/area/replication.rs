@@ -172,7 +172,11 @@ impl AreaController {
             ctx.send(
                 backup,
                 "replication",
-                Msg::Heartbeat { seq: self.hb_seq }.to_bytes(),
+                Msg::Heartbeat {
+                    seq: self.hb_seq,
+                    takeover_epoch: self.takeover_epoch,
+                }
+                .to_bytes(),
             );
             let threshold = self
                 .cfg
@@ -181,6 +185,11 @@ impl AreaController {
             if !self.backup_presumed_dead && ctx.now().since(self.last_backup_ack) >= threshold {
                 self.backup_presumed_dead = true;
                 ctx.stats().bump("backup-presumed-dead", 1);
+                // The dead backup cannot ack in-flight snapshots; stop
+                // their retransmissions instead of letting each run out
+                // its retry budget against a black hole.
+                ctx.cancel_reliable_to(backup);
+                self.pending_sync = None;
             }
         }
         ctx.set_timer(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
@@ -189,10 +198,17 @@ impl AreaController {
     /// Backup liveness tracking (primary role): `HeartbeatAck` refreshes
     /// the ack clock, and an ack from a presumed-dead backup revives it
     /// with an immediate full snapshot.
-    pub(crate) fn handle_heartbeat_ack(&mut self, ctx: &mut Context<'_>, from: NodeId, _seq: u64) {
+    pub(crate) fn handle_heartbeat_ack(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        _seq: u64,
+        takeover_epoch: u64,
+    ) {
         if self.deploy.backup != Some(from) {
             return;
         }
+        self.peer_takeover_epoch = self.peer_takeover_epoch.max(takeover_epoch);
         self.last_backup_ack = ctx.now();
         if self.backup_presumed_dead {
             self.backup_presumed_dead = false;
@@ -207,9 +223,20 @@ impl AreaController {
             return;
         };
         match msg {
-            Msg::Heartbeat { seq } if from == primary => {
+            Msg::Heartbeat { seq, takeover_epoch } if from == primary => {
                 self.last_heartbeat = ctx.now();
-                ctx.send(from, "replication", Msg::HeartbeatAck { seq }.to_bytes());
+                // Remember the primary's fencing epoch so a later
+                // takeover fences strictly above it.
+                self.peer_takeover_epoch = self.peer_takeover_epoch.max(takeover_epoch);
+                ctx.send(
+                    from,
+                    "replication",
+                    Msg::HeartbeatAck {
+                        seq,
+                        takeover_epoch: self.takeover_epoch,
+                    }
+                    .to_bytes(),
+                );
             }
             Msg::StateSync { ct } if from == primary => {
                 self.last_heartbeat = ctx.now();
@@ -262,7 +289,8 @@ impl AreaController {
             | Msg::AcAlive { .. }
             | Msg::MemberAlive { .. }
             | Msg::HeartbeatAck { .. }
-            | Msg::Takeover { .. } => {}
+            | Msg::Takeover { .. }
+            | Msg::Demote { .. } => {}
         }
     }
 
@@ -287,21 +315,46 @@ impl AreaController {
     /// Becomes the area's controller: restore replicated state, announce
     /// to the area, the registration server and the parent, and start
     /// the primary timers.
-    fn take_over(&mut self, ctx: &mut Context<'_>, _old_primary: NodeId) {
+    fn take_over(&mut self, ctx: &mut Context<'_>, old_primary: NodeId) {
         if let Some(state) = self.replica_state.take() {
             if self.apply_replica_snapshot(&state, ctx.now()).is_none() {
                 ctx.stats().bump("ac-takeover-corrupt-state", 1);
             }
         }
         self.role = Role::Primary;
+        // Fence strictly above anything the old primary ever announced:
+        // after a partition heal, whichever of the two primaries holds
+        // the lower epoch demotes itself (split-brain reconciliation).
+        self.takeover_epoch = self.takeover_epoch.max(self.peer_takeover_epoch) + 1;
+        self.stale_peer = Some(old_primary);
         // This node no longer has a backup of its own.
         self.deploy.backup = None;
         self.deploy.backup_pubkey = Vec::new();
         self.stats.takeovers += 1;
         ctx.stats().bump("ac-takeovers", 1);
 
-        // Signed announcement: members switch their AC pointer, the RS
-        // updates its directory, child controllers repoint parents.
+        self.announce_takeover(ctx);
+
+        // Re-enroll with the parent so parent-area keys are fresh.
+        if self.parent.is_some() {
+            self.last_heard_parent = ctx.now();
+            if let Some(p) = self.parent.clone() {
+                ctx.join_group(p.group);
+                self.request_parent_enrollment(ctx, &p);
+            }
+        }
+
+        ctx.set_timer(self.cfg.t_idle, TIMER_IDLE_ALIVE);
+        ctx.set_timer(self.cfg.t_active, TIMER_SWEEP);
+        ctx.set_timer(self.cfg.rekey_interval, TIMER_REKEY);
+        ctx.set_timer(self.cfg.t_idle, TIMER_PARENT_CHECK);
+    }
+
+    /// Signed takeover announcement: members switch their AC pointer,
+    /// the RS updates its directory, child controllers repoint parents.
+    /// Also re-sent after a split-brain heal, for the partition that
+    /// missed the original.
+    fn announce_takeover(&mut self, ctx: &mut Context<'_>) {
         let mut w = Writer::new();
         w.u32(self.deploy.area.0);
         ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
@@ -317,20 +370,120 @@ impl AreaController {
         // leaves the directory pointing at the dead primary.
         ctx.send_reliable(self.deploy.rs_node, "takeover", announce);
         self.last_area_mcast = ctx.now();
+    }
 
-        // Re-enroll with the parent so parent-area keys are fresh.
-        if self.parent.is_some() {
-            self.last_heard_parent = ctx.now();
-            if let Some(p) = self.parent.clone() {
-                ctx.join_group(p.group);
-                self.request_parent_enrollment(ctx, &p);
-            }
+    /// What a `Demote` signature covers: the area and the winning
+    /// takeover epoch.
+    fn demote_signed_bytes(area: crate::identity::AreaId, takeover_epoch: u64) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(area.0).u64(takeover_epoch);
+        w.into_bytes()
+    }
+
+    /// A primary received a primary heartbeat: the sender also believes
+    /// it runs this area. If it is the node this one took over from and
+    /// its fencing epoch is lower, send it a signed `Demote` (reliably —
+    /// the heal may still be flaky).
+    pub(crate) fn handle_stale_primary_heartbeat(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        _seq: u64,
+        takeover_epoch: u64,
+    ) {
+        if takeover_epoch >= self.takeover_epoch || self.stale_peer != Some(from) {
+            return;
         }
+        if self.pending_demote.is_some() {
+            return; // one fence in flight is enough
+        }
+        ctx.stats().bump("ac-demote-sent", 1);
+        ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
+        let sig = self
+            .keypair
+            .sign(&Self::demote_signed_bytes(self.deploy.area, self.takeover_epoch));
+        let token = ctx.send_reliable(
+            from,
+            "takeover",
+            Msg::Demote {
+                area: self.deploy.area,
+                takeover_epoch: self.takeover_epoch,
+                sig,
+            }
+            .to_bytes(),
+        );
+        self.pending_demote = Some(token);
+    }
 
-        ctx.set_timer(self.cfg.t_idle, TIMER_IDLE_ALIVE);
-        ctx.set_timer(self.cfg.t_active, TIMER_SWEEP);
-        ctx.set_timer(self.cfg.rekey_interval, TIMER_REKEY);
-        ctx.set_timer(self.cfg.t_idle, TIMER_PARENT_CHECK);
+    /// A primary received a `Demote`: its old backup took over behind a
+    /// partition and holds a higher fencing epoch. Verify the claim
+    /// against the deployment's backup key and step down to the backup
+    /// role, to be resynchronized through the normal StateSync path.
+    pub(crate) fn handle_demote(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        area: crate::identity::AreaId,
+        takeover_epoch: u64,
+        sig: &[u8],
+    ) {
+        if area != self.deploy.area
+            || takeover_epoch <= self.takeover_epoch
+            || self.deploy.backup != Some(from)
+        {
+            return;
+        }
+        let Ok(pk) = RsaPublicKey::from_bytes(&self.deploy.backup_pubkey) else {
+            return;
+        };
+        ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+        if !pk.verify(&Self::demote_signed_bytes(area, takeover_epoch), sig) {
+            return;
+        }
+        // Epoch fence lost: step down.
+        self.role = Role::Backup { primary: from };
+        self.peer_takeover_epoch = takeover_epoch;
+        // Replica bookkeeping from the primary stint must not block the
+        // new primary's snapshots.
+        self.applied_sync_seq = 0;
+        self.replica_state = None;
+        self.backup_presumed_dead = false;
+        self.last_heartbeat = ctx.now();
+        // Outstanding primary-role reliables toward the winner (stale
+        // state-syncs, mainly) must not race its snapshots.
+        ctx.cancel_reliable_to(from);
+        self.pending_sync = None;
+        if let Some((_, token)) = self.pending_parent_join.take() {
+            ctx.cancel_reliable(token);
+        }
+        self.stats.demotions += 1;
+        ctx.stats().bump("ac-demotions", 1);
+        // The primary timers die on their next firing (role-gated); the
+        // backup watchdog takes their place.
+        ctx.set_timer(self.cfg.heartbeat_interval, TIMER_BACKUP_WATCH);
+    }
+
+    /// The stale primary acknowledged the `Demote` (the gates on both
+    /// sides mirror each other, so delivery implies acceptance): adopt
+    /// it as this node's backup and bring it up to date.
+    pub(crate) fn handle_demote_acked(&mut self, ctx: &mut Context<'_>) {
+        let Some(peer) = self.stale_peer.take() else {
+            return;
+        };
+        let Some(pk) = self.directory_pubkey(peer) else {
+            return;
+        };
+        self.deploy.backup = Some(peer);
+        self.deploy.backup_pubkey = pk.to_bytes();
+        self.last_backup_ack = ctx.now();
+        self.backup_presumed_dead = false;
+        ctx.stats().bump("ac-demote-acked", 1);
+        // Members and child controllers in the stale partition missed
+        // the original takeover announcement; repeat it now that both
+        // sides can hear it.
+        self.announce_takeover(ctx);
+        ctx.set_timer(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
+        self.sync_backup(ctx);
     }
 
     /// Sends a signed area-join request to (re)establish membership in

@@ -462,6 +462,11 @@ impl GroupHandle {
         self.sim.node::<Member>(node).phase().clone()
     }
 
+    /// The registration server's node id (e.g. to crash or restart it).
+    pub fn rs(&self) -> NodeId {
+        self.rs_node
+    }
+
     /// Read access to the registration server.
     pub fn registration_server(&self) -> &crate::registration::RegistrationServer {
         self.sim

@@ -1,0 +1,240 @@
+//! Global invariant checker for chaos runs.
+//!
+//! A fault schedule (crashes, partitions, loss, skew — see
+//! `mykil_net::chaos`) may legally disturb every liveness property
+//! while it is active, but once the network has quiesced the protocol
+//! must have restored four safety properties:
+//!
+//! 1. **Key convergence** — every live, active member holds exactly
+//!    the current area key of its area's live controller.
+//! 2. **Forward secrecy** — no node that the live controller does not
+//!    count as an enrolled member holds that controller's current
+//!    area key (departure and eviction rekeys actually revoked it).
+//! 3. **Single primary** — after partitions heal, at most one live
+//!    controller per area holds the `Primary` role (epoch-fenced
+//!    demotion reconciled any split brain).
+//! 4. **Replication monotonicity** — a controller's replication
+//!    sequence numbers never move backwards within one takeover
+//!    lineage; a reset is legal only when the node's role or its
+//!    takeover epoch changed (promotion or demotion).
+//!
+//! The checker is stateful (for the monotonicity baseline): create one
+//! per scenario and call [`InvariantChecker::check`] at every
+//! quiescent point. A non-empty result is a protocol bug, not a
+//! harness artifact — pair it with the serialized `FaultPlan` that
+//! produced it for replay.
+
+use crate::area::Role;
+use crate::group::GroupHandle;
+use mykil_net::NodeId;
+use std::collections::HashMap;
+
+/// One violated invariant, with enough context to debug a soak
+/// failure without re-running it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// Two live controllers of the same area both claim `Primary`.
+    SplitBrain {
+        /// Area index.
+        area: usize,
+        /// The two nodes claiming the role.
+        nodes: (NodeId, NodeId),
+    },
+    /// An active member's key differs from its live controller's.
+    KeyDivergence {
+        /// The member node.
+        member: NodeId,
+        /// Area index the member believes it is in.
+        area: usize,
+    },
+    /// A node outside the controller's membership holds the current
+    /// area key.
+    ForwardSecrecy {
+        /// The offending node.
+        member: NodeId,
+        /// Area index whose key leaked.
+        area: usize,
+    },
+    /// A replication sequence number moved backwards within one
+    /// takeover lineage.
+    ReplicationRegression {
+        /// The controller node.
+        node: NodeId,
+        /// Which counter regressed (`"sync_seq"` / `"applied_sync_seq"`).
+        counter: &'static str,
+        /// Value at the previous quiescent check.
+        prev: u64,
+        /// Value now.
+        seen: u64,
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvariantViolation::SplitBrain { area, nodes } => write!(
+                f,
+                "split brain: area {area} has two live primaries {:?} and {:?}",
+                nodes.0, nodes.1
+            ),
+            InvariantViolation::KeyDivergence { member, area } => write!(
+                f,
+                "key divergence: active member {member:?} disagrees with area {area}'s controller"
+            ),
+            InvariantViolation::ForwardSecrecy { member, area } => write!(
+                f,
+                "forward secrecy: non-member {member:?} holds area {area}'s current key"
+            ),
+            InvariantViolation::ReplicationRegression {
+                node,
+                counter,
+                prev,
+                seen,
+            } => write!(
+                f,
+                "replication regression: {node:?} {counter} went {prev} -> {seen}"
+            ),
+        }
+    }
+}
+
+/// Per-controller baseline for the monotonicity invariant.
+#[derive(Debug, Clone, Copy)]
+struct ReplBaseline {
+    takeover_epoch: u64,
+    is_primary: bool,
+    sync_seq: u64,
+    applied_sync_seq: u64,
+}
+
+/// Stateful checker; see the module docs for the invariants.
+#[derive(Debug, Default)]
+pub struct InvariantChecker {
+    repl: HashMap<NodeId, ReplBaseline>,
+}
+
+impl InvariantChecker {
+    /// Creates a checker with an empty monotonicity baseline.
+    pub fn new() -> InvariantChecker {
+        InvariantChecker::default()
+    }
+
+    /// Runs every invariant against the current simulation state and
+    /// returns all violations found (empty = healthy).
+    pub fn check(&mut self, g: &GroupHandle) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        let areas = g.primaries.len();
+
+        // Resolve each area's live controller (and catch split brain
+        // while doing so). An area whose deployed pair is entirely
+        // crashed has no live controller: liveness is suspended there,
+        // but no safety property can be violated by a dead node.
+        let mut live: Vec<Option<NodeId>> = Vec::with_capacity(areas);
+        for area in 0..areas {
+            let mut primaries_here: Vec<NodeId> = Vec::new();
+            let mut pair = vec![g.primaries[area]];
+            if let Some(&b) = g.backups.get(area) {
+                pair.push(b);
+            }
+            for node in pair {
+                if g.sim.is_crashed(node) {
+                    continue;
+                }
+                let ctrl = if node == g.primaries[area] {
+                    g.ac(area)
+                } else {
+                    g.backup(area)
+                };
+                if ctrl.role() == Role::Primary {
+                    primaries_here.push(node);
+                }
+            }
+            if primaries_here.len() > 1 {
+                out.push(InvariantViolation::SplitBrain {
+                    area,
+                    nodes: (primaries_here[0], primaries_here[1]),
+                });
+            }
+            live.push(primaries_here.first().copied());
+        }
+
+        // Key convergence + forward secrecy, one pass over the members.
+        for &m in &g.members {
+            if g.sim.is_crashed(m) {
+                continue;
+            }
+            let member = g.member(m);
+            let held = member.current_area_key();
+            let member_area = member.area().map(|a| a.0 as usize);
+            for (area, live_ctrl) in live.iter().enumerate().take(areas) {
+                let Some(ctrl_node) = *live_ctrl else { continue };
+                let ctrl = if ctrl_node == g.primaries[area] {
+                    g.ac(area)
+                } else {
+                    g.backup(area)
+                };
+                let enrolled = member
+                    .client_id()
+                    .is_some_and(|c| ctrl.has_member(c));
+                if member.is_active() && member_area == Some(area) {
+                    if held != Some(ctrl.area_key()) {
+                        out.push(InvariantViolation::KeyDivergence { member: m, area });
+                    }
+                } else if !enrolled && held == Some(ctrl.area_key()) {
+                    // Not this area's member (and the controller agrees):
+                    // holding its current key means an eviction or leave
+                    // rekey failed to revoke access.
+                    out.push(InvariantViolation::ForwardSecrecy { member: m, area });
+                }
+            }
+        }
+
+        // Replication monotonicity within a takeover lineage.
+        for area in 0..areas {
+            let mut pair = vec![g.primaries[area]];
+            if let Some(&b) = g.backups.get(area) {
+                pair.push(b);
+            }
+            for node in pair {
+                let ctrl = if node == g.primaries[area] {
+                    g.ac(area)
+                } else {
+                    g.backup(area)
+                };
+                let now = ReplBaseline {
+                    takeover_epoch: ctrl.takeover_epoch(),
+                    is_primary: ctrl.role() == Role::Primary,
+                    sync_seq: ctrl.sync_seq(),
+                    applied_sync_seq: ctrl.applied_sync_seq(),
+                };
+                if let Some(prev) = self.repl.get(&node) {
+                    // Promotion/demotion starts a new lineage; within
+                    // one, both counters may only grow.
+                    let same_lineage = prev.takeover_epoch == now.takeover_epoch
+                        && prev.is_primary == now.is_primary;
+                    if same_lineage {
+                        if now.sync_seq < prev.sync_seq {
+                            out.push(InvariantViolation::ReplicationRegression {
+                                node,
+                                counter: "sync_seq",
+                                prev: prev.sync_seq,
+                                seen: now.sync_seq,
+                            });
+                        }
+                        if now.applied_sync_seq < prev.applied_sync_seq {
+                            out.push(InvariantViolation::ReplicationRegression {
+                                node,
+                                counter: "applied_sync_seq",
+                                prev: prev.applied_sync_seq,
+                                seen: now.applied_sync_seq,
+                            });
+                        }
+                    }
+                }
+                self.repl.insert(node, now);
+            }
+        }
+
+        out
+    }
+}

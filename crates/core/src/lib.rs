@@ -63,6 +63,7 @@ pub mod directory;
 pub mod error;
 pub mod group;
 pub mod identity;
+pub mod invariants;
 pub mod member;
 pub mod msg;
 pub mod registration;

@@ -95,6 +95,11 @@ pub struct Member {
     stashed_paths: Vec<Vec<(u32, SymmetricKey)>>,
     next_seq: u64,
     rejoin_target: Option<NodeId>,
+    /// Rotation cursor into `directory` for handshake retries; when it
+    /// wraps without landing anywhere, the member falls back to a full
+    /// re-registration through the RS (whose directory, unlike this
+    /// cached copy, tracks takeovers).
+    rejoin_cursor: usize,
 
     /// Successfully decrypted application payloads, in arrival order.
     pub received: Vec<Vec<u8>>,
@@ -163,6 +168,7 @@ impl Member {
             stashed_paths: Vec::new(),
             next_seq: 0,
             rejoin_target: None,
+            rejoin_cursor: 0,
             received: Vec::new(),
             decrypt_failures: 0,
             disconnects_detected: 0,
@@ -213,6 +219,9 @@ impl Member {
     }
 
     fn set_phase(&mut self, now: Time, phase: MemberPhase) {
+        if phase == MemberPhase::Active {
+            self.rejoin_cursor = 0;
+        }
         self.phase = phase;
         self.phase_since = now;
     }
@@ -618,7 +627,7 @@ impl Member {
         self.received.push(plain);
     }
 
-    fn handle_takeover(&mut self, area: AreaId, sig: &[u8], from: NodeId) {
+    fn handle_takeover(&mut self, ctx: &mut Context<'_>, area: AreaId, sig: &[u8], from: NodeId) {
         if self.area != Some(area) {
             return;
         }
@@ -632,9 +641,23 @@ impl Member {
         }
         // The backup is now our AC.
         self.ac_node = Some(from);
-        self.ac_pub = Some(backup_pub);
+        self.ac_pub = Some(backup_pub.clone());
         self.backup_node = None;
         self.backup_pub = None;
+        self.last_heard_ac = ctx.now();
+        // Keep the cached directory pointing at the live controller, so
+        // a later ticket rejoin toward this area resolves its key.
+        self.directory.upsert(crate::directory::AcInfo {
+            area,
+            node: from.index() as u32,
+            pubkey: backup_pub.to_bytes(),
+        });
+        // The new controller's rekey lineage restarts from its replica
+        // snapshot, which may trail (or, behind a partition, diverge
+        // from) the epochs this member saw; restart epoch tracking and
+        // fetch a fresh key path instead of comparing across lineages.
+        self.epoch = 0;
+        self.request_key_refresh(ctx);
     }
 
     /// Whether a join/rejoin handshake has been pending past the retry
@@ -652,23 +675,24 @@ impl Member {
             && now.since(self.phase_since) >= self.cfg.member_disconnect_after().saturating_mul(2)
     }
 
-    /// Restarts a stuck handshake: with a ticket, try the next AC in the
-    /// directory; without one, re-register from scratch.
+    /// Restarts a stuck handshake: with a ticket, rotate to the next AC
+    /// in the directory; once every cached entry has been tried (or
+    /// without a ticket at all), re-register from scratch through the
+    /// RS. The cached directory predates any failover, so a full
+    /// rotation that lands nowhere means its entries are stale — dead
+    /// or demoted nodes — and only the RS knows the successors.
     fn retry_handshake(&mut self, ctx: &mut Context<'_>) {
         ctx.stats().bump("member-handshake-retries", 1);
-        let tried = self.rejoin_target.map(|n| n.index() as u32);
         if self.ticket.is_some() {
-            let next = self
-                .directory
-                .entries
-                .iter()
-                .find(|e| Some(e.node) != tried)
-                .map(|e| e.node);
-            if let Some(n) = next {
-                if self.start_rejoin(ctx, NodeId::from_index(n as usize)) {
+            let n = self.directory.entries.len();
+            while self.rejoin_cursor < n {
+                let target = self.directory.entries[self.rejoin_cursor].node;
+                self.rejoin_cursor += 1;
+                if self.start_rejoin(ctx, NodeId::from_index(target as usize)) {
                     return;
                 }
             }
+            self.rejoin_cursor = 0;
         }
         self.start_join(ctx);
     }
@@ -716,7 +740,21 @@ impl Node for Member {
             Msg::Rejoin2 { ct } => self.handle_rejoin2(ctx, from, &ct),
             Msg::Rejoin6 { ct, sig } => self.handle_rejoin6(ctx, from, &ct, &sig),
             Msg::RejoinDenied { reason } => {
-                if matches!(
+                if reason == RejoinDenyReason::NotMember
+                    && self.auto
+                    && self.is_active()
+                    && Some(from) == self.ac_node
+                {
+                    // Our controller evicted us while we were unreachable
+                    // (or a promoted replica never knew us): its beacons
+                    // look alive but every key refresh is refused. The
+                    // session is dead — re-authenticate with the ticket,
+                    // or re-register when the rejoin cannot start.
+                    ctx.stats().bump("member-session-invalidated", 1);
+                    if !self.start_rejoin(ctx, from) {
+                        self.start_join(ctx);
+                    }
+                } else if matches!(
                     self.phase,
                     MemberPhase::AwaitRejoin2 { .. } | MemberPhase::AwaitRejoin6
                 ) {
@@ -750,7 +788,7 @@ impl Node for Member {
                     self.epoch = epoch;
                     self.request_key_refresh(ctx);
                 }
-            Msg::Takeover { area, sig, .. } => self.handle_takeover(area, &sig, from),
+            Msg::Takeover { area, sig, .. } => self.handle_takeover(ctx, area, &sig, from),
             // Alive beacons that failed the resync guard above.
             Msg::AcAlive { .. } => {}
             // Traffic addressed to the RS, to ACs, or to replicas — a
@@ -771,7 +809,39 @@ impl Node for Member {
             | Msg::MemberAlive { .. }
             | Msg::Heartbeat { .. }
             | Msg::HeartbeatAck { .. }
-            | Msg::StateSync { .. } => {}
+            | Msg::StateSync { .. }
+            | Msg::Demote { .. } => {}
+        }
+    }
+
+    fn on_restarted(&mut self, ctx: &mut Context<'_>) {
+        ctx.stats().bump("member-restarts", 1);
+        // The crash dropped both liveness timers; re-arm them and let
+        // the disconnect detector start from a fresh clock.
+        ctx.set_timer(self.cfg.t_active, TIMER_ALIVE);
+        ctx.set_timer(self.cfg.t_idle, TIMER_DISCONNECT);
+        self.last_heard_ac = ctx.now();
+        if self.is_active() && self.auto {
+            // The session may not have survived the outage: an eviction
+            // rekey while we were down means the AC now drops our key
+            // refreshes (forward secrecy), yet its alive beacons keep the
+            // disconnect detector happy. Re-authenticate with the ticket
+            // instead of trusting the pre-crash session; fall back to a
+            // full registration when the rejoin cannot even start.
+            let target = self.ac_node;
+            if !target.is_some_and(|ac| self.start_rejoin(ctx, ac)) {
+                self.start_join(ctx);
+            }
+        } else if self.is_active() {
+            // Manually driven members never self-initiate a handshake;
+            // at least resync keys missed during the outage.
+            self.request_key_refresh(ctx);
+        } else if self.auto && self.phase != MemberPhase::Idle {
+            // Mid-handshake crash: the counterpart's replies were lost
+            // with the socket; restart the exchange.
+            self.retry_handshake(ctx);
+        } else if self.auto {
+            self.start_join(ctx);
         }
     }
 

@@ -41,6 +41,11 @@ pub enum RejoinDenyReason {
     PartitionedStrict,
     /// Device id does not match the ticket (option 2 NIC check).
     DeviceMismatch,
+    /// The controller does not know this client at all — sent in reply
+    /// to a `KeyRefreshRequest` from a node outside the member list
+    /// (evicted during a partition or lost in a failover). The session
+    /// is dead; the client must rejoin or re-register, not refresh.
+    NotMember,
 }
 
 impl RejoinDenyReason {
@@ -50,6 +55,7 @@ impl RejoinDenyReason {
             RejoinDenyReason::StillMemberElsewhere => 1,
             RejoinDenyReason::PartitionedStrict => 2,
             RejoinDenyReason::DeviceMismatch => 3,
+            RejoinDenyReason::NotMember => 4,
         }
     }
 
@@ -59,6 +65,7 @@ impl RejoinDenyReason {
             1 => RejoinDenyReason::StillMemberElsewhere,
             2 => RejoinDenyReason::PartitionedStrict,
             3 => RejoinDenyReason::DeviceMismatch,
+            4 => RejoinDenyReason::NotMember,
             _ => return Err(ProtocolError::Malformed("deny reason")),
         })
     }
@@ -148,10 +155,14 @@ pub enum Msg {
     /// Member's alive unicast to its AC (`T_active`).
     MemberAlive { client: ClientId },
 
-    /// Primary → backup liveness probe.
-    Heartbeat { seq: u64 },
-    /// Backup → primary response.
-    HeartbeatAck { seq: u64 },
+    /// Primary → backup liveness probe. Carries the sender's takeover
+    /// epoch so a stale primary surviving a partition heal discovers a
+    /// newer promotion (split-brain fencing, see `area::replication`).
+    Heartbeat { seq: u64, takeover_epoch: u64 },
+    /// Backup → primary response, echoing the responder's takeover
+    /// epoch (a backup that was promoted during a partition answers
+    /// with a higher epoch than the stale primary's own).
+    HeartbeatAck { seq: u64, takeover_epoch: u64 },
     /// Primary → backup state synchronization (sealed under the
     /// replication key).
     StateSync { ct: Vec<u8> },
@@ -164,6 +175,19 @@ pub enum Msg {
         /// The backup's public key (members verify against the copy
         /// received at join time).
         pubkey: Vec<u8>,
+    },
+    /// Promoted primary → stale primary: "a takeover with this epoch
+    /// superseded you; demote yourself to backup and resync" (signed by
+    /// the promoted backup's key, which the stale primary can verify
+    /// against its own deployment record).
+    Demote {
+        /// The contested area.
+        area: AreaId,
+        /// The superseding takeover epoch.
+        takeover_epoch: u64,
+        /// Signature over area ‖ takeover_epoch by the promoted
+        /// backup's key.
+        sig: Vec<u8>,
     },
 }
 
@@ -233,15 +257,28 @@ impl Msg {
             Msg::MemberAlive { client } => {
                 w.u8(51).u64(client.0);
             }
-            Msg::Heartbeat { seq } => {
-                w.u8(60).u64(*seq);
+            Msg::Heartbeat {
+                seq,
+                takeover_epoch,
+            } => {
+                w.u8(60).u64(*seq).u64(*takeover_epoch);
             }
-            Msg::HeartbeatAck { seq } => {
-                w.u8(61).u64(*seq);
+            Msg::HeartbeatAck {
+                seq,
+                takeover_epoch,
+            } => {
+                w.u8(61).u64(*seq).u64(*takeover_epoch);
             }
             Msg::StateSync { ct } => ct_only!(w, 62, ct),
             Msg::Takeover { area, sig, pubkey } => {
                 w.u8(63).u32(area.0).bytes(sig).bytes(pubkey);
+            }
+            Msg::Demote {
+                area,
+                takeover_epoch,
+                sig,
+            } => {
+                w.u8(64).u32(area.0).u64(*takeover_epoch).bytes(sig);
             }
         }
         w.into_bytes()
@@ -294,13 +331,24 @@ impl Msg {
                 epoch: r.u64()?,
             },
             51 => Msg::MemberAlive { client: ClientId(r.u64()?) },
-            60 => Msg::Heartbeat { seq: r.u64()? },
-            61 => Msg::HeartbeatAck { seq: r.u64()? },
+            60 => Msg::Heartbeat {
+                seq: r.u64()?,
+                takeover_epoch: r.u64()?,
+            },
+            61 => Msg::HeartbeatAck {
+                seq: r.u64()?,
+                takeover_epoch: r.u64()?,
+            },
             62 => Msg::StateSync { ct: r.bytes()?.to_vec() },
             63 => Msg::Takeover {
                 area: AreaId(r.u32()?),
                 sig: r.bytes()?.to_vec(),
                 pubkey: r.bytes()?.to_vec(),
+            },
+            64 => Msg::Demote {
+                area: AreaId(r.u32()?),
+                takeover_epoch: r.u64()?,
+                sig: r.bytes()?.to_vec(),
             },
             _ => return Err(ProtocolError::Malformed("unknown message tag")),
         };
@@ -334,7 +382,7 @@ impl Msg {
             Msg::Heartbeat { .. } | Msg::HeartbeatAck { .. } | Msg::StateSync { .. } => {
                 "replication"
             }
-            Msg::Takeover { .. } => "takeover",
+            Msg::Takeover { .. } | Msg::Demote { .. } => "takeover",
         }
     }
 }
@@ -385,13 +433,18 @@ mod tests {
         });
         round_trip(Msg::AcAlive { area: AreaId(1), epoch: 9 });
         round_trip(Msg::MemberAlive { client: ClientId(2) });
-        round_trip(Msg::Heartbeat { seq: 5 });
-        round_trip(Msg::HeartbeatAck { seq: 5 });
+        round_trip(Msg::Heartbeat { seq: 5, takeover_epoch: 2 });
+        round_trip(Msg::HeartbeatAck { seq: 5, takeover_epoch: 3 });
         round_trip(Msg::StateSync { ct: vec![1, 2] });
         round_trip(Msg::Takeover {
             area: AreaId(2),
             sig: vec![1; 64],
             pubkey: vec![2; 100],
+        });
+        round_trip(Msg::Demote {
+            area: AreaId(2),
+            takeover_epoch: 4,
+            sig: vec![3; 64],
         });
     }
 
@@ -401,7 +454,7 @@ mod tests {
         assert!(Msg::from_bytes(&[255]).is_err());
         assert!(Msg::from_bytes(&[1, 0, 0]).is_err()); // truncated len
         // Trailing garbage after a valid message.
-        let mut bytes = Msg::Heartbeat { seq: 1 }.to_bytes();
+        let mut bytes = Msg::Heartbeat { seq: 1, takeover_epoch: 0 }.to_bytes();
         bytes.push(0);
         assert!(Msg::from_bytes(&bytes).is_err());
     }
@@ -434,6 +487,9 @@ mod tests {
             Msg::AcAlive { area: AreaId(0), epoch: 0 }.kind(),
             "alive"
         );
-        assert_eq!(Msg::Heartbeat { seq: 0 }.kind(), "replication");
+        assert_eq!(
+            Msg::Heartbeat { seq: 0, takeover_epoch: 0 }.kind(),
+            "replication"
+        );
     }
 }

@@ -314,9 +314,23 @@ impl Node for RegistrationServer {
             | Msg::MemberAlive { .. }
             | Msg::Heartbeat { .. }
             | Msg::HeartbeatAck { .. }
-            | Msg::StateSync { .. } => {
+            | Msg::StateSync { .. }
+            | Msg::Demote { .. } => {
                 self.stats.rejected_messages += 1;
             }
         }
+    }
+
+    fn on_restarted(&mut self, ctx: &mut Context<'_>) {
+        // A crash forgets every handshake in flight. Surfacing that
+        // honestly (instead of resuming with half-valid nonce state)
+        // lets clients time out, retry step 1, and complete against the
+        // fresh table.
+        let dropped = self.pending.len() as u64;
+        self.pending.clear();
+        if dropped > 0 {
+            ctx.stats().bump("rs-pending-dropped", dropped);
+        }
+        ctx.stats().bump("rs-restarts", 1);
     }
 }

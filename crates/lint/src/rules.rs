@@ -19,6 +19,14 @@ use crate::tokenizer::{Token, TokenKind};
 /// Crates whose non-test code must be panic-free on peer input (L001).
 pub const PROTOCOL_CRATES: &[&str] = &["core", "net", "tree"];
 
+/// Harness allowlist: files inside protocol crates that are driven only
+/// by the test harness, never by peer input. The chaos fault injector
+/// and the invariant checker deliberately crash nodes and assert on
+/// global state, so the panic-freedom rule L001 does not apply to them.
+/// Everything else (L003 constant-time compares, L004 determinism,
+/// L005 exhaustive dispatch) still does.
+pub const HARNESS_PATHS: &[&str] = &["crates/net/src/chaos.rs", "crates/core/src/invariants.rs"];
+
 /// Crates that must never read wall-clock time (L004): all their
 /// behavior flows from the deterministic simulator clock.
 pub const SIM_DETERMINISTIC_CRATES: &[&str] = &["net", "core"];
@@ -56,8 +64,10 @@ impl FileContext<'_> {
     }
 
     fn in_protocol_src(&self) -> bool {
-        self.crate_name()
-            .is_some_and(|c| PROTOCOL_CRATES.contains(&c))
+        !HARNESS_PATHS.contains(&self.path)
+            && self
+                .crate_name()
+                .is_some_and(|c| PROTOCOL_CRATES.contains(&c))
     }
 }
 

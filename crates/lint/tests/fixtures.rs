@@ -70,6 +70,26 @@ fn l001_suppressed_with_directive() {
     assert!(rule_ids("crates/core/src/a.rs", own_line).is_empty());
 }
 
+#[test]
+fn l001_quiet_in_harness_allowlisted_files() {
+    // The chaos fault injector and the invariant checker live inside
+    // protocol crates but run only under the test harness; intentional
+    // panics there are not remote crash vectors.
+    let src = "pub fn apply(f: Fault) { plan.get(&f).unwrap().fire(); }";
+    assert!(rule_ids("crates/net/src/chaos.rs", src).is_empty());
+    assert!(rule_ids("crates/core/src/invariants.rs", src).is_empty());
+    // The allowlist is exact-path: a sibling file still fires.
+    assert_eq!(rule_ids("crates/net/src/sim.rs", src), vec!["L001"]);
+}
+
+#[test]
+fn harness_allowlist_exempts_only_l001() {
+    // Determinism still matters in the chaos layer: a wall-clock read
+    // there would make fault schedules non-replayable.
+    let src = "fn jitter() { let t = std::time::Instant::now(); use_it(t); }";
+    assert_eq!(rule_ids("crates/net/src/chaos.rs", src), vec!["L004"]);
+}
+
 // ---------------------------------------------------------------- L002
 
 #[test]

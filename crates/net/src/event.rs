@@ -33,6 +33,9 @@ pub(crate) enum EventKind {
     Retransmit { msg_id: u64 },
     /// Invoke `on_start` for a node added while the simulation runs.
     Start,
+    /// Invoke `on_restarted` for a node that recovered from a crash
+    /// (skipped if the node crashed again before the event fires).
+    Restarted,
 }
 
 #[derive(Debug)]

@@ -52,6 +52,7 @@
 //! assert!(sim.node::<Probe>(probe).got_pong);
 //! ```
 
+mod chaos;
 mod context;
 mod event;
 mod id;
@@ -62,6 +63,7 @@ mod time;
 mod topology;
 mod trace;
 
+pub use chaos::{ChaosDriver, ChaosOptions, FaultPlan, FaultSpec, TimedFault};
 pub use context::{Context, MsgToken, TimerToken};
 pub use id::{GroupId, NodeId};
 pub use latency::LatencyModel;

@@ -21,6 +21,13 @@ pub trait Node: Any {
     /// Called once when the node is added to the simulation.
     fn on_start(&mut self, _ctx: &mut Context<'_>) {}
 
+    /// Called after the node recovers from a crash (see
+    /// [`Simulator::restart`]). A crash cancels every timer the node had
+    /// pending, so implementors must re-arm their periodic timers here
+    /// and treat in-memory state as suspect (re-synchronize with peers
+    /// rather than resuming blindly).
+    fn on_restarted(&mut self, _ctx: &mut Context<'_>) {}
+
     /// Called when a message addressed to this node arrives.
     fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]);
 
@@ -108,6 +115,15 @@ pub struct Simulator {
     reliable_max_attempts: u32,
     events_processed: u64,
     trace: Option<Trace>,
+    dup_per_mille: u32,
+    reorder_per_mille: u32,
+    reorder_window: Duration,
+    /// Per-node timer scale in permille (1000 = nominal); nodes absent
+    /// from the map run their timers at nominal speed.
+    timer_skew: HashMap<NodeId, u32>,
+    /// Pending timer tokens per node, so a crash can cancel them all
+    /// (a rebooted process holds no armed timers).
+    armed_timers: HashMap<NodeId, HashSet<u64>>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -146,6 +162,11 @@ impl Simulator {
             reliable_max_attempts: 6,
             events_processed: 0,
             trace: None,
+            dup_per_mille: 0,
+            reorder_per_mille: 0,
+            reorder_window: Duration::ZERO,
+            timer_skew: HashMap::new(),
+            armed_timers: HashMap::new(),
         }
     }
 
@@ -235,6 +256,13 @@ impl Simulator {
         }
     }
 
+    /// Records a fault-injection note into the trace (used by the chaos
+    /// harness so replayed traces show what was done to the network).
+    pub(crate) fn record_fault(&mut self, desc: String) {
+        let at = self.now;
+        self.record(TraceEvent::FaultInjected { at, desc });
+    }
+
     // ---- failure injection (Section IV fault model) ----
 
     /// Moves `node` into partition `label`; nodes communicate only
@@ -248,16 +276,42 @@ impl Simulator {
         self.topo.heal_partitions();
     }
 
-    /// Crashes a node: it stops sending and receiving. Pending timers
-    /// still fire after a restart (crash-recovery keeps state; use a
-    /// fresh node for crash-stop semantics).
+    /// Crashes a node: it stops sending and receiving, every timer it
+    /// had pending is cancelled, and its pending reliable sends are
+    /// cancelled (a crashed sender's transport state dies with it;
+    /// each cancellation bumps the `reliable-cancelled` stat).
+    ///
+    /// In-memory node state survives — this models crash-*recovery*
+    /// semantics, and [`Node::on_restarted`] is where a node must
+    /// rebuild whatever it cannot trust after the gap.
     pub fn crash(&mut self, node: NodeId) {
         self.topo.crash(node);
+        if let Some(tokens) = self.armed_timers.remove(&node) {
+            self.cancelled.extend(tokens);
+        }
+        let dead: Vec<u64> = self
+            .pending_reliable
+            .iter()
+            .filter(|(_, p)| p.src == node)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dead {
+            self.pending_reliable.remove(&id);
+            self.stats.bump("reliable-cancelled", 1);
+        }
     }
 
-    /// Restarts a crashed node.
-    pub fn restart(&mut self, node: NodeId) {
+    /// Restarts a crashed node and returns `true` when the node was
+    /// actually down (`recovered`); in that case [`Node::on_restarted`]
+    /// is scheduled so the node can re-arm timers and resynchronize.
+    /// Restarting a live node is a no-op returning `false`.
+    pub fn restart(&mut self, node: NodeId) -> bool {
+        let recovered = self.topo.is_crashed(node);
         self.topo.restart(node);
+        if recovered {
+            self.queue.push(self.now, node, EventKind::Restarted);
+        }
+        recovered
     }
 
     /// Whether the node is currently crashed.
@@ -278,6 +332,33 @@ impl Simulator {
     /// Sets uniform message loss in permille (0–1000).
     pub fn set_loss_per_mille(&mut self, per_mille: u32) {
         self.topo.set_loss_per_mille(per_mille);
+    }
+
+    /// Sets the probability (permille, 0–1000) that a delivered message
+    /// is duplicated: a second copy arrives with independently sampled
+    /// latency. Reliable frames are shielded by the dedup window; plain
+    /// sends see the duplicate.
+    pub fn set_duplication_per_mille(&mut self, per_mille: u32) {
+        self.dup_per_mille = per_mille.min(1000);
+    }
+
+    /// Sets the probability (permille, 0–1000) that a delivered message
+    /// is delayed by a uniform extra amount up to `window`, which
+    /// reorders it against later traffic.
+    pub fn set_reorder(&mut self, per_mille: u32, window: Duration) {
+        self.reorder_per_mille = per_mille.min(1000);
+        self.reorder_window = window;
+    }
+
+    /// Scales all future timers set by `node` to `per_mille`/1000 of
+    /// their nominal delay (1000 = nominal, 1500 = clock running 50%
+    /// slow). Models alive-timer skew between protocol participants.
+    pub fn set_timer_skew_per_mille(&mut self, node: NodeId, per_mille: u32) {
+        if per_mille == 1000 {
+            self.timer_skew.remove(&node);
+        } else {
+            self.timer_skew.insert(node, per_mille.max(1));
+        }
     }
 
     // ---- node access ----
@@ -418,12 +499,18 @@ impl Simulator {
                 return;
             }
             EventKind::Timer { token, .. } => {
+                if let Some(set) = self.armed_timers.get_mut(&dst) {
+                    set.remove(token);
+                }
                 if self.cancelled.remove(token) {
                     return;
                 }
                 if self.topo.is_crashed(dst) {
                     return;
                 }
+            }
+            EventKind::Restarted if self.topo.is_crashed(dst) => {
+                return; // crashed again before the notification fired
             }
             EventKind::Retransmit { msg_id } => {
                 let msg_id = *msg_id;
@@ -505,12 +592,13 @@ impl Simulator {
                 node: dst,
                 tag: *tag,
             }),
-            EventKind::Start | EventKind::Retransmit { .. } => None,
+            EventKind::Start | EventKind::Restarted | EventKind::Retransmit { .. } => None,
         };
         match kind {
             EventKind::Deliver { from, bytes, .. } => boxed.on_message(&mut ctx, from, &bytes),
             EventKind::Timer { tag, .. } => boxed.on_timer(&mut ctx, tag),
             EventKind::Start => boxed.on_start(&mut ctx),
+            EventKind::Restarted => boxed.on_restarted(&mut ctx),
             EventKind::Retransmit { .. } => {} // handled above
         }
         let actions = std::mem::take(&mut ctx.actions);
@@ -556,7 +644,29 @@ impl Simulator {
     ) {
         match self.topo.delivery_verdict(src, to, &mut self.rng) {
             Ok(()) => {
-                let delay = self.latency.sample(bytes.len(), &mut self.rng);
+                let mut delay = self.latency.sample(bytes.len(), &mut self.rng);
+                // Chaos knobs consume randomness only when configured,
+                // so runs without them stay byte-identical.
+                if self.reorder_per_mille > 0
+                    && self.rng.gen_range(1000) < self.reorder_per_mille as u64
+                    && self.reorder_window > Duration::ZERO
+                {
+                    let extra = self.rng.gen_range(self.reorder_window.as_micros());
+                    delay += Duration::from_micros(extra);
+                }
+                if self.dup_per_mille > 0 && self.rng.gen_range(1000) < self.dup_per_mille as u64 {
+                    let dup_delay = self.latency.sample(bytes.len(), &mut self.rng);
+                    self.queue.push(
+                        self.now + after + dup_delay,
+                        to,
+                        EventKind::Deliver {
+                            from: src,
+                            bytes: bytes.clone(),
+                            kind,
+                            transport,
+                        },
+                    );
+                }
                 self.queue.push(
                     self.now + after + delay,
                     to,
@@ -693,6 +803,18 @@ impl Simulator {
                 Action::CancelReliable { msg_id } => {
                     self.pending_reliable.remove(&msg_id);
                 }
+                Action::CancelReliableTo { peer } => {
+                    let dead: Vec<u64> = self
+                        .pending_reliable
+                        .iter()
+                        .filter(|(_, p)| p.src == src && p.to == peer)
+                        .map(|(id, _)| *id)
+                        .collect();
+                    for id in dead {
+                        self.pending_reliable.remove(&id);
+                        self.stats.bump("reliable-cancelled", 1);
+                    }
+                }
                 Action::Multicast {
                     group,
                     kind,
@@ -719,6 +841,13 @@ impl Simulator {
                     token,
                     after,
                 } => {
+                    let delay = match self.timer_skew.get(&src) {
+                        Some(&per_mille) => Duration::from_micros(
+                            delay.as_micros().saturating_mul(per_mille as u64) / 1000,
+                        ),
+                        None => delay,
+                    };
+                    self.armed_timers.entry(src).or_default().insert(token);
                     self.queue.push(
                         self.now + after + delay,
                         src,
@@ -1228,6 +1357,113 @@ mod reliable_tests {
         assert_eq!(sim.node::<Counter>(sink).got, (DEDUP_WINDOW + 40) as u32);
         let windows: usize = sim.dedup.values().map(|w| w.order.len()).sum();
         assert!(windows <= DEDUP_WINDOW);
+    }
+
+    #[test]
+    fn crash_cancels_the_crashed_senders_pending_reliables() {
+        // A dead sink keeps the send pending; crashing the *sender*
+        // must then drop it outright — no retransmits keep burning
+        // bandwidth for a ghost, and no expiry callback fires into the
+        // crashed (or later restarted) node.
+        let mut sim = Simulator::new(31);
+        sim.set_reliable_policy(Duration::from_millis(10), 50);
+        let sink = sim.add_node(Counter { got: 0 });
+        sim.crash(sink);
+        let sender = sim.add_node(RelSender::new(sink));
+        sim.run_for(Duration::from_millis(25));
+        let retx_at_crash = sim.stats().counter("reliable-retransmits");
+        assert!(retx_at_crash >= 1, "send was not pending yet");
+
+        sim.crash(sender);
+        assert_eq!(sim.stats().counter("reliable-cancelled"), 1);
+        sim.run_for(Duration::from_secs(2));
+        assert_eq!(sim.stats().counter("reliable-retransmits"), retx_at_crash);
+        assert_eq!(sim.stats().counter("reliable-expired"), 0);
+        let s = sim.node::<RelSender>(sender);
+        assert!(s.acked.is_empty());
+        assert!(s.expired.is_empty(), "expiry fired on a crashed sender");
+    }
+
+    #[test]
+    fn cancel_reliable_to_cancels_only_that_peers_sends() {
+        /// Sends one reliable to each of two dead peers, then drops the
+        /// first peer (as an evicting controller would) at t=5ms.
+        struct TwoPeers {
+            first: NodeId,
+            second: NodeId,
+            expired: Vec<NodeId>,
+        }
+        impl Node for TwoPeers {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send_reliable(self.first, "rel-a", vec![1]);
+                ctx.send_reliable(self.first, "rel-b", vec![2]);
+                ctx.send_reliable(self.second, "rel-c", vec![3]);
+                ctx.set_timer(Duration::from_millis(5), 0);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _bytes: &[u8]) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+                ctx.cancel_reliable_to(self.first);
+            }
+            fn on_reliable_expired(
+                &mut self,
+                _ctx: &mut Context<'_>,
+                to: NodeId,
+                _kind: &'static str,
+                _msg: MsgToken,
+            ) {
+                self.expired.push(to);
+            }
+        }
+        let mut sim = Simulator::new(32);
+        sim.set_reliable_policy(Duration::from_millis(10), 3);
+        let first = sim.add_node(Counter { got: 0 });
+        let second = sim.add_node(Counter { got: 0 });
+        sim.crash(first);
+        sim.crash(second);
+        let sender = sim.add_node(TwoPeers {
+            first,
+            second,
+            expired: Vec::new(),
+        });
+        assert!(sim.run_until_quiet(1_000_000));
+        // Both sends to `first` were cancelled silently; the one to
+        // `second` ran its course and expired.
+        assert_eq!(sim.stats().counter("reliable-cancelled"), 2);
+        assert_eq!(sim.stats().counter("reliable-expired"), 1);
+        assert_eq!(sim.node::<TwoPeers>(sender).expired, vec![second]);
+    }
+
+    #[test]
+    fn crash_cancels_armed_timers_across_restart() {
+        /// Arms one long timer on first start; deliberately does *not*
+        /// re-arm in `on_restarted`, so any fire after the
+        /// crash/restart cycle is a leak of the pre-crash timer.
+        struct OneShot {
+            fires: u32,
+            restarts: u32,
+        }
+        impl Node for OneShot {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(Duration::from_millis(50), 7);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _bytes: &[u8]) {}
+            fn on_timer(&mut self, _ctx: &mut Context<'_>, _tag: u64) {
+                self.fires += 1;
+            }
+            fn on_restarted(&mut self, _ctx: &mut Context<'_>) {
+                self.restarts += 1;
+            }
+        }
+        let mut sim = Simulator::new(33);
+        let node = sim.add_node(OneShot { fires: 0, restarts: 0 });
+        sim.run_for(Duration::from_millis(10));
+        sim.crash(node);
+        sim.run_for(Duration::from_millis(10));
+        assert!(sim.restart(node));
+        sim.run_for(Duration::from_millis(200));
+        let n = sim.node::<OneShot>(node);
+        assert_eq!(n.restarts, 1);
+        assert_eq!(n.fires, 0, "a timer armed before the crash leaked through restart");
     }
 }
 

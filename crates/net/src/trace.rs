@@ -77,6 +77,15 @@ pub enum TraceEvent {
         /// Transmission attempt number (the initial send is attempt 1).
         attempt: u32,
     },
+    /// A fault was injected by the chaos harness (see
+    /// [`FaultPlan`](crate::FaultPlan)); `desc` uses the fault-schedule
+    /// line syntax so a trace excerpt can be pasted back into a plan.
+    FaultInjected {
+        /// Virtual time of the injection.
+        at: Time,
+        /// Fault description in fault-schedule syntax.
+        desc: String,
+    },
 }
 
 impl TraceEvent {
@@ -86,7 +95,8 @@ impl TraceEvent {
             TraceEvent::Delivered { at, .. }
             | TraceEvent::Dropped { at, .. }
             | TraceEvent::TimerFired { at, .. }
-            | TraceEvent::Retransmitted { at, .. } => *at,
+            | TraceEvent::Retransmitted { at, .. }
+            | TraceEvent::FaultInjected { at, .. } => *at,
         }
     }
 }

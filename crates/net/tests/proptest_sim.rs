@@ -72,7 +72,9 @@ fn run(seed: u64, faults: &[Fault]) -> (u64, Vec<u64>) {
             }
             Fault::Heal => sim.heal_partitions(),
             Fault::Crash(a) => sim.crash(ids[*a as usize % NODES]),
-            Fault::Restart(a) => sim.restart(ids[*a as usize % NODES]),
+            Fault::Restart(a) => {
+                sim.restart(ids[*a as usize % NODES]);
+            }
             Fault::CutLink(a, b) => {
                 sim.cut_link(ids[*a as usize % NODES], ids[*b as usize % NODES]);
             }

@@ -37,6 +37,7 @@ fn main() {
     let mut dropped: BTreeMap<String, usize> = BTreeMap::new();
     let mut timers = 0usize;
     let mut retransmits = 0usize;
+    let mut faults = 0usize;
     for event in group.sim.trace_events() {
         match event {
             TraceEvent::Delivered { kind, .. } => *delivered.entry(kind).or_default() += 1,
@@ -45,6 +46,7 @@ fn main() {
             }
             TraceEvent::TimerFired { .. } => timers += 1,
             TraceEvent::Retransmitted { .. } => retransmits += 1,
+            TraceEvent::FaultInjected { .. } => faults += 1,
         }
     }
     println!("trace: {} events recorded", group.sim.trace_recorded());
@@ -58,6 +60,7 @@ fn main() {
     }
     println!("timer firings: {timers}");
     println!("reliable retransmissions: {retransmits}");
+    println!("injected faults: {faults}");
 
     // The area's live auxiliary-key tree, as Graphviz.
     println!("\narea 0 auxiliary-key tree (Graphviz):");
