@@ -2,6 +2,7 @@
 //! admission path used by joins and rejoins.
 
 use super::{AreaController, MemberRecord, PendingAdmission};
+use crate::durable::AcWalRecord;
 use crate::error::ProtocolError;
 use crate::identity::{ClientId, DeviceId};
 use crate::msg::Msg;
@@ -171,6 +172,7 @@ impl AreaController {
         }
         .seal(&self.k_shared, ctx.rng());
 
+        let pubkey_bytes = pubkey.to_bytes();
         self.members.insert(
             client,
             MemberRecord {
@@ -183,6 +185,19 @@ impl AreaController {
         );
         self.recorded_members.insert(client, self.epoch);
         self.update_needed = true;
+        // Write-ahead: the admission is durable before the welcome (or
+        // rejoin grant) leaves this node, so a crash cannot orphan a
+        // member that believes it was admitted.
+        self.wal_commit_record(
+            ctx,
+            &AcWalRecord::Join {
+                client: client.0,
+                node: node.index() as u32,
+                pubkey: pubkey_bytes,
+                device: device.map(|d| d.0),
+                valid_until_us: valid_until.as_micros(),
+            },
+        );
 
         Ok(Welcome {
             nonce_echo,

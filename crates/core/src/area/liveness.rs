@@ -8,6 +8,7 @@
 //!   signed area-join exchange with a preferred alternative controller.
 
 use super::{AreaController, ParentLink, RejoinStage, TIMER_IDLE_ALIVE, TIMER_PARENT_CHECK, TIMER_REKEY, TIMER_SWEEP};
+use crate::durable::AcWalRecord;
 use crate::identity::{AreaId, ClientId};
 use crate::msg::{Msg, RejoinDenyReason};
 use crate::rekey::{decode_entries, decode_path};
@@ -51,6 +52,9 @@ impl AreaController {
         let mut changed = false;
         for client in stale {
             self.queue_leave(client);
+            // Durable before effective: a crash right after the sweep
+            // must not resurrect the evicted member on recovery.
+            self.wal_commit_record(ctx, &AcWalRecord::Evict { client: client.0 });
             self.stats.evictions += 1;
             ctx.stats().bump("ac-evictions", 1);
             changed = true;
@@ -119,6 +123,8 @@ impl AreaController {
         self.last_area_mcast = ctx.now();
         self.stats.rekeys += 1;
         ctx.stats().bump("ac-freshness-rekeys", 1);
+        // The epoch advanced: keep the durable image in step.
+        self.persist_checkpoint(ctx);
         self.sync_backup(ctx);
     }
 
@@ -354,6 +360,9 @@ impl AreaController {
         self.last_heard_parent = ctx.now();
         self.stats.parent_switches += 1;
         ctx.stats().bump("ac-parent-switches", 1);
+        // The parent link is part of the checkpoint image; a recovered
+        // node must rejoin the hierarchy where it left off.
+        self.persist_checkpoint(ctx);
         self.sync_backup(ctx);
     }
 

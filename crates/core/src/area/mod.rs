@@ -19,6 +19,7 @@
 mod data;
 mod join;
 mod liveness;
+mod persist;
 mod rejoin;
 mod rekey_flow;
 mod replication;
@@ -31,7 +32,7 @@ use crate::msg::{Msg, RejoinDenyReason};
 use crate::rekey::KeyState;
 use mykil_crypto::keys::SymmetricKey;
 use mykil_crypto::rsa::{RsaKeyPair, RsaPublicKey};
-use mykil_net::{Context, GroupId, MsgToken, Node, NodeId, Time};
+use mykil_net::{Context, GroupId, MsgToken, Node, NodeId, SecretBytes, Time};
 use mykil_tree::{KeyTree, MemberId};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
@@ -164,6 +165,15 @@ pub struct AreaController {
     pub(crate) rs_pub: RsaPublicKey,
     pub(crate) k_shared: SymmetricKey,
     pub(crate) deploy: AcDeployment,
+    /// The deployment record as handed to [`AreaController::new`] —
+    /// `deploy` mutates at runtime (backup address after a promotion);
+    /// this copy models the on-disk configuration a crashed node reads
+    /// back at boot (see `persist::wipe_volatile`).
+    pub(crate) deploy_pristine: AcDeployment,
+    /// Seed the deployment-time key tree was drawn from, kept so a
+    /// crash-wipe can rebuild the same pristine tree before recovery
+    /// replays storage on top of it.
+    pub(crate) tree_seed: u64,
     pub(crate) role: Role,
 
     pub(crate) tree: KeyTree,
@@ -215,8 +225,9 @@ pub struct AreaController {
     pub(crate) repl_key: SymmetricKey,
     pub(crate) hb_seq: u64,
     pub(crate) last_heartbeat: Time,
-    /// Latest decrypted state snapshot (backup role).
-    pub(crate) replica_state: Option<Vec<u8>>,
+    /// Latest decrypted state snapshot (backup role). Held zeroizing —
+    /// the snapshot embeds the primary's full key tree.
+    pub(crate) replica_state: Option<SecretBytes>,
     /// Monotonic snapshot sequence (primary role) so a retransmitted or
     /// reordered `StateSync` can never regress the backup.
     pub(crate) sync_seq: u64,
@@ -317,6 +328,8 @@ impl AreaController {
             stale_peer: None,
             pending_demote: None,
             stats: AcStats::default(),
+            deploy_pristine: deploy.clone(),
+            tree_seed,
             deploy,
         }
     }
@@ -341,6 +354,11 @@ impl AreaController {
     /// Whether a client is currently a member here.
     pub fn has_member(&self, client: ClientId) -> bool {
         self.members.contains_key(&client)
+    }
+
+    /// Ids of all current members (durability invariant checks).
+    pub fn member_ids(&self) -> std::collections::BTreeSet<u64> {
+        self.members.keys().map(|c| c.0).collect()
     }
 
     /// The controller's public key.
@@ -479,6 +497,9 @@ impl Node for AreaController {
         if let Some(p) = &self.parent {
             ctx.join_group(p.group);
         }
+        // Baseline checkpoint: from t=0 a crash always finds durable
+        // state to recover from, even before the first rekey flush.
+        self.persist_checkpoint(ctx);
         self.last_heard_parent = ctx.now();
         self.last_heartbeat = ctx.now();
         self.last_backup_ack = ctx.now();
@@ -641,21 +662,24 @@ impl Node for AreaController {
         }
     }
 
+    fn on_crashed_volatile_reset(&mut self) {
+        self.wipe_volatile();
+    }
+
     fn on_restarted(&mut self, ctx: &mut Context<'_>) {
         ctx.stats().bump("ac-restarts", 1);
-        // The crash dropped every pending timer and the transport's
-        // reliable-channel state; restart the liveness clocks and forget
-        // in-flight exchanges.
+        // The crash wiped all volatile state (`wipe_volatile`);
+        // reconstruct from stable storage. Note the recovered role may
+        // differ from the deployment role — a promoted backup recovers
+        // as primary.
+        let recovered = self.recover_from_storage(ctx);
+        if recovered {
+            ctx.stats().bump("ac-recoveries", 1);
+        }
         self.last_heard_parent = ctx.now();
         self.last_heartbeat = ctx.now();
         self.last_backup_ack = ctx.now();
-        self.backup_presumed_dead = false;
-        self.pending_sync = None;
-        self.pending_parent_join = None;
-        self.pending_demote = None;
-        self.pending_admissions.clear();
-        self.pending_rejoins.clear();
-        self.pending_rejoin_prev_ac.clear();
+        ctx.join_group(self.deploy.group);
         match self.role {
             Role::Primary => {
                 ctx.set_timer(self.cfg.t_idle, TIMER_IDLE_ALIVE);
@@ -664,6 +688,13 @@ impl Node for AreaController {
                 ctx.set_timer(self.cfg.t_idle, TIMER_PARENT_CHECK);
                 if self.deploy.backup.is_some() {
                     ctx.set_timer(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
+                }
+                if recovered {
+                    // Members hold pre-crash path keys; the replayed
+                    // tree drew fresh randomness. Re-issue every path,
+                    // compact the WAL, and push a snapshot to the
+                    // backup.
+                    self.post_recovery_resync(ctx);
                 }
                 // Re-enter the hierarchy rather than silently resuming
                 // with possibly-stale keys: re-enrolling with the parent

@@ -1,0 +1,310 @@
+//! Stable-storage persistence and crash recovery for the area
+//! controller.
+//!
+//! The durable footprint (formats in [`crate::durable`]) is:
+//!
+//! - a WAL record per acknowledged membership or role change
+//!   ([`AcWalRecord`]), committed before the change's effects leave the
+//!   node;
+//! - a full checkpoint ([`crate::durable::AcCheckpoint`]) at every
+//!   compaction point: rekey flushes, snapshot applications, role
+//!   transitions, and start-up. The membership payload reuses the
+//!   replication snapshot format, so primary checkpoints and
+//!   `StateSync` bodies are the same bytes.
+//!
+//! A crash wipes everything else ([`AreaController::wipe_volatile`]);
+//! recovery ([`AreaController::recover_from_storage`]) loads the newest
+//! valid checkpoint, replays the WAL suffix, re-fences the counters
+//! that may lag their durable image, and re-issues key paths to every
+//! member — WAL-replayed tree joins draw fresh randomness, so the
+//! replayed tree's path keys differ from the ones members still hold.
+
+use super::{AreaController, MemberRecord, Role};
+use crate::durable::{AcCheckpoint, AcWalRecord, RECOVERY_EPOCH_JUMP};
+use crate::identity::{ClientId, DeviceId};
+use crate::msg::Msg;
+use mykil_crypto::envelope::HybridCiphertext;
+use mykil_crypto::keys::SymmetricKey;
+use mykil_crypto::rsa::RsaPublicKey;
+use mykil_net::{Context, NodeId, SecretBytes, Time};
+use mykil_tree::{KeyTree, MemberId};
+
+impl AreaController {
+    /// Commits one WAL record (append + fsync) to stable storage.
+    pub(crate) fn wal_commit_record(&mut self, ctx: &mut Context<'_>, rec: &AcWalRecord) {
+        ctx.storage().wal_commit(rec.to_bytes());
+    }
+
+    /// Serializes the full-state checkpoint for the current role.
+    pub(crate) fn checkpoint_bytes(&self) -> Vec<u8> {
+        let (primary, primary_node, snapshot) = match self.role {
+            Role::Primary => (true, 0, Some(self.replica_snapshot())),
+            Role::Backup { primary } => (
+                false,
+                primary.index() as u32,
+                self.replica_state.as_ref().map(|s| s.as_slice().to_vec()),
+            ),
+        };
+        AcCheckpoint {
+            primary,
+            primary_node,
+            takeover_epoch: self.takeover_epoch,
+            peer_takeover_epoch: self.peer_takeover_epoch,
+            sync_seq: self.sync_seq,
+            applied_sync_seq: self.applied_sync_seq,
+            stale_peer: self.stale_peer.map(|n| n.index() as u32),
+            backup: self
+                .deploy
+                .backup
+                .map(|n| (n.index() as u32, self.deploy.backup_pubkey.clone())),
+            snapshot,
+        }
+        .to_bytes()
+    }
+
+    /// Writes a checkpoint (compaction point): after this the durable
+    /// state equals the in-memory state and the WAL prefix is
+    /// truncated.
+    pub(crate) fn persist_checkpoint(&mut self, ctx: &mut Context<'_>) {
+        let bytes = self.checkpoint_bytes();
+        ctx.storage().checkpoint(bytes);
+    }
+
+    /// Resets every field that does not survive a power loss. Called by
+    /// the simulator at crash time (no [`Context`] exists then).
+    ///
+    /// What survives is the durable local configuration a real node
+    /// would read back from its config files at boot: `cfg`, `cost`,
+    /// the keypair, the RS public key, `K_shared` (and the replication
+    /// key derived from it), the pristine deployment record, and the
+    /// deployment-time tree seed. The `stats` counters also survive —
+    /// they are harness-side diagnostics, not protocol state.
+    pub(crate) fn wipe_volatile(&mut self) {
+        self.deploy = self.deploy_pristine.clone();
+        self.role = self.deploy.role;
+        self.parent = self.deploy.parent.clone();
+        let mut rng = mykil_crypto::drbg::Drbg::from_seed(self.tree_seed);
+        self.tree = KeyTree::new(self.cfg.tree, &mut rng);
+        self.members.clear();
+        self.pending_admissions.clear();
+        self.pending_rejoins.clear();
+        self.pending_rejoin_prev_ac.clear();
+        self.epoch = 0;
+        self.update_needed = false;
+        self.buffered_join_updates.clear();
+        self.recorded_members.clear();
+        self.pending_leaves.clear();
+        self.parent_keys.clear();
+        self.parent_epoch = 0;
+        self.last_heard_parent = Time::ZERO;
+        self.child_acs.clear();
+        self.child_ac_members.clear();
+        self.pending_parent_join = None;
+        self.parent_switch_cursor = 0;
+        self.prev_area_keys.clear();
+        self.seen_data.clear();
+        self.seen_order.clear();
+        self.last_area_mcast = Time::ZERO;
+        self.hb_seq = 0;
+        self.last_heartbeat = Time::ZERO;
+        self.replica_state = None;
+        self.sync_seq = 0;
+        self.applied_sync_seq = 0;
+        self.pending_sync = None;
+        self.last_backup_ack = Time::ZERO;
+        self.backup_presumed_dead = false;
+        self.takeover_epoch = 0;
+        self.peer_takeover_epoch = 0;
+        self.stale_peer = None;
+        self.pending_demote = None;
+    }
+
+    /// Rebuilds state from stable storage: newest valid checkpoint,
+    /// then the durable WAL suffix. Returns whether any durable state
+    /// was applied.
+    ///
+    /// A recovered primary re-fences its rekey epoch and replication
+    /// sequence by [`RECOVERY_EPOCH_JUMP`]: both counters can lag their
+    /// durable image (the flush checkpoint precedes the `sync_backup`
+    /// bump, and a lying fsync can roll storage back to an older
+    /// prefix), and resuming below a value the pre-crash incarnation
+    /// already used would make members and the backup silently drop
+    /// this node's traffic.
+    pub(crate) fn recover_from_storage(&mut self, ctx: &mut Context<'_>) -> bool {
+        let rec = ctx.storage().load();
+        let mut applied = false;
+        if let Some((_seq, bytes)) = rec.checkpoint {
+            if let Some(cp) = AcCheckpoint::from_bytes(&bytes) {
+                self.role = if cp.primary {
+                    Role::Primary
+                } else {
+                    Role::Backup {
+                        primary: NodeId::from_index(cp.primary_node as usize),
+                    }
+                };
+                self.takeover_epoch = cp.takeover_epoch;
+                self.peer_takeover_epoch = cp.peer_takeover_epoch;
+                self.sync_seq = cp.sync_seq;
+                self.applied_sync_seq = cp.applied_sync_seq;
+                self.stale_peer = cp.stale_peer.map(|n| NodeId::from_index(n as usize));
+                match cp.backup {
+                    Some((node, pubkey)) => {
+                        self.deploy.backup = Some(NodeId::from_index(node as usize));
+                        self.deploy.backup_pubkey = pubkey;
+                    }
+                    None => {
+                        self.deploy.backup = None;
+                        self.deploy.backup_pubkey = Vec::new();
+                    }
+                }
+                if let Some(snap) = cp.snapshot {
+                    match self.role {
+                        Role::Primary => {
+                            if self.apply_replica_snapshot(&snap, ctx.now()).is_none() {
+                                ctx.stats().bump("ac-recovery-bad-snapshot", 1);
+                            }
+                        }
+                        Role::Backup { .. } => {
+                            self.replica_state = Some(SecretBytes::new(snap));
+                        }
+                    }
+                }
+                applied = true;
+            } else {
+                ctx.stats().bump("ac-recovery-bad-checkpoint", 1);
+            }
+        }
+        for raw in &rec.wal {
+            let Some(record) = AcWalRecord::from_bytes(raw) else {
+                // An unparseable durable record: everything after it is
+                // suspect, stop the replay (mirrors the storage layer's
+                // torn-tail handling).
+                ctx.stats().bump("ac-recovery-bad-wal-record", 1);
+                break;
+            };
+            self.replay_wal_record(ctx, record);
+            applied = true;
+        }
+        if applied && self.role == Role::Primary {
+            self.epoch += RECOVERY_EPOCH_JUMP;
+            self.sync_seq += RECOVERY_EPOCH_JUMP;
+        }
+        applied
+    }
+
+    /// Applies one WAL record during recovery, mirroring the durable
+    /// effects of the live-path handler that wrote it.
+    fn replay_wal_record(&mut self, ctx: &mut Context<'_>, rec: AcWalRecord) {
+        match rec {
+            AcWalRecord::Join {
+                client,
+                node,
+                pubkey,
+                device,
+                valid_until_us,
+            } => {
+                let Ok(pk) = RsaPublicKey::from_bytes(&pubkey) else {
+                    return;
+                };
+                let member = MemberId(client);
+                self.note_area_key();
+                self.pending_leaves.retain(|c| c.0 != client);
+                if self.tree.contains(member) {
+                    let _ = self.tree.leave(member, ctx.rng());
+                }
+                if self.tree.join(member, ctx.rng()).is_err() {
+                    ctx.stats().bump("ac-recovery-join-failed", 1);
+                    return;
+                }
+                self.members.insert(
+                    ClientId(client),
+                    MemberRecord {
+                        node: NodeId::from_index(node as usize),
+                        pubkey: pk,
+                        device: device.map(DeviceId),
+                        valid_until: Time::from_micros(valid_until_us),
+                        // Fresh liveness grace after recovery, as after
+                        // a takeover.
+                        last_heard: ctx.now(),
+                    },
+                );
+            }
+            AcWalRecord::Leave { client } | AcWalRecord::Evict { client } => {
+                let member = MemberId(client);
+                if self.tree.contains(member) {
+                    self.note_area_key();
+                    let _ = self.tree.leave(member, ctx.rng());
+                }
+                self.members.remove(&ClientId(client));
+            }
+            AcWalRecord::Promoted {
+                takeover_epoch,
+                old_primary,
+            } => {
+                if let Some(state) = self.replica_state.take() {
+                    if self
+                        .apply_replica_snapshot(state.as_slice(), ctx.now())
+                        .is_none()
+                    {
+                        ctx.stats().bump("ac-recovery-bad-snapshot", 1);
+                    }
+                }
+                self.role = Role::Primary;
+                self.takeover_epoch = takeover_epoch;
+                self.stale_peer = Some(NodeId::from_index(old_primary as usize));
+                self.deploy.backup = None;
+                self.deploy.backup_pubkey = Vec::new();
+            }
+            AcWalRecord::Demoted { new_primary } => {
+                self.role = Role::Backup {
+                    primary: NodeId::from_index(new_primary as usize),
+                };
+                self.replica_state = None;
+                self.applied_sync_seq = 0;
+            }
+        }
+    }
+
+    /// Post-recovery key resynchronization (primary role).
+    ///
+    /// WAL-replayed tree joins rotated path keys with fresh randomness,
+    /// so members' held paths may be stale; re-issue the current path
+    /// to every member and child controller, then checkpoint (which
+    /// also compacts the just-replayed WAL) and push a catch-up
+    /// snapshot to the backup.
+    pub(crate) fn post_recovery_resync(&mut self, ctx: &mut Context<'_>) {
+        let clients: Vec<ClientId> = self.members.keys().copied().collect();
+        for client in clients {
+            self.unicast_current_path(ctx, client);
+        }
+        let children: Vec<(u64, NodeId)> = self
+            .child_ac_members
+            .iter()
+            .map(|(m, n)| (*m, *n))
+            .collect();
+        for (member, node) in children {
+            let Ok(path) = self.tree.path_keys(MemberId(member)) else {
+                continue;
+            };
+            let Some(pubkey) = self.directory_pubkey(node) else {
+                continue;
+            };
+            let path: Vec<(u32, SymmetricKey)> = path
+                .iter()
+                .map(|(n, k)| (n.raw() as u32, k.clone()))
+                .collect();
+            ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
+            if let Ok(ct) =
+                HybridCiphertext::encrypt(&pubkey, &crate::rekey::encode_path(&path), ctx.rng())
+            {
+                ctx.send(
+                    node,
+                    "key-unicast",
+                    Msg::KeyUnicast { ct: ct.to_bytes() }.to_bytes(),
+                );
+            }
+        }
+        self.persist_checkpoint(ctx);
+        self.sync_backup(ctx);
+    }
+}

@@ -10,6 +10,7 @@
 
 use super::{AreaController, PendingRejoin, RejoinStage};
 use crate::config::RejoinPolicy;
+use crate::durable::AcWalRecord;
 use crate::identity::{ClientId, DeviceId};
 use crate::msg::{Msg, RejoinDenyReason};
 use crate::ticket::SealedTicket;
@@ -204,8 +205,12 @@ impl AreaController {
             Some(rec) => {
                 let silent = ctx.now().since(rec.last_heard) >= self.cfg.member_disconnect_after();
                 if silent {
-                    // The member moved away; finalize its departure.
+                    // The member moved away; finalize its departure —
+                    // durably, before telling the new controller it may
+                    // admit (the member must never hold membership in
+                    // two areas across a crash of this one).
                     self.queue_leave(client);
+                    self.wal_commit_record(ctx, &AcWalRecord::Evict { client: client.0 });
                     self.after_membership_change(ctx);
                     self.stats.evictions += 1;
                     true

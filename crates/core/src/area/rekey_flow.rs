@@ -10,6 +10,7 @@
 //! timer, or immediately under [`BatchPolicy::Immediate`](crate::config::BatchPolicy).
 
 use super::AreaController;
+use crate::durable::AcWalRecord;
 use crate::identity::ClientId;
 use crate::msg::Msg;
 use crate::rekey::{encode_entries, entries_from_plan, UnderTag, WireKeyEntry};
@@ -86,6 +87,9 @@ impl AreaController {
             return;
         }
         self.queue_leave(client);
+        // The departure must survive a crash: a recovered controller
+        // re-admitting a member that left would resurrect its access.
+        self.wal_commit_record(ctx, &AcWalRecord::Leave { client: client.0 });
         ctx.stats().bump("ac-voluntary-leaves", 1);
         self.after_membership_change(ctx);
     }
@@ -236,5 +240,9 @@ impl AreaController {
         self.update_needed = false;
         self.stats.rekeys += 1;
         ctx.stats().bump("ac-rekeys", 1);
+        // Compaction point: the new epoch and the batched membership
+        // changes become one durable image, truncating the WAL records
+        // logged since the previous flush.
+        self.persist_checkpoint(ctx);
     }
 }

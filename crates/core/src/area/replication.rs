@@ -11,19 +11,20 @@ use super::{
     AreaController, MemberRecord, ParentLink, Role, TIMER_BACKUP_WATCH, TIMER_HEARTBEAT,
     TIMER_IDLE_ALIVE, TIMER_PARENT_CHECK, TIMER_REKEY, TIMER_SWEEP,
 };
+use crate::durable::AcWalRecord;
 use crate::identity::{AreaId, ClientId, DeviceId};
 use crate::msg::Msg;
 use crate::rekey::KeyState;
 use crate::wire::{Reader, Writer};
 use mykil_crypto::envelope;
 use mykil_crypto::rsa::RsaPublicKey;
-use mykil_net::{Context, GroupId, NodeId, Time};
+use mykil_net::{Context, GroupId, NodeId, SecretBytes, Time};
 use mykil_tree::KeyTree;
 
 impl AreaController {
     /// Serializes the replicated state (tree, members, hierarchy,
     /// epoch).
-    fn replica_snapshot(&self) -> Vec<u8> {
+    pub(crate) fn replica_snapshot(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.bytes(&self.tree.snapshot());
         w.u32(self.members.len() as u32);
@@ -74,7 +75,7 @@ impl AreaController {
         w.into_bytes()
     }
 
-    fn apply_replica_snapshot(&mut self, bytes: &[u8], now: Time) -> Option<()> {
+    pub(crate) fn apply_replica_snapshot(&mut self, bytes: &[u8], now: Time) -> Option<()> {
         let mut r = Reader::new(bytes);
         let tree = KeyTree::restore(r.bytes().ok()?).ok()?;
         let count = r.u32().ok()? as usize;
@@ -256,7 +257,11 @@ impl AreaController {
                         return;
                     }
                     self.applied_sync_seq = seq;
-                    self.replica_state = Some(snapshot);
+                    self.replica_state = Some(SecretBytes::new(snapshot));
+                    // Durability: an accepted snapshot must survive a
+                    // backup crash, or a post-crash takeover promotes an
+                    // empty replica.
+                    self.persist_checkpoint(ctx);
                 }
             }
             // Replication traffic from impostor nodes, and every area/
@@ -317,7 +322,7 @@ impl AreaController {
     /// the primary timers.
     fn take_over(&mut self, ctx: &mut Context<'_>, old_primary: NodeId) {
         if let Some(state) = self.replica_state.take() {
-            if self.apply_replica_snapshot(&state, ctx.now()).is_none() {
+            if self.apply_replica_snapshot(state.as_slice(), ctx.now()).is_none() {
                 ctx.stats().bump("ac-takeover-corrupt-state", 1);
             }
         }
@@ -332,6 +337,21 @@ impl AreaController {
         self.deploy.backup_pubkey = Vec::new();
         self.stats.takeovers += 1;
         ctx.stats().bump("ac-takeovers", 1);
+
+        // The promotion must be durable before it is announced: a
+        // promoted backup that crashes and forgets it was primary would
+        // leave the area with no controller at all. WAL first, then the
+        // compacting checkpoint — if the checkpoint write is later lost
+        // to a lying disk, the older slot plus this record still
+        // replays the promotion.
+        self.wal_commit_record(
+            ctx,
+            &AcWalRecord::Promoted {
+                takeover_epoch: self.takeover_epoch,
+                old_primary: old_primary.index() as u32,
+            },
+        );
+        self.persist_checkpoint(ctx);
 
         self.announce_takeover(ctx);
 
@@ -458,6 +478,10 @@ impl AreaController {
         }
         self.stats.demotions += 1;
         ctx.stats().bump("ac-demotions", 1);
+        // Losing the fence must stick across a crash, or a recovered
+        // node would come back up believing it still runs the area.
+        self.wal_commit_record(ctx, &AcWalRecord::Demoted { new_primary: from.index() as u32 });
+        self.persist_checkpoint(ctx);
         // The primary timers die on their next firing (role-gated); the
         // backup watchdog takes their place.
         ctx.set_timer(self.cfg.heartbeat_interval, TIMER_BACKUP_WATCH);
@@ -478,6 +502,9 @@ impl AreaController {
         self.last_backup_ack = ctx.now();
         self.backup_presumed_dead = false;
         ctx.stats().bump("ac-demote-acked", 1);
+        // The backup link is part of the checkpointed image; make the
+        // adoption durable.
+        self.persist_checkpoint(ctx);
         // Members and child controllers in the stale partition missed
         // the original takeover announcement; repeat it now that both
         // sides can hear it.
@@ -639,7 +666,9 @@ mod tests {
             .expect("backup holds no catch-up snapshot");
         let now = g.sim.now();
         let probe = g.sim.node_mut::<AreaController>(backup_node);
-        probe.apply_replica_snapshot(&snap, now).expect("snapshot parses");
+        probe
+            .apply_replica_snapshot(snap.as_slice(), now)
+            .expect("snapshot parses");
         assert_eq!(probe.members.len(), 2);
     }
 }

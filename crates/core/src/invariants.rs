@@ -15,8 +15,19 @@
 //!    demotion reconciled any split brain).
 //! 4. **Replication monotonicity** — a controller's replication
 //!    sequence numbers never move backwards within one takeover
-//!    lineage; a reset is legal only when the node's role or its
-//!    takeover epoch changed (promotion or demotion).
+//!    lineage; a reset is legal only when the node's role, its
+//!    takeover epoch, or its process incarnation changed (promotion,
+//!    demotion, or a crash/restart cycle — recovery from an older
+//!    checkpoint slot may legally rewind `applied_sync_seq`).
+//! 5. **Durability** — a live controller's stable storage (newest
+//!    valid checkpoint plus WAL suffix, see `crate::durable`) replays
+//!    to a view consistent with its in-memory state: same role and
+//!    fencing epoch, and for a primary the same member set and rekey
+//!    epoch, a replication sequence no newer than memory, and no
+//!    durably-evicted client still counted as a member. The same
+//!    holds for the registration server's client-id counter and
+//!    directory. This catches missing write-ahead commits: state the
+//!    node would silently lose in a crash.
 //!
 //! The checker is stateful (for the monotonicity baseline): create one
 //! per scenario and call [`InvariantChecker::check`] at every
@@ -25,6 +36,7 @@
 //! produced it for replay.
 
 use crate::area::Role;
+use crate::durable::{replay_ac, replay_rs};
 use crate::group::GroupHandle;
 use mykil_net::NodeId;
 use std::collections::HashMap;
@@ -67,6 +79,34 @@ pub enum InvariantViolation {
         /// Value now.
         seen: u64,
     },
+    /// A controller's stable storage replays to a view inconsistent
+    /// with its live in-memory state: a crash now would lose or
+    /// corrupt state the protocol believes is durable.
+    DurabilityDrift {
+        /// The controller node.
+        node: NodeId,
+        /// Area index.
+        area: usize,
+        /// What diverged.
+        detail: String,
+    },
+    /// A client the durable log records as evicted is still counted as
+    /// a member in memory — replaying the log would resurrect state
+    /// the live node already revoked (or vice versa).
+    Resurrection {
+        /// The controller node.
+        node: NodeId,
+        /// Area index.
+        area: usize,
+        /// The evicted-yet-present client id.
+        client: u64,
+    },
+    /// The registration server's stable storage disagrees with its
+    /// in-memory state.
+    RsDurabilityDrift {
+        /// What diverged.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for InvariantViolation {
@@ -94,6 +134,19 @@ impl std::fmt::Display for InvariantViolation {
                 f,
                 "replication regression: {node:?} {counter} went {prev} -> {seen}"
             ),
+            InvariantViolation::DurabilityDrift { node, area, detail } => write!(
+                f,
+                "durability drift: area {area} controller {node:?}: {detail}"
+            ),
+            InvariantViolation::Resurrection { node, area, client } => write!(
+                f,
+                "resurrection: area {area} controller {node:?} counts durably-evicted \
+                 client {client} as a member"
+            ),
+            InvariantViolation::RsDurabilityDrift { detail } => write!(
+                f,
+                "rs durability drift: {detail}"
+            ),
         }
     }
 }
@@ -105,6 +158,9 @@ struct ReplBaseline {
     is_primary: bool,
     sync_seq: u64,
     applied_sync_seq: u64,
+    /// Process incarnation ([`mykil_net::Simulator::restart_count`])
+    /// the counters were sampled in.
+    restarts: u64,
 }
 
 /// Stateful checker; see the module docs for the invariants.
@@ -206,12 +262,17 @@ impl InvariantChecker {
                     is_primary: ctrl.role() == Role::Primary,
                     sync_seq: ctrl.sync_seq(),
                     applied_sync_seq: ctrl.applied_sync_seq(),
+                    restarts: g.sim.restart_count(node),
                 };
                 if let Some(prev) = self.repl.get(&node) {
                     // Promotion/demotion starts a new lineage; within
-                    // one, both counters may only grow.
+                    // one, both counters may only grow. A crash/restart
+                    // cycle also starts a new lineage: recovery from an
+                    // older checkpoint slot (the newest was corrupted)
+                    // may legally rewind the counters.
                     let same_lineage = prev.takeover_epoch == now.takeover_epoch
-                        && prev.is_primary == now.is_primary;
+                        && prev.is_primary == now.is_primary
+                        && prev.restarts == now.restarts;
                     if same_lineage {
                         if now.sync_seq < prev.sync_seq {
                             out.push(InvariantViolation::ReplicationRegression {
@@ -232,6 +293,128 @@ impl InvariantChecker {
                     }
                 }
                 self.repl.insert(node, now);
+            }
+        }
+
+        // Durability: every live controller's stable storage must
+        // replay to a view consistent with its in-memory state. Nodes
+        // that never persisted anything are skipped (pre-durability
+        // harness nodes); crashed nodes are checked on recovery via
+        // the other invariants.
+        for area in 0..areas {
+            let mut pair = vec![g.primaries[area]];
+            if let Some(&b) = g.backups.get(area) {
+                pair.push(b);
+            }
+            for node in pair {
+                if g.sim.is_crashed(node) || !g.sim.storage(node).has_durable_state() {
+                    continue;
+                }
+                let rec = g.sim.storage(node).load();
+                let Some(view) =
+                    replay_ac(rec.checkpoint.as_ref().map(|(_, b)| b.as_slice()), &rec.wal)
+                else {
+                    out.push(InvariantViolation::DurabilityDrift {
+                        node,
+                        area,
+                        detail: "stable storage does not replay".into(),
+                    });
+                    continue;
+                };
+                let ctrl = if node == g.primaries[area] {
+                    g.ac(area)
+                } else {
+                    g.backup(area)
+                };
+                let mem_primary = ctrl.role() == Role::Primary;
+                if view.primary != mem_primary {
+                    out.push(InvariantViolation::DurabilityDrift {
+                        node,
+                        area,
+                        detail: format!(
+                            "durable primary={} but memory primary={mem_primary}",
+                            view.primary
+                        ),
+                    });
+                }
+                if view.takeover_epoch != ctrl.takeover_epoch() {
+                    out.push(InvariantViolation::DurabilityDrift {
+                        node,
+                        area,
+                        detail: format!(
+                            "durable takeover_epoch={} but memory has {}",
+                            view.takeover_epoch,
+                            ctrl.takeover_epoch()
+                        ),
+                    });
+                }
+                if mem_primary && view.primary {
+                    let mem_members = ctrl.member_ids();
+                    if view.members != mem_members {
+                        out.push(InvariantViolation::DurabilityDrift {
+                            node,
+                            area,
+                            detail: format!(
+                                "durable members {:?} != memory members {:?}",
+                                view.members, mem_members
+                            ),
+                        });
+                    }
+                    if view.epoch != ctrl.epoch() {
+                        out.push(InvariantViolation::DurabilityDrift {
+                            node,
+                            area,
+                            detail: format!(
+                                "durable epoch={} but memory has {}",
+                                view.epoch,
+                                ctrl.epoch()
+                            ),
+                        });
+                    }
+                    if view.sync_seq > ctrl.sync_seq() {
+                        out.push(InvariantViolation::DurabilityDrift {
+                            node,
+                            area,
+                            detail: format!(
+                                "durable sync_seq={} ahead of memory {}",
+                                view.sync_seq,
+                                ctrl.sync_seq()
+                            ),
+                        });
+                    }
+                    for &client in view.evicted.intersection(&mem_members) {
+                        out.push(InvariantViolation::Resurrection { node, area, client });
+                    }
+                }
+            }
+        }
+
+        // Registration-server durability: the id counter and directory
+        // the RS would recover with must match what it serves now.
+        let rs_node = g.rs();
+        if !g.sim.is_crashed(rs_node) && g.sim.storage(rs_node).has_durable_state() {
+            let rec = g.sim.storage(rs_node).load();
+            match replay_rs(rec.checkpoint.as_ref().map(|(_, b)| b.as_slice()), &rec.wal) {
+                None => out.push(InvariantViolation::RsDurabilityDrift {
+                    detail: "stable storage does not replay".into(),
+                }),
+                Some(view) => {
+                    let rs = g.registration_server();
+                    if view.next_client != rs.next_client() {
+                        out.push(InvariantViolation::RsDurabilityDrift {
+                            detail: format!(
+                                "durable next_client={} but memory has {}",
+                                view.next_client,
+                                rs.next_client()
+                            ),
+                        });
+                    }
+                    if &view.directory != rs.directory() {
+                        out.push(InvariantViolation::RsDurabilityDrift {
+                            detail: "durable directory differs from memory".into(),
+                        });
+                    }
+                }
             }
         }
 

@@ -60,6 +60,7 @@ pub mod auth;
 pub mod config;
 pub mod crypto_cost;
 pub mod directory;
+pub mod durable;
 pub mod error;
 pub mod group;
 pub mod identity;

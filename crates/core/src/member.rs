@@ -814,6 +814,29 @@ impl Node for Member {
         }
     }
 
+    fn on_crashed_volatile_reset(&mut self) {
+        // A member keeps no stable storage beyond what a real client
+        // would hold on disk: its keypair and identity, the sealed
+        // ticket (the paper's ski-pass — explicitly built to outlive
+        // the session), the cached AC directory and last-known
+        // controller addresses, and the data-plane sequence counter
+        // (persisted so the ACs' replay dedup stays sound across a
+        // restart). Session keys, handshake state and the group
+        // subscription die with the process — forward secrecy means
+        // they cannot be trusted after an outage anyway.
+        self.phase = MemberPhase::Idle;
+        self.group = None;
+        self.keys.clear();
+        self.epoch = 0;
+        self.stashed_paths.clear();
+        self.rejoin_target = None;
+        self.rejoin_cursor = 0;
+        self.last_heard_ac = Time::ZERO;
+        self.last_sent_ac = Time::ZERO;
+        self.last_refresh_request = Time::ZERO;
+        self.phase_since = Time::ZERO;
+    }
+
     fn on_restarted(&mut self, ctx: &mut Context<'_>) {
         ctx.stats().bump("member-restarts", 1);
         // The crash dropped both liveness timers; re-arm them and let
@@ -821,26 +844,15 @@ impl Node for Member {
         ctx.set_timer(self.cfg.t_active, TIMER_ALIVE);
         ctx.set_timer(self.cfg.t_idle, TIMER_DISCONNECT);
         self.last_heard_ac = ctx.now();
-        if self.is_active() && self.auto {
-            // The session may not have survived the outage: an eviction
-            // rekey while we were down means the AC now drops our key
-            // refreshes (forward secrecy), yet its alive beacons keep the
-            // disconnect detector happy. Re-authenticate with the ticket
-            // instead of trusting the pre-crash session; fall back to a
-            // full registration when the rejoin cannot even start.
-            let target = self.ac_node;
-            if !target.is_some_and(|ac| self.start_rejoin(ctx, ac)) {
-                self.start_join(ctx);
-            }
-        } else if self.is_active() {
+        if !self.auto {
             // Manually driven members never self-initiate a handshake;
-            // at least resync keys missed during the outage.
-            self.request_key_refresh(ctx);
-        } else if self.auto && self.phase != MemberPhase::Idle {
-            // Mid-handshake crash: the counterpart's replies were lost
-            // with the socket; restart the exchange.
-            self.retry_handshake(ctx);
-        } else if self.auto {
+            // the harness decides how the wiped client comes back.
+            return;
+        }
+        // Re-enter the group with the durable ticket: rejoin the
+        // last-known controller, or fall back to a full registration
+        // when no ticket/controller survives.
+        if !self.ac_node.is_some_and(|ac| self.start_rejoin(ctx, ac)) {
             self.start_join(ctx);
         }
     }

@@ -11,6 +11,7 @@ use crate::auth::{AuthDb, AuthDecision};
 use crate::config::MykilConfig;
 use crate::crypto_cost::CryptoCost;
 use crate::directory::{AcDirectory, AcInfo};
+use crate::durable::{RsCheckpoint, RsWalRecord};
 use crate::error::ProtocolError;
 use crate::identity::{AreaId, ClientId};
 use crate::msg::Msg;
@@ -48,7 +49,12 @@ pub struct RegistrationServer {
     keypair: RsaKeyPair,
     auth: Box<dyn AuthDb>,
     directory: AcDirectory,
+    /// The directory as deployed — what a crashed server reads back
+    /// from its configuration before recovery replays takeovers on top.
+    directory_initial: AcDirectory,
     pending: HashMap<NodeId, PendingJoin>,
+    /// Handshakes lost to the last crash, reported at restart.
+    wiped_pending: u64,
     next_client: u64,
     next_area: usize,
     /// Backup-controller public keys per area, for takeover validation.
@@ -82,8 +88,10 @@ impl RegistrationServer {
             cost,
             keypair,
             auth,
+            directory_initial: directory.clone(),
             directory,
             pending: HashMap::new(),
+            wiped_pending: 0,
             next_client: 1,
             next_area: 0,
             backup_keys: HashMap::new(),
@@ -107,12 +115,31 @@ impl RegistrationServer {
         &self.directory
     }
 
+    /// Next client id to be handed out (durability invariant checks).
+    pub fn next_client(&self) -> u64 {
+        self.next_client
+    }
+
+    /// Writes the full-state checkpoint (id allocators + directory).
+    fn persist_checkpoint(&mut self, ctx: &mut Context<'_>) {
+        let bytes = RsCheckpoint {
+            next_client: self.next_client,
+            next_area: self.next_area as u64,
+            directory: self.directory.clone(),
+        }
+        .to_bytes();
+        ctx.storage().checkpoint(bytes);
+    }
+
     /// Chooses an area for a new member. The paper allows proximity or
     /// load-based policies; round-robin stands in for load balancing.
-    fn pick_area(&mut self) -> AcInfo {
+    fn pick_area(&mut self) -> Option<AcInfo> {
+        if self.directory.entries.is_empty() {
+            return None;
+        }
         let info = self.directory.entries[self.next_area % self.directory.entries.len()].clone();
         self.next_area += 1;
-        info
+        Some(info)
     }
 
     fn handle_join1(&mut self, ctx: &mut Context<'_>, from: NodeId, ct: &[u8]) {
@@ -194,7 +221,13 @@ impl RegistrationServer {
         // Client is authenticated and authorized. Assign identity/area.
         let client = ClientId(self.next_client);
         self.next_client += 1;
-        let ac = self.pick_area();
+        // The id is burned durably before any reply: a recovered RS
+        // must never hand the same id to a second client.
+        ctx.storage()
+            .wal_commit(RsWalRecord::ClientAssigned { client: client.0 }.to_bytes());
+        let Some(ac) = self.pick_area() else {
+            return;
+        };
         let Ok(ac_pub) = RsaPublicKey::from_bytes(&ac.pubkey) else {
             return;
         };
@@ -245,7 +278,14 @@ impl RegistrationServer {
         ctx.stats().bump("rs-joins", 1);
     }
 
-    fn handle_takeover(&mut self, area: AreaId, sig: &[u8], pubkey: &[u8], from: NodeId) {
+    fn handle_takeover(
+        &mut self,
+        ctx: &mut Context<'_>,
+        area: AreaId,
+        sig: &[u8],
+        pubkey: &[u8],
+        from: NodeId,
+    ) {
         // The backup signs the area id with its own key; the RS trusts
         // the key it was configured with at deployment (the directory
         // carries primary keys, so the builder registers backup keys via
@@ -273,10 +313,29 @@ impl RegistrationServer {
             node: from.index() as u32,
             pubkey: pubkey.to_vec(),
         });
+        // The directory update must survive a crash — a recovered RS
+        // pointing joins at a demoted primary would strand every new
+        // client in that area. WAL + immediate compaction (takeovers
+        // are rare; the checkpoint keeps recovery cheap).
+        ctx.storage().wal_commit(
+            RsWalRecord::DirectoryUpsert {
+                area: area.0,
+                node: from.index() as u32,
+                pubkey: pubkey.to_vec(),
+            }
+            .to_bytes(),
+        );
+        self.persist_checkpoint(ctx);
     }
 }
 
 impl Node for RegistrationServer {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // Baseline checkpoint so a crash at any point finds durable
+        // allocator state.
+        self.persist_checkpoint(ctx);
+    }
+
     fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
         let Ok(msg) = Msg::from_bytes(bytes) else {
             self.stats.rejected_messages += 1;
@@ -286,7 +345,7 @@ impl Node for RegistrationServer {
             Msg::Join1 { ct } => self.handle_join1(ctx, from, &ct),
             Msg::Join3 { ct } => self.handle_join3(ctx, from, &ct),
             Msg::Takeover { area, sig, pubkey } => {
-                self.handle_takeover(area, &sig, &pubkey, from)
+                self.handle_takeover(ctx, area, &sig, &pubkey, from)
             }
             // Everything else belongs to ACs, members, or replicas; the
             // RS counts it as rejected (listed explicitly so a new wire
@@ -321,16 +380,61 @@ impl Node for RegistrationServer {
         }
     }
 
-    fn on_restarted(&mut self, ctx: &mut Context<'_>) {
-        // A crash forgets every handshake in flight. Surfacing that
+    fn on_crashed_volatile_reset(&mut self) {
+        // Handshakes in flight die with the process; surfacing that
         // honestly (instead of resuming with half-valid nonce state)
         // lets clients time out, retry step 1, and complete against the
         // fresh table.
-        let dropped = self.pending.len() as u64;
+        self.wiped_pending = self.pending.len() as u64;
         self.pending.clear();
-        if dropped > 0 {
-            ctx.stats().bump("rs-pending-dropped", dropped);
-        }
+        self.directory = self.directory_initial.clone();
+        self.next_client = 1;
+        self.next_area = 0;
+    }
+
+    fn on_restarted(&mut self, ctx: &mut Context<'_>) {
         ctx.stats().bump("rs-restarts", 1);
+        if self.wiped_pending > 0 {
+            ctx.stats().bump("rs-pending-dropped", self.wiped_pending);
+            self.wiped_pending = 0;
+        }
+        // Rebuild the id allocators and the takeover-updated directory
+        // from stable storage.
+        let rec = ctx.storage().load();
+        let mut applied = false;
+        if let Some((_seq, bytes)) = rec.checkpoint {
+            if let Some(cp) = RsCheckpoint::from_bytes(&bytes) {
+                self.next_client = cp.next_client;
+                self.next_area = cp.next_area as usize;
+                self.directory = cp.directory;
+                applied = true;
+            } else {
+                ctx.stats().bump("rs-recovery-bad-checkpoint", 1);
+            }
+        }
+        for raw in &rec.wal {
+            let Some(rec) = RsWalRecord::from_bytes(raw) else {
+                ctx.stats().bump("rs-recovery-bad-wal-record", 1);
+                break;
+            };
+            match rec {
+                RsWalRecord::ClientAssigned { client } => {
+                    self.next_client = self.next_client.max(client + 1);
+                }
+                RsWalRecord::DirectoryUpsert { area, node, pubkey } => {
+                    self.directory.upsert(AcInfo {
+                        area: AreaId(area),
+                        node,
+                        pubkey,
+                    });
+                }
+            }
+            applied = true;
+        }
+        if applied {
+            ctx.stats().bump("rs-recoveries", 1);
+        }
+        // Compact the replayed WAL into a fresh checkpoint.
+        self.persist_checkpoint(ctx);
     }
 }

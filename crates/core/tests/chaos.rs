@@ -1,8 +1,10 @@
 //! Chaos soak and fault-recovery scenarios (ISSUE 3).
 //!
 //! The soak test drives seeded random [`FaultPlan`]s through full
-//! replicated deployments and asserts the four global invariants
-//! (`mykil::invariants`) at every quiescent point; on a violation it
+//! replicated deployments — including storage faults (lying fsync,
+//! torn tails, checkpoint corruption) — and asserts the global
+//! invariants (`mykil::invariants`) at every quiescent point; on a
+//! violation it
 //! dumps the serialized fault schedule to
 //! `$CARGO_TARGET_TMPDIR/chaos-failures/seed-<seed>.txt` so the run
 //! replays as a deterministic regression. The remaining tests are
@@ -16,8 +18,17 @@ use mykil::group::{GroupBuilder, GroupHandle};
 use mykil::invariants::InvariantChecker;
 use mykil_net::{ChaosDriver, ChaosOptions, Duration, FaultPlan, Time};
 
-/// Number of seeds the soak covers; CI runs all of them.
+/// Number of seeds the soak covers by default. The `CHAOS_SEEDS` env
+/// var overrides it (CI keeps PR runs small and soaks more seeds
+/// nightly).
 const SOAK_SEEDS: u64 = 20;
+
+fn soak_seeds() -> u64 {
+    std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SOAK_SEEDS)
+}
 
 fn dump_failure(seed: u64, plan: &FaultPlan, violations: &[impl std::fmt::Display]) -> String {
     let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("chaos-failures");
@@ -51,7 +62,7 @@ fn soak_group(seed: u64) -> GroupHandle {
 
 #[test]
 fn chaos_soak_invariants_hold_across_seeds() {
-    for seed in 1..=SOAK_SEEDS {
+    for seed in 1..=soak_seeds() {
         let mut g = soak_group(seed);
         let mut checker = InvariantChecker::new();
         assert_eq!(
@@ -70,6 +81,7 @@ fn chaos_soak_invariants_hold_across_seeds() {
             horizon: Duration::from_secs(12),
             episodes: 8,
             max_knob_per_mille: 250,
+            storage_faults: true,
         };
         let plan = FaultPlan::random(seed, &opts);
         let mut driver = ChaosDriver::new(plan);

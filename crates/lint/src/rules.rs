@@ -31,9 +31,21 @@ pub const HARNESS_PATHS: &[&str] = &["crates/net/src/chaos.rs", "crates/core/src
 /// behavior flows from the deterministic simulator clock.
 pub const SIM_DETERMINISTIC_CRATES: &[&str] = &["net", "core"];
 
+/// Crates that define secret-bearing types (L002). The net crate's
+/// stable-storage layer holds at-rest key material (`SecretBytes`
+/// wraps WAL records and checkpoint payloads), so it is held to the
+/// same hygiene as the crypto crate.
+pub const SECRET_TYPE_CRATES: &[&str] = &["crypto", "net"];
+
 /// Types holding key material or cipher state (L002): no leaking
 /// derives, mandatory zeroize-on-`Drop`.
-pub const SECRET_TYPES: &[&str] = &["SymmetricKey", "Rc4", "ChaCha20", "RsaKeyPair"];
+pub const SECRET_TYPES: &[&str] = &[
+    "SymmetricKey",
+    "Rc4",
+    "ChaCha20",
+    "RsaKeyPair",
+    "SecretBytes",
+];
 
 /// Derives forbidden on secret types: `Debug` prints state, and derived
 /// `PartialEq`/`Hash` walk the bytes with early exit (timing leak).
@@ -91,8 +103,9 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "L002",
-        description: "secret-bearing types (SymmetricKey, Rc4, ChaCha20, RsaKeyPair) \
-                      must not derive Debug/PartialEq/Hash and must impl Drop (zeroize)",
+        description: "secret-bearing types (SymmetricKey, Rc4, ChaCha20, RsaKeyPair, \
+                      SecretBytes) must not derive Debug/PartialEq/Hash and must \
+                      impl Drop (zeroize)",
         check: check_l002,
     },
     RuleInfo {
@@ -158,7 +171,10 @@ fn check_l001(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
 
 /// L002: forbidden derives on secret types + mandatory `impl Drop`.
 fn check_l002(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
-    if ctx.crate_name() != Some("crypto") {
+    if !ctx
+        .crate_name()
+        .is_some_and(|c| SECRET_TYPE_CRATES.contains(&c))
+    {
         return Vec::new();
     }
     let t = ctx.tokens;

@@ -126,11 +126,38 @@ fn l002_quiet_on_non_secret_type_with_debug() {
 }
 
 #[test]
-fn l002_quiet_outside_crypto_crate() {
+fn l002_quiet_outside_secret_type_crates() {
     // Other crates may name-collide; the secrecy rule is scoped to the
-    // crate that defines the real types.
+    // crates that define the real types (crypto and net).
     let src = "#[derive(Debug)]\nstruct SymmetricKey;\n";
     assert!(rule_ids("crates/analysis/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn l002_fires_on_secret_bytes_derives_in_net() {
+    // The stable-storage buffer type holds at-rest key material; a
+    // derived PartialEq walks it with early exit (timing leak) and a
+    // derived Debug would print it.
+    let src = "#[derive(Clone, PartialEq, Eq)]\npub struct SecretBytes(Vec<u8>);\nimpl Drop for SecretBytes { fn drop(&mut self) {} }\n";
+    assert_eq!(rule_ids("crates/net/src/storage.rs", src), vec!["L002"]);
+    let dbg = "#[derive(Debug)]\npub struct SecretBytes(Vec<u8>);\nimpl Drop for SecretBytes { fn drop(&mut self) {} }\n";
+    assert_eq!(rule_ids("crates/net/src/storage.rs", dbg), vec!["L002"]);
+}
+
+#[test]
+fn l002_fires_when_secret_bytes_misses_drop() {
+    let src = "#[derive(Clone)]\npub struct SecretBytes(Vec<u8>);\n";
+    let diags = mykil_lint::lint_source("crates/net/src/storage.rs", src);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("Drop"), "{}", diags[0].message);
+}
+
+#[test]
+fn l002_quiet_on_manual_impls_for_secret_bytes() {
+    // Manual constant-time PartialEq and a len-only Debug are the
+    // sanctioned shape; only *derives* leak.
+    let src = "#[derive(Clone)]\npub struct SecretBytes(Vec<u8>);\nimpl Drop for SecretBytes { fn drop(&mut self) { zeroize(&mut self.0); } }\nimpl PartialEq for SecretBytes { fn eq(&self, o: &SecretBytes) -> bool { ct_eq(&self.0, &o.0) } }\nimpl Eq for SecretBytes {}\n";
+    assert!(rule_ids("crates/net/src/storage.rs", src).is_empty());
 }
 
 #[test]

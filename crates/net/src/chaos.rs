@@ -4,7 +4,9 @@
 //! as you can imagine"; this module is the machine that imagines them.
 //! A [`FaultPlan`] is an ordered schedule of [`FaultSpec`]s — crashes,
 //! restarts, partitions and heals, link cuts, loss/duplication/reorder
-//! knobs, and per-node timer skew. Plans are either hand-written (for
+//! knobs, per-node timer skew, and storage faults (lying fsync with a
+//! lost or torn tail, checkpoint corruption — see
+//! [`NodeStorage`](crate::NodeStorage)). Plans are either hand-written (for
 //! regression tests) or generated from a seed ([`FaultPlan::random`]),
 //! and a [`ChaosDriver`] injects them into a [`Simulator`] at the
 //! scheduled virtual times, recording each injection into the trace as
@@ -30,7 +32,8 @@ use std::fmt;
 /// One injectable fault (or fault-clearing action).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultSpec {
-    /// Crash a node (state survives; timers and pending reliables die).
+    /// Crash a node (volatile state, timers and pending reliables die;
+    /// only stable storage survives).
     Crash(NodeId),
     /// Restart a crashed node (no-op on a live node).
     Restart(NodeId),
@@ -52,6 +55,18 @@ pub enum FaultSpec {
     Reorder(u32, Duration),
     /// Scale a node's timers to permille/1000 of nominal (1000 resets).
     TimerSkew(NodeId, u32),
+    /// Arm a lying fsync on the node's storage: syncs report success
+    /// but persist nothing until the next crash discards the tail.
+    StorageLostTail(NodeId),
+    /// Like [`FaultSpec::StorageLostTail`], but the crash leaves the
+    /// first unsynced record torn (checksum-invalid) in the log.
+    StorageTorn(NodeId),
+    /// Corrupt the node's newest valid checkpoint slot (bit-rot),
+    /// effective immediately.
+    CorruptCheckpoint(NodeId),
+    /// Disarm any storage fault on the node and honestly flush its
+    /// device cache.
+    StorageHeal(NodeId),
 }
 
 impl FaultSpec {
@@ -70,6 +85,10 @@ impl FaultSpec {
             FaultSpec::Duplication(pm) => sim.set_duplication_per_mille(pm),
             FaultSpec::Reorder(pm, window) => sim.set_reorder(pm, window),
             FaultSpec::TimerSkew(n, pm) => sim.set_timer_skew_per_mille(n, pm),
+            FaultSpec::StorageLostTail(n) => sim.storage_mut(n).arm_lying_sync(false),
+            FaultSpec::StorageTorn(n) => sim.storage_mut(n).arm_lying_sync(true),
+            FaultSpec::CorruptCheckpoint(n) => sim.storage_mut(n).corrupt_latest_checkpoint(),
+            FaultSpec::StorageHeal(n) => sim.storage_mut(n).heal(),
         }
     }
 }
@@ -87,6 +106,10 @@ impl fmt::Display for FaultSpec {
             FaultSpec::Duplication(pm) => write!(f, "dup {pm}"),
             FaultSpec::Reorder(pm, w) => write!(f, "reorder {pm} {}", w.as_micros()),
             FaultSpec::TimerSkew(n, pm) => write!(f, "skew {} {pm}", n.index()),
+            FaultSpec::StorageLostTail(n) => write!(f, "lost-tail {}", n.index()),
+            FaultSpec::StorageTorn(n) => write!(f, "torn {}", n.index()),
+            FaultSpec::CorruptCheckpoint(n) => write!(f, "ckpt-corrupt {}", n.index()),
+            FaultSpec::StorageHeal(n) => write!(f, "storage-heal {}", n.index()),
         }
     }
 }
@@ -115,6 +138,11 @@ pub struct ChaosOptions {
     /// Upper bound for generated loss/duplication/reorder probabilities
     /// (permille).
     pub max_knob_per_mille: u32,
+    /// Include storage-fault episodes (lying fsync with a lost or torn
+    /// tail, checkpoint corruption), each paired with a crash/restart so
+    /// the fault actually bites. The cleanup batch heals every target's
+    /// storage.
+    pub storage_faults: bool,
 }
 
 /// An ordered, replayable schedule of faults.
@@ -162,7 +190,8 @@ impl FaultPlan {
             let dur = (rng.gen_range(horizon_us / 4) + 1).min(cleanup_us - start.min(cleanup_us));
             let end = (start + dur).min(cleanup_us.saturating_sub(1)).max(start + 1);
             let (t0, t1) = (Time::from_micros(start), Time::from_micros(end));
-            match rng.gen_range(7) {
+            let families = if opts.storage_faults { 10 } else { 7 };
+            match rng.gen_range(families) {
                 0 => {
                     let n = pick(&mut rng, &opts.targets);
                     plan.push(t0, FaultSpec::Crash(n));
@@ -198,12 +227,41 @@ impl FaultPlan {
                     plan.push(t0, FaultSpec::Reorder(pm, window));
                     plan.push(t1, FaultSpec::Reorder(0, Duration::ZERO));
                 }
-                _ => {
+                6 => {
                     let n = pick(&mut rng, &opts.targets);
                     // 500..2000 permille: clock half-speed to double-speed.
                     let pm = 500 + rng.gen_range(1500) as u32;
                     plan.push(t0, FaultSpec::TimerSkew(n, pm));
                     plan.push(t1, FaultSpec::TimerSkew(n, 1000));
+                }
+                // Storage episodes pair the fault with a crash (so the
+                // lying sync actually loses data) and a restart (so
+                // recovery runs against the damaged log). The lying
+                // sync arms at t0 and the crash lands at t1: every
+                // sync the node issues inside the window parks in the
+                // device cache instead of reaching the platter, and is
+                // genuinely lost (or torn) at the crash. Arming at the
+                // crash instant would give a zero-length window in
+                // which nothing was ever lied about.
+                7 => {
+                    let n = pick(&mut rng, &opts.targets);
+                    plan.push(t0, FaultSpec::StorageLostTail(n));
+                    plan.push(t1, FaultSpec::Crash(n));
+                    plan.push(t1, FaultSpec::Restart(n));
+                }
+                8 => {
+                    let n = pick(&mut rng, &opts.targets);
+                    plan.push(t0, FaultSpec::StorageTorn(n));
+                    plan.push(t1, FaultSpec::Crash(n));
+                    plan.push(t1, FaultSpec::Restart(n));
+                }
+                // Checkpoint corruption is immediate damage, not a
+                // lying sync, so same-time corrupt+crash is fine.
+                _ => {
+                    let n = pick(&mut rng, &opts.targets);
+                    plan.push(t0, FaultSpec::CorruptCheckpoint(n));
+                    plan.push(t0, FaultSpec::Crash(n));
+                    plan.push(t1, FaultSpec::Restart(n));
                 }
             }
         }
@@ -214,6 +272,9 @@ impl FaultPlan {
         plan.push(t, FaultSpec::Duplication(0));
         plan.push(t, FaultSpec::Reorder(0, Duration::ZERO));
         for &n in &opts.targets {
+            if opts.storage_faults {
+                plan.push(t, FaultSpec::StorageHeal(n));
+            }
             plan.push(t, FaultSpec::Restart(n));
             plan.push(t, FaultSpec::TimerSkew(n, 1000));
         }
@@ -281,6 +342,12 @@ impl FaultPlan {
                     NodeId::from_index(num("node")? as usize),
                     num("per-mille")? as u32,
                 ),
+                "lost-tail" => FaultSpec::StorageLostTail(NodeId::from_index(num("node")? as usize)),
+                "torn" => FaultSpec::StorageTorn(NodeId::from_index(num("node")? as usize)),
+                "ckpt-corrupt" => {
+                    FaultSpec::CorruptCheckpoint(NodeId::from_index(num("node")? as usize))
+                }
+                "storage-heal" => FaultSpec::StorageHeal(NodeId::from_index(num("node")? as usize)),
                 other => return Err(err(&format!("unknown fault verb `{other}`"))),
             };
             plan.push(Time::from_micros(at), fault);
@@ -361,6 +428,10 @@ mod tests {
             FaultSpec::Reorder(200, Duration::from_micros(1500)),
         );
         plan.push(Time::from_millis(10), FaultSpec::TimerSkew(n(4), 1500));
+        plan.push(Time::from_millis(11), FaultSpec::StorageLostTail(n(2)));
+        plan.push(Time::from_millis(12), FaultSpec::StorageTorn(n(3)));
+        plan.push(Time::from_millis(13), FaultSpec::CorruptCheckpoint(n(2)));
+        plan.push(Time::from_millis(14), FaultSpec::StorageHeal(n(2)));
         let text = plan.serialize();
         let back = FaultPlan::parse(&text).unwrap();
         assert_eq!(plan, back);
@@ -386,6 +457,7 @@ mod tests {
             horizon: Duration::from_secs(10),
             episodes: 12,
             max_knob_per_mille: 300,
+            storage_faults: false,
         };
         let a = FaultPlan::random(42, &opts);
         let b = FaultPlan::random(42, &opts);
@@ -404,6 +476,65 @@ mod tests {
                 .faults()
                 .iter()
                 .any(|f| f.fault == FaultSpec::Restart(*target) && f.at == cleanup));
+        }
+    }
+
+    #[test]
+    fn storage_fault_plans_pair_crashes_and_heal_in_cleanup() {
+        let opts = ChaosOptions {
+            targets: (1..4).map(NodeId::from_index).collect(),
+            horizon: Duration::from_secs(10),
+            episodes: 30,
+            max_knob_per_mille: 100,
+            storage_faults: true,
+        };
+        let plan = FaultPlan::random(11, &opts);
+        // Round-trips through the text form.
+        assert_eq!(FaultPlan::parse(&plan.serialize()).unwrap(), plan);
+        // Every storage arm is followed by a crash of the same node at
+        // or after the arm time — lying syncs need a real window of
+        // virtual time before the crash so that syncs issued inside it
+        // actually park and get lost; checkpoint corruption is
+        // immediate and may share the crash instant.
+        let faults = plan.faults();
+        let mut lying_windows = 0u32;
+        let mut saw_storage_episode = false;
+        for (i, tf) in faults.iter().enumerate() {
+            let (armed, lying) = match tf.fault {
+                FaultSpec::StorageLostTail(n) | FaultSpec::StorageTorn(n) => (Some(n), true),
+                FaultSpec::CorruptCheckpoint(n) => (Some(n), false),
+                _ => (None, false),
+            };
+            if let Some(n) = armed {
+                if tf.at == Time::from_micros(Duration::from_secs(10).as_micros() * 9 / 10) {
+                    continue; // (not generated, but be robust)
+                }
+                saw_storage_episode = true;
+                let crash = faults
+                    .iter()
+                    .skip(i + 1)
+                    .find(|f| f.fault == FaultSpec::Crash(n));
+                let crash = crash.unwrap_or_else(|| {
+                    panic!("storage fault on {n:?} at {:?} has no later crash", tf.at)
+                });
+                assert!(crash.at >= tf.at);
+                if lying {
+                    assert!(
+                        crash.at > tf.at,
+                        "lying sync armed at the crash instant: zero-length window"
+                    );
+                    lying_windows += 1;
+                }
+            }
+        }
+        assert!(saw_storage_episode, "30 episodes produced no storage fault");
+        assert!(lying_windows > 0, "30 episodes produced no lying-sync window");
+        // Cleanup heals every target's storage.
+        let cleanup = Time::from_micros(Duration::from_secs(10).as_micros() * 9 / 10);
+        for target in &opts.targets {
+            assert!(faults
+                .iter()
+                .any(|f| f.fault == FaultSpec::StorageHeal(*target) && f.at == cleanup));
         }
     }
 
@@ -467,6 +598,7 @@ mod tests {
             horizon: Duration::from_secs(2),
             episodes: 8,
             max_knob_per_mille: 200,
+            storage_faults: true,
         };
         let plan = FaultPlan::random(7, &opts);
         let replayed = FaultPlan::parse(&plan.serialize()).unwrap();

@@ -3,6 +3,7 @@
 
 use crate::id::{GroupId, NodeId};
 use crate::stats::Stats;
+use crate::storage::NodeStorage;
 use crate::time::{Duration, Time};
 use mykil_crypto::drbg::Drbg;
 
@@ -77,6 +78,7 @@ pub struct Context<'a> {
     pub(crate) compute: Duration,
     pub(crate) next_token: &'a mut u64,
     pub(crate) next_msg_id: &'a mut u64,
+    pub(crate) storage: &'a mut NodeStorage,
 }
 
 impl<'a> Context<'a> {
@@ -99,6 +101,14 @@ impl<'a> Context<'a> {
     /// Custom experiment counters (see [`Stats::bump`]).
     pub fn stats(&mut self) -> &mut Stats {
         self.stats
+    }
+
+    /// This node's simulated stable storage (WAL + checkpoints). State
+    /// written and synced here survives crashes — modulo any injected
+    /// storage fault — and is what [`Node::on_restarted`]
+    /// (crate::Node::on_restarted) recovers from.
+    pub fn storage(&mut self) -> &mut NodeStorage {
+        self.storage
     }
 
     /// Charges virtual CPU time; every subsequent effect in this

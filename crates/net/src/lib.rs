@@ -59,6 +59,7 @@ mod id;
 mod latency;
 mod sim;
 mod stats;
+mod storage;
 mod time;
 mod topology;
 mod trace;
@@ -69,5 +70,6 @@ pub use id::{GroupId, NodeId};
 pub use latency::LatencyModel;
 pub use sim::{Node, Simulator};
 pub use stats::Stats;
+pub use storage::{NodeStorage, Recovered, SecretBytes};
 pub use time::{Duration, Time};
 pub use trace::{DropReason, TraceEvent};

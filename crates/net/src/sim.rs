@@ -5,6 +5,7 @@ use crate::event::{Event, EventKind, EventQueue, Transport};
 use crate::id::{GroupId, NodeId};
 use crate::latency::LatencyModel;
 use crate::stats::Stats;
+use crate::storage::NodeStorage;
 use crate::time::{Duration, Time};
 use crate::topology::Topology;
 use crate::trace::{DropReason, Trace, TraceEvent};
@@ -23,10 +24,19 @@ pub trait Node: Any {
 
     /// Called after the node recovers from a crash (see
     /// [`Simulator::restart`]). A crash cancels every timer the node had
-    /// pending, so implementors must re-arm their periodic timers here
-    /// and treat in-memory state as suspect (re-synchronize with peers
-    /// rather than resuming blindly).
+    /// pending and wipes volatile state (see
+    /// [`Node::on_crashed_volatile_reset`]), so implementors must re-arm
+    /// their periodic timers here and reconstruct state from stable
+    /// storage ([`Context::storage`]) and/or resynchronize with peers.
     fn on_restarted(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called by [`Simulator::crash`] at the moment of the crash: the
+    /// node must discard every field that a real process would lose with
+    /// its address space, keeping only what models durable local
+    /// configuration (keypair, deployment config, device identity).
+    /// No [`Context`] is provided — a crashing process performs no
+    /// effects; reconstruction happens in [`Node::on_restarted`].
+    fn on_crashed_volatile_reset(&mut self) {}
 
     /// Called when a message addressed to this node arrives.
     fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]);
@@ -99,6 +109,9 @@ impl DedupWindow {
 /// See the [crate docs](crate) for an overview and example.
 pub struct Simulator {
     nodes: Vec<Option<Box<dyn Node>>>,
+    /// Per-node stable storage, parallel to `nodes`. Survives crashes
+    /// (modulo injected storage faults) while volatile state does not.
+    storage: Vec<NodeStorage>,
     queue: EventQueue,
     topo: Topology,
     groups: Vec<HashSet<NodeId>>,
@@ -124,6 +137,11 @@ pub struct Simulator {
     /// Pending timer tokens per node, so a crash can cancel them all
     /// (a rebooted process holds no armed timers).
     armed_timers: HashMap<NodeId, HashSet<u64>>,
+    /// Completed crash/restart cycles per node. Recovery is allowed to
+    /// roll volatile counters backwards (a corrupt checkpoint falls
+    /// back to an older slot), so monotonicity checkers use this to
+    /// scope their baselines to one process incarnation.
+    restart_counts: HashMap<NodeId, u64>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -146,6 +164,7 @@ impl Simulator {
     pub fn with_latency(seed: u64, latency: LatencyModel) -> Self {
         Simulator {
             nodes: Vec::new(),
+            storage: Vec::new(),
             queue: EventQueue::new(),
             topo: Topology::new(),
             groups: Vec::new(),
@@ -167,6 +186,7 @@ impl Simulator {
             reorder_window: Duration::ZERO,
             timer_skew: HashMap::new(),
             armed_timers: HashMap::new(),
+            restart_counts: HashMap::new(),
         }
     }
 
@@ -182,6 +202,7 @@ impl Simulator {
     pub fn add_node<N: Node>(&mut self, node: N) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Some(Box::new(node)));
+        self.storage.push(NodeStorage::new());
         self.queue.push(self.now, id, EventKind::Start);
         id
     }
@@ -281,10 +302,14 @@ impl Simulator {
     /// cancelled (a crashed sender's transport state dies with it;
     /// each cancellation bumps the `reliable-cancelled` stat).
     ///
-    /// In-memory node state survives — this models crash-*recovery*
-    /// semantics, and [`Node::on_restarted`] is where a node must
-    /// rebuild whatever it cannot trust after the gap.
+    /// The node's *volatile* state dies with the process: any armed
+    /// storage fault is applied to its [`NodeStorage`] (unsynced tail
+    /// lost, possibly a torn final record) and then
+    /// [`Node::on_crashed_volatile_reset`] wipes the in-memory struct
+    /// down to durable local configuration. [`Node::on_restarted`] must
+    /// reconstruct from [`Context::storage`] and/or peers.
     pub fn crash(&mut self, node: NodeId) {
+        let was_crashed = self.topo.is_crashed(node);
         self.topo.crash(node);
         if let Some(tokens) = self.armed_timers.remove(&node) {
             self.cancelled.extend(tokens);
@@ -299,6 +324,16 @@ impl Simulator {
             self.pending_reliable.remove(&id);
             self.stats.bump("reliable-cancelled", 1);
         }
+        if was_crashed {
+            return; // already down: storage faults and the wipe already ran
+        }
+        if let Some(stat) = self.storage[node.index()].on_crash() {
+            self.stats.bump(stat, 1);
+            self.record_fault(format!("{stat} node {}", node.index()));
+        }
+        if let Some(boxed) = self.nodes[node.index()].as_deref_mut() {
+            boxed.on_crashed_volatile_reset();
+        }
     }
 
     /// Restarts a crashed node and returns `true` when the node was
@@ -309,9 +344,16 @@ impl Simulator {
         let recovered = self.topo.is_crashed(node);
         self.topo.restart(node);
         if recovered {
+            *self.restart_counts.entry(node).or_insert(0) += 1;
             self.queue.push(self.now, node, EventKind::Restarted);
         }
         recovered
+    }
+
+    /// Completed crash/restart cycles for `node` (0 when it has never
+    /// been restarted).
+    pub fn restart_count(&self, node: NodeId) -> u64 {
+        self.restart_counts.get(&node).copied().unwrap_or(0)
     }
 
     /// Whether the node is currently crashed.
@@ -359,6 +401,18 @@ impl Simulator {
         } else {
             self.timer_skew.insert(node, per_mille.max(1));
         }
+    }
+
+    /// Read access to a node's stable storage (e.g. for invariant
+    /// checkers replaying a durable log).
+    pub fn storage(&self, node: NodeId) -> &NodeStorage {
+        &self.storage[node.index()]
+    }
+
+    /// Mutable access to a node's stable storage (fault injection:
+    /// arming lying syncs, corrupting checkpoints, healing).
+    pub fn storage_mut(&mut self, node: NodeId) -> &mut NodeStorage {
+        &mut self.storage[node.index()]
     }
 
     // ---- node access ----
@@ -419,6 +473,7 @@ impl Simulator {
             compute: Duration::ZERO,
             next_token: &mut self.next_token,
             next_msg_id: &mut self.next_msg_id,
+            storage: &mut self.storage[id.index()],
         };
         let any: &mut dyn Any = boxed.as_mut();
         // mykil-lint: allow(L001) -- documented panic: harness accessor, not a protocol path
@@ -573,6 +628,7 @@ impl Simulator {
             compute: Duration::ZERO,
             next_token: &mut self.next_token,
             next_msg_id: &mut self.next_msg_id,
+            storage: &mut self.storage[dst.index()],
         };
         let trace_note = match &kind {
             EventKind::Deliver {
@@ -625,6 +681,7 @@ impl Simulator {
             compute: Duration::ZERO,
             next_token: &mut self.next_token,
             next_msg_id: &mut self.next_msg_id,
+            storage: &mut self.storage[id.index()],
         };
         f(boxed.as_mut(), &mut ctx);
         let actions = std::mem::take(&mut ctx.actions);
@@ -1114,6 +1171,64 @@ mod tests {
         sim.run_until(Time::from_secs(1));
         let arrival = sim.node::<Sink>(sink).arrival.unwrap();
         assert!(arrival >= Time::from_millis(100), "{arrival}");
+    }
+
+    /// Counts messages in RAM, committing each to the WAL; a crash
+    /// wipes the RAM counter and recovery must rebuild it from storage.
+    struct DurableCounter {
+        count: u32,
+    }
+
+    impl Node for DurableCounter {
+        fn on_message(&mut self, ctx: &mut Context<'_>, _from: NodeId, bytes: &[u8]) {
+            self.count += 1;
+            ctx.storage().wal_commit(bytes.to_vec());
+        }
+        fn on_crashed_volatile_reset(&mut self) {
+            self.count = 0;
+        }
+        fn on_restarted(&mut self, ctx: &mut Context<'_>) {
+            self.count = ctx.storage().load().wal.len() as u32;
+        }
+    }
+
+    #[test]
+    fn crash_wipes_volatile_state_and_recovery_replays_storage() {
+        let mut sim = Simulator::new(12);
+        let n = sim.add_node(DurableCounter { count: 0 });
+        let driver = sim.add_node(Silent2);
+        for _ in 0..3 {
+            sim.invoke(driver, |_: &mut Silent2, ctx| {
+                ctx.send(n, "x", vec![1]);
+            });
+        }
+        sim.run_for(Duration::from_millis(10));
+        assert_eq!(sim.node::<DurableCounter>(n).count, 3);
+
+        sim.crash(n);
+        // The wipe happened at crash time, not restart time.
+        assert_eq!(sim.node::<DurableCounter>(n).count, 0);
+        assert!(sim.restart(n));
+        sim.run_for(Duration::from_millis(10));
+        assert_eq!(sim.node::<DurableCounter>(n).count, 3, "recovery lost the log");
+
+        // An armed lost-tail fault makes the next commits vanish.
+        sim.storage_mut(n).arm_lying_sync(false);
+        sim.invoke(driver, |_: &mut Silent2, ctx| {
+            ctx.send(n, "x", vec![2]);
+        });
+        sim.run_for(Duration::from_millis(10));
+        assert_eq!(sim.node::<DurableCounter>(n).count, 4);
+        sim.crash(n);
+        assert_eq!(sim.stats().counter("storage-lost-tail"), 1);
+        assert!(sim.restart(n));
+        sim.run_for(Duration::from_millis(10));
+        assert_eq!(sim.node::<DurableCounter>(n).count, 3, "lost tail came back");
+    }
+
+    struct Silent2;
+    impl Node for Silent2 {
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _bytes: &[u8]) {}
     }
 
     #[test]
