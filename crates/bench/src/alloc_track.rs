@@ -1,0 +1,51 @@
+//! A counting global allocator for allocation-budget benchmarks.
+//!
+//! The perf gate reports *allocations per operation* alongside
+//! throughput: allocation counts are deterministic for a fixed seed and
+//! workload, so they regress loudly and reproducibly where wall-clock
+//! numbers drift with the host. Install [`CountingAllocator`] as the
+//! `#[global_allocator]` in a binary, then bracket the measured region
+//! with [`alloc_count`] reads.
+//!
+//! `realloc` is counted as one allocation event: a `Vec` that grows
+//! without a reserved capacity shows up here, which is exactly the
+//! class of hot-path waste the gate exists to catch.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to the system allocator while counting events and bytes.
+pub struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the counters are side-effect-only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total allocation events (alloc + realloc) since process start.
+pub fn alloc_count() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested since process start.
+pub fn alloc_bytes() -> u64 {
+    ALLOC_BYTES.load(Ordering::Relaxed)
+}

@@ -1,0 +1,375 @@
+//! Rekey hot-path performance gate.
+//!
+//! Runs the three rekey-critical workloads — single-leave rekey,
+//! batched mixed join/leave, and wire encode/decode — under a counting
+//! allocator and reports ops/sec, bytes/op and allocations/op as
+//! machine-readable JSON (`BENCH_rekey.json` at the repo root).
+//!
+//! ```text
+//! perfgate                  # run and print
+//! perfgate --write          # run and (re)write BENCH_rekey.json
+//! perfgate --check <path>   # run and fail (exit 1) on regression
+//!          --tolerance 15   #   deterministic-metric band, percent
+//!          --out <path>     #   also dump the fresh JSON (CI artifact)
+//! ```
+//!
+//! Gate semantics (see DESIGN.md §10): allocations/op and bytes/op are
+//! deterministic for the fixed seeds used here and are gated at the
+//! given tolerance; ops/sec is first normalized by a SHA-256
+//! calibration loop (absorbing host-speed differences between the
+//! committing machine and CI runners) and gated at twice the tolerance.
+
+use mykil::rekey::write_entries_from_plan;
+use mykil::wire::{Reader, Writer};
+use mykil_bench::alloc_track::{alloc_count, CountingAllocator};
+use mykil_crypto::drbg::Drbg;
+use mykil_crypto::sha256::Sha256;
+use mykil_tree::{KeyTree, MemberId, TreeConfig};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// One workload's measurements.
+struct Sample {
+    name: &'static str,
+    ops: u64,
+    ops_per_sec: f64,
+    bytes_per_op: f64,
+    allocs_per_op: f64,
+}
+
+/// Single-member leave rekey, the paper's Figure 5 path: tree mutation,
+/// envelope sealing and wire encoding of the key-update body. The
+/// vacated slot is re-joined outside the measured region to keep the
+/// population stable.
+fn rekey_single_leave() -> Sample {
+    let mut rng = Drbg::from_seed(0xBE9C_0001);
+    let mut tree = KeyTree::new(TreeConfig::quad(), &mut rng);
+    const N: u64 = 1024;
+    const OPS: u64 = 2000;
+    for m in 0..N {
+        // mykil-lint: allow(L001) -- bench setup with fresh ids
+        tree.join(MemberId(m), &mut rng).expect("fresh id");
+    }
+    let mut elapsed = std::time::Duration::ZERO;
+    let mut allocs = 0u64;
+    let mut bytes = 0u64;
+    // Frame buffer reused across rekeys, as the production flush path
+    // reuses its scratch: steady-state encodes allocate nothing.
+    let mut scratch: Vec<u8> = Vec::new();
+    for i in 0..OPS {
+        let victim = MemberId(i % N);
+        let t0 = Instant::now();
+        let a0 = alloc_count();
+        // mykil-lint: allow(L001) -- victim resident by construction
+        let plan = tree.leave(victim, &mut rng).expect("resident member");
+        let mut w = Writer::into_reused(std::mem::take(&mut scratch));
+        write_entries_from_plan(&plan, &mut rng, &mut w);
+        allocs += alloc_count() - a0;
+        elapsed += t0.elapsed();
+        bytes += w.len() as u64;
+        scratch = w.into_bytes();
+        // Restore population (unmeasured).
+        // mykil-lint: allow(L001) -- id vacated two lines above
+        tree.join(victim, &mut rng).expect("slot just vacated");
+    }
+    Sample {
+        name: "rekey_single_leave",
+        ops: OPS,
+        ops_per_sec: OPS as f64 / elapsed.as_secs_f64(),
+        bytes_per_op: bytes as f64 / OPS as f64,
+        allocs_per_op: allocs as f64 / OPS as f64,
+    }
+}
+
+/// Batched mixed join/leave (Section III-E aggregation): eight leavers
+/// and eight joiners per flush, one combined plan, sealed and encoded.
+fn rekey_batch_mixed() -> Sample {
+    let mut rng = Drbg::from_seed(0xBE9C_0002);
+    let mut tree = KeyTree::new(TreeConfig::quad(), &mut rng);
+    const N: u64 = 4096;
+    const OPS: u64 = 250;
+    const CHURN: u64 = 8;
+    for m in 0..N {
+        // mykil-lint: allow(L001) -- bench setup with fresh ids
+        tree.join(MemberId(m), &mut rng).expect("fresh id");
+    }
+    let mut next_id = N;
+    let mut oldest = 0u64;
+    let mut elapsed = std::time::Duration::ZERO;
+    let mut allocs = 0u64;
+    let mut bytes = 0u64;
+    let mut scratch: Vec<u8> = Vec::new();
+    for _ in 0..OPS {
+        let joins: Vec<MemberId> = (0..CHURN).map(|k| MemberId(next_id + k)).collect();
+        let leaves: Vec<MemberId> = (0..CHURN).map(|k| MemberId(oldest + k)).collect();
+        next_id += CHURN;
+        oldest += CHURN;
+        let t0 = Instant::now();
+        let a0 = alloc_count();
+        // mykil-lint: allow(L001) -- ids validated by construction
+        let out = tree.batch(&joins, &leaves, &mut rng).expect("valid batch");
+        let mut w = Writer::into_reused(std::mem::take(&mut scratch));
+        write_entries_from_plan(&out.plan, &mut rng, &mut w);
+        allocs += alloc_count() - a0;
+        elapsed += t0.elapsed();
+        bytes += w.len() as u64;
+        scratch = w.into_bytes();
+    }
+    Sample {
+        name: "rekey_batch_mixed",
+        ops: OPS,
+        ops_per_sec: OPS as f64 / elapsed.as_secs_f64(),
+        bytes_per_op: bytes as f64 / OPS as f64,
+        allocs_per_op: allocs as f64 / OPS as f64,
+    }
+}
+
+/// Wire codec round trip: a key-update-shaped frame (header plus 16
+/// length-prefixed envelope fields) encoded then fully decoded.
+fn wire_encode_decode() -> Sample {
+    const OPS: u64 = 20_000;
+    const ENTRIES: usize = 16;
+    let env = [0xA5u8; 44]; // sealed 16-byte key + envelope overhead
+    let mut elapsed = std::time::Duration::ZERO;
+    let mut allocs = 0u64;
+    let mut bytes = 0u64;
+    let mut checksum = 0u64;
+    for i in 0..OPS {
+        let t0 = Instant::now();
+        let a0 = alloc_count();
+        let mut w = Writer::new();
+        w.u8(30).u32(7).u64(i);
+        w.u32(ENTRIES as u32);
+        for e in 0..ENTRIES {
+            w.u32(e as u32).u8(1).u32((e * 2) as u32);
+            w.bytes(&env);
+        }
+        let frame = w.into_bytes();
+        let mut r = Reader::new(&frame);
+        let mut acc = 0u64;
+        acc += u64::from(r.u8().unwrap_or(0));
+        acc += u64::from(r.u32().unwrap_or(0));
+        acc += r.u64().unwrap_or(0);
+        let n = r.u32().unwrap_or(0);
+        for _ in 0..n {
+            acc += u64::from(r.u32().unwrap_or(0));
+            acc += u64::from(r.u8().unwrap_or(0));
+            acc += u64::from(r.u32().unwrap_or(0));
+            acc += r.bytes().map(|b| b.len() as u64).unwrap_or(0);
+        }
+        allocs += alloc_count() - a0;
+        elapsed += t0.elapsed();
+        bytes += frame.len() as u64;
+        checksum = checksum.wrapping_add(acc);
+    }
+    // Keep the decode loop observable.
+    assert!(checksum > 0);
+    Sample {
+        name: "wire_encode_decode",
+        ops: OPS,
+        ops_per_sec: OPS as f64 / elapsed.as_secs_f64(),
+        bytes_per_op: bytes as f64 / OPS as f64,
+        allocs_per_op: allocs as f64 / OPS as f64,
+    }
+}
+
+/// Host-speed calibration: SHA-256 digests over a 4 KiB buffer per
+/// second. Throughput comparisons divide by this, so a slower CI runner
+/// does not read as a regression.
+fn calibrate() -> f64 {
+    let buf = [0x5Au8; 4096];
+    let mut acc = 0u64;
+    const ITERS: u64 = 4000;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        acc = acc.wrapping_add(u64::from(Sha256::digest(&buf)[0]));
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(acc != u64::MAX);
+    ITERS as f64 / dt
+}
+
+fn render_json(samples: &[Sample], calibration: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": 1,\n");
+    out.push_str("  \"description\": \"rekey hot-path perf gate; refresh with: cargo run --release -p mykil-bench --bin perfgate -- --write\",\n");
+    out.push_str(&format!(
+        "  \"calibration_sha256_4k_per_sec\": {calibration:.1},\n"
+    ));
+    out.push_str("  \"workloads\": {\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{ \"ops\": {}, \"ops_per_sec\": {:.1}, \"bytes_per_op\": {:.2}, \"allocs_per_op\": {:.3} }}{}\n",
+            s.name,
+            s.ops,
+            s.ops_per_sec,
+            s.bytes_per_op,
+            s.allocs_per_op,
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Extracts `"key": <number>` from `text` scoped to the object that
+/// follows `"scope"` (a flat scan is enough for the format we emit).
+fn json_num(text: &str, scope: &str, key: &str) -> Option<f64> {
+    let start = match scope.is_empty() {
+        true => 0,
+        false => text.find(&format!("\"{scope}\""))?,
+    };
+    let scoped = &text[start..];
+    let end = scoped.find('}').unwrap_or(scoped.len());
+    let scoped = &scoped[..end];
+    let kpos = scoped.find(&format!("\"{key}\""))?;
+    let after = &scoped[kpos..];
+    let colon = after.find(':')?;
+    let rest = after[colon + 1..].trim_start();
+    let numlen = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..numlen].parse().ok()
+}
+
+struct Regression {
+    what: String,
+    base: f64,
+    fresh: f64,
+    limit_pct: f64,
+}
+
+/// Compares fresh samples against a committed baseline. Returns the
+/// list of out-of-band metrics.
+fn check(baseline: &str, samples: &[Sample], calibration: f64, tol_pct: f64) -> Vec<Regression> {
+    let mut bad = Vec::new();
+    let base_calib = json_num(baseline, "", "calibration_sha256_4k_per_sec").unwrap_or(calibration);
+    for s in samples {
+        let Some(base_allocs) = json_num(baseline, s.name, "allocs_per_op") else {
+            bad.push(Regression {
+                what: format!("{}: missing from baseline", s.name),
+                base: 0.0,
+                fresh: 0.0,
+                limit_pct: 0.0,
+            });
+            continue;
+        };
+        let base_bytes = json_num(baseline, s.name, "bytes_per_op").unwrap_or(0.0);
+        let base_ops = json_num(baseline, s.name, "ops_per_sec").unwrap_or(0.0);
+
+        // Deterministic metrics: hard band at the tolerance (plus a
+        // small absolute slack so near-zero counts cannot flake).
+        if s.allocs_per_op > base_allocs * (1.0 + tol_pct / 100.0) + 0.5 {
+            bad.push(Regression {
+                what: format!("{}: allocs_per_op", s.name),
+                base: base_allocs,
+                fresh: s.allocs_per_op,
+                limit_pct: tol_pct,
+            });
+        }
+        if s.bytes_per_op > base_bytes * (1.0 + tol_pct / 100.0) + 4.0 {
+            bad.push(Regression {
+                what: format!("{}: bytes_per_op", s.name),
+                base: base_bytes,
+                fresh: s.bytes_per_op,
+                limit_pct: tol_pct,
+            });
+        }
+
+        // Throughput: normalize by the calibration ratio, then allow a
+        // doubled band for residual host noise.
+        if base_ops > 0.0 && base_calib > 0.0 && calibration > 0.0 {
+            let expected = base_ops * (calibration / base_calib);
+            if s.ops_per_sec < expected * (1.0 - 2.0 * tol_pct / 100.0) {
+                bad.push(Regression {
+                    what: format!("{}: ops_per_sec (calibrated)", s.name),
+                    base: expected,
+                    fresh: s.ops_per_sec,
+                    limit_pct: 2.0 * tol_pct,
+                });
+            }
+        }
+    }
+    bad
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut write = false;
+    let mut check_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut tolerance = 15.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--write" => write = true,
+            "--check" => check_path = it.next().cloned(),
+            "--out" => out_path = it.next().cloned(),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or(tolerance)
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let calibration = calibrate();
+    let samples = vec![rekey_single_leave(), rekey_batch_mixed(), wire_encode_decode()];
+
+    println!(
+        "{:<22} {:>12} {:>12} {:>14}",
+        "workload", "ops/sec", "bytes/op", "allocs/op"
+    );
+    for s in &samples {
+        println!(
+            "{:<22} {:>12.0} {:>12.1} {:>14.2}",
+            s.name, s.ops_per_sec, s.bytes_per_op, s.allocs_per_op
+        );
+    }
+    println!("calibration: {calibration:.0} sha256-4k/sec");
+
+    let json = render_json(&samples, calibration);
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if write {
+        if let Err(e) = std::fs::write("BENCH_rekey.json", &json) {
+            eprintln!("cannot write BENCH_rekey.json: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote BENCH_rekey.json");
+    }
+
+    if let Some(path) = check_path {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let bad = check(&baseline, &samples, calibration, tolerance);
+        if bad.is_empty() {
+            println!("perf gate: PASS (tolerance {tolerance}%)");
+        } else {
+            println!("perf gate: FAIL");
+            for r in &bad {
+                println!(
+                    "  {} regressed beyond {:.0}%: baseline {:.2}, fresh {:.2}",
+                    r.what, r.limit_pct, r.base, r.fresh
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}

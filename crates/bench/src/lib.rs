@@ -4,6 +4,7 @@
 //! One function per paper artifact — see `DESIGN.md` §3 for the full
 //! experiment index and `EXPERIMENTS.md` for paper-vs-measured results.
 
+pub mod alloc_track;
 pub mod experiments;
 pub mod workload;
 

@@ -6,7 +6,7 @@ use crate::durable::AcWalRecord;
 use crate::error::ProtocolError;
 use crate::identity::{ClientId, DeviceId};
 use crate::msg::Msg;
-use crate::rekey::encode_path;
+use crate::rekey::encode_tree_path;
 use crate::ticket::Ticket;
 use crate::welcome::Welcome;
 use crate::wire::{Reader, Writer};
@@ -243,14 +243,9 @@ impl AreaController {
             let Some((node, pubkey)) = target else {
                 continue;
             };
-            let path: Vec<(u32, SymmetricKey)> = u
-                .keys
-                .iter()
-                .map(|(n, k)| (n.raw() as u32, k.clone()))
-                .collect();
             ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
             if let Ok(ct) =
-                HybridCiphertext::encrypt(&pubkey, &encode_path(&path), ctx.rng())
+                HybridCiphertext::encrypt(&pubkey, &encode_tree_path(&u.keys), ctx.rng())
             {
                 ctx.send(node, "key-unicast", Msg::KeyUnicast { ct: ct.to_bytes() }.to_bytes());
             }

@@ -11,10 +11,9 @@ use super::{AreaController, ParentLink, RejoinStage, TIMER_IDLE_ALIVE, TIMER_PAR
 use crate::durable::AcWalRecord;
 use crate::identity::{AreaId, ClientId};
 use crate::msg::{Msg, RejoinDenyReason};
-use crate::rekey::{decode_entries, decode_path};
+use crate::rekey::decode_path;
 use crate::wire::{Reader, Writer};
 use mykil_crypto::envelope::HybridCiphertext;
-use mykil_crypto::keys::SymmetricKey;
 use mykil_net::{Context, GroupId, NodeId, Time};
 use mykil_tree::MemberId;
 
@@ -93,19 +92,13 @@ impl AreaController {
     /// the periodic freshness rekey of Section III-E.
     pub(crate) fn freshness_rotate(&mut self, ctx: &mut Context<'_>) {
         self.note_area_key();
-        let old = self.tree.area_key();
         let plan = self.tree.rotate_area_key(ctx.rng());
-        let entries: Vec<crate::rekey::WireKeyEntry> = plan
-            .changes
-            .iter()
-            .map(|c| crate::rekey::WireKeyEntry {
-                node: c.node.raw() as u32,
-                under: crate::rekey::UnderTag::PrevSelf,
-                env: mykil_crypto::envelope::seal(&old, c.new_key.as_bytes(), ctx.rng()),
-            })
-            .collect();
         self.epoch += 1;
-        let body = crate::rekey::encode_entries(&entries);
+        // The plan's single change carries (PreviousSelf, old key), so the
+        // streaming encoder seals under the superseded area key directly.
+        let mut w = crate::wire::Writer::with_capacity(crate::rekey::entries_wire_len(&plan));
+        crate::rekey::write_entries_from_plan(&plan, ctx.rng(), &mut w);
+        let body = w.into_bytes();
         let signed = self.key_update_signed_bytes(&body, self.epoch);
         ctx.charge_compute(self.cost.rsa_private(self.cfg.rsa_bits));
         let sig = self.keypair.sign(&signed);
@@ -255,12 +248,12 @@ impl AreaController {
         self.send_displaced_unicasts(ctx, &plan, member);
         self.update_needed = true;
         self.child_acs.insert(from);
-        let path: Vec<(u32, SymmetricKey)> = plan
+        let path_bytes = plan
             .unicasts
             .iter()
             .find(|u| u.member == member)
-            .map(|u| u.keys.iter().map(|(n, k)| (n.raw() as u32, k.clone())).collect())
-            .unwrap_or_default();
+            .map(|u| crate::rekey::encode_tree_path(&u.keys))
+            .unwrap_or_else(|| crate::rekey::encode_path(&[]));
 
         // Ack: {my area, my group, my rekey epoch, the child's path
         // keys, ts}, sealed to the child and signed.
@@ -268,7 +261,7 @@ impl AreaController {
         w.u32(self.deploy.area.0)
             .u32(self.deploy.group.index() as u32)
             .u64(self.epoch)
-            .bytes(&crate::rekey::encode_path(&path))
+            .bytes(&path_bytes)
             .u64(ctx.now().as_micros());
         ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
         let Ok(ack_ct) = HybridCiphertext::encrypt(&child_pub, &w.into_bytes(), ctx.rng())
@@ -394,11 +387,15 @@ impl AreaController {
         if epoch <= self.parent_epoch {
             return;
         }
-        let Ok(entries) = decode_entries(body) else {
+        // Entries are opened straight out of the frame (no decoded
+        // entry list); the count prefix alone prices the work.
+        let Ok(count) = Reader::new(body).u32() else {
             return;
         };
-        ctx.charge_compute(self.cost.symmetric_op.saturating_mul(entries.len() as u64));
-        let outcome = self.parent_keys.apply_entries(&entries);
+        let Ok(outcome) = self.parent_keys.apply_encoded(body) else {
+            return;
+        };
+        ctx.charge_compute(self.cost.symmetric_op.saturating_mul(count as u64));
         if outcome.stale > 0 || outcome.learned == 0 || epoch > self.parent_epoch + 1 {
             self.request_parent_key_refresh(ctx);
         }
@@ -442,12 +439,10 @@ impl AreaController {
             let Some(pubkey) = self.directory_pubkey(from) else {
                 return;
             };
-            let path: Vec<(u32, SymmetricKey)> =
-                path.iter().map(|(n, k)| (n.raw() as u32, k.clone())).collect();
             ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
             if let Ok(ct) = HybridCiphertext::encrypt(
                 &pubkey,
-                &crate::rekey::encode_path(&path),
+                &crate::rekey::encode_tree_path(&path),
                 ctx.rng(),
             ) {
                 ctx.send(

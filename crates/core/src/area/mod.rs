@@ -368,7 +368,7 @@ impl AreaController {
 
     /// The current area key (root of the auxiliary tree).
     pub fn area_key(&self) -> SymmetricKey {
-        self.tree.area_key()
+        self.tree.area_key().clone()
     }
 
     /// The auxiliary-key tree (inspection only).
@@ -434,12 +434,7 @@ impl AreaController {
         // Deployment-time enrollment: hand the child its path directly.
         for u in &plan.unicasts {
             if u.member == member {
-                let path: Vec<(u32, SymmetricKey)> = u
-                    .keys
-                    .iter()
-                    .map(|(n, k)| (n.raw() as u32, k.clone()))
-                    .collect();
-                child.parent_keys.install_path(&path);
+                child.parent_keys.install_tree_path(&u.keys);
             }
         }
         self.child_acs.insert(child_node);
@@ -452,10 +447,18 @@ impl AreaController {
         self.parent_keys.install_path(path);
     }
 
+    /// [`Self::seed_parent_keys`] straight from a tree plan's
+    /// `(NodeIdx, key)` form.
+    pub fn seed_parent_tree_keys(&mut self, path: &[(mykil_tree::NodeIdx, SymmetricKey)]) {
+        self.parent_keys.clear();
+        self.parent_keys.install_tree_path(path);
+    }
+
     /// Records the current area key before a tree mutation rotates it.
     pub(crate) fn note_area_key(&mut self) {
         let current = self.tree.area_key();
-        if self.prev_area_keys.front() != Some(&current) {
+        if self.prev_area_keys.front() != Some(current) {
+            let current = current.clone();
             self.prev_area_keys.push_front(current);
             self.prev_area_keys.truncate(crate::rekey::AREA_KEY_HISTORY);
         }
@@ -465,7 +468,7 @@ impl AreaController {
     /// first).
     pub(crate) fn own_area_keys(&self) -> Vec<SymmetricKey> {
         let mut out = Vec::with_capacity(1 + self.prev_area_keys.len());
-        out.push(self.tree.area_key());
+        out.push(self.tree.area_key().clone());
         out.extend(self.prev_area_keys.iter().cloned());
         out
     }

@@ -24,7 +24,6 @@ use crate::durable::{AcCheckpoint, AcWalRecord, RECOVERY_EPOCH_JUMP};
 use crate::identity::{ClientId, DeviceId};
 use crate::msg::Msg;
 use mykil_crypto::envelope::HybridCiphertext;
-use mykil_crypto::keys::SymmetricKey;
 use mykil_crypto::rsa::RsaPublicKey;
 use mykil_net::{Context, NodeId, SecretBytes, Time};
 use mykil_tree::{KeyTree, MemberId};
@@ -289,14 +288,12 @@ impl AreaController {
             let Some(pubkey) = self.directory_pubkey(node) else {
                 continue;
             };
-            let path: Vec<(u32, SymmetricKey)> = path
-                .iter()
-                .map(|(n, k)| (n.raw() as u32, k.clone()))
-                .collect();
             ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
-            if let Ok(ct) =
-                HybridCiphertext::encrypt(&pubkey, &crate::rekey::encode_path(&path), ctx.rng())
-            {
+            if let Ok(ct) = HybridCiphertext::encrypt(
+                &pubkey,
+                &crate::rekey::encode_tree_path(&path),
+                ctx.rng(),
+            ) {
                 ctx.send(
                     node,
                     "key-unicast",

@@ -13,7 +13,8 @@ use super::AreaController;
 use crate::durable::AcWalRecord;
 use crate::identity::ClientId;
 use crate::msg::Msg;
-use crate::rekey::{encode_entries, entries_from_plan, UnderTag, WireKeyEntry};
+use crate::rekey::{entries_wire_len, write_plan_entries, KEY_ENV_LEN};
+use crate::wire::Writer;
 use mykil_crypto::envelope;
 use mykil_net::Context;
 use mykil_tree::{MemberId, RekeyPlan};
@@ -42,14 +43,10 @@ impl AreaController {
         let Ok(path) = self.tree.path_keys(MemberId(client.0)) else {
             return;
         };
-        let path: Vec<(u32, mykil_crypto::keys::SymmetricKey)> = path
-            .iter()
-            .map(|(n, k)| (n.raw() as u32, k.clone()))
-            .collect();
         ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
         if let Ok(ct) = mykil_crypto::envelope::HybridCiphertext::encrypt(
             &rec.pubkey,
-            &crate::rekey::encode_path(&path),
+            &crate::rekey::encode_tree_path(&path),
             ctx.rng(),
         ) {
             let node = rec.node;
@@ -111,17 +108,10 @@ impl AreaController {
             return;
         }
 
-        let mut entries: Vec<WireKeyEntry> = Vec::new();
-
         // 1. Aggregated join updates: E_{K_first_old}(K_current).
         //    Skipped for nodes that the leave batch below will change
         //    again — their join-era values die with the leave rekey.
-        let join_nodes: Vec<(u32, mykil_crypto::keys::SymmetricKey)> = self
-            .buffered_join_updates
-            .iter()
-            .map(|(n, k)| (*n, k.clone()))
-            .collect();
-        self.buffered_join_updates.clear();
+        let join_nodes = std::mem::take(&mut self.buffered_join_updates);
 
         // 2. Batched leaves (single combined tree operation).
         let leavers: Vec<MemberId> = self
@@ -155,17 +145,33 @@ impl AreaController {
             })
             .unwrap_or_default();
 
-        for (node, old_key) in join_nodes {
-            if leave_changed.contains(&node) {
+        // Entry counts are known up front, so the whole signed body is
+        // streamed into one pre-sized frame: each envelope is sealed in
+        // place, with no per-entry allocations or intermediate entry list.
+        let join_count = join_nodes
+            .keys()
+            .filter(|n| !leave_changed.contains(n))
+            .count();
+        let leave_count = leave_plan
+            .as_ref()
+            .map_or(0, |out| out.plan.encryption_count());
+        let total_entries = join_count + leave_count;
+
+        let mut w = Writer::with_capacity(
+            4 + join_count * (4 + 1 + 4 + KEY_ENV_LEN)
+                + leave_plan
+                    .as_ref()
+                    .map_or(0, |out| entries_wire_len(&out.plan) - 4),
+        );
+        w.u32(total_entries as u32);
+        for (node, old_key) in &join_nodes {
+            if leave_changed.contains(node) {
                 continue;
             }
-            let current = self.tree.key_of(mykil_tree::NodeIdx::from_raw(node as usize));
+            let current = self.tree.key_of(mykil_tree::NodeIdx::from_raw(*node as usize));
             ctx.charge_compute(self.cost.symmetric_op);
-            entries.push(WireKeyEntry {
-                node,
-                under: UnderTag::PrevSelf,
-                env: envelope::seal(&old_key, current.as_bytes(), ctx.rng()),
-            });
+            w.u32(*node).u8(0).u32(KEY_ENV_LEN as u32);
+            w.append_with(|buf| envelope::seal_into(old_key, current.as_bytes(), ctx.rng(), buf));
         }
 
         if let Some(out) = &leave_plan {
@@ -174,7 +180,7 @@ impl AreaController {
                     .symmetric_op
                     .saturating_mul(out.plan.encryption_count() as u64),
             );
-            entries.extend(entries_from_plan(&out.plan, ctx.rng()));
+            write_plan_entries(&out.plan, ctx.rng(), &mut w);
         }
 
         // 3. Unicast current paths to recorded members (the paper:
@@ -213,13 +219,13 @@ impl AreaController {
             }
         }
 
-        if entries.is_empty() {
+        if total_entries == 0 {
             self.update_needed = false;
             return;
         }
 
         self.epoch += 1;
-        let body = encode_entries(&entries);
+        let body = w.into_bytes();
         // Key updates are signed with the AC's private key so members
         // cannot forge them (Section III-E).
         let signed = self.key_update_signed_bytes(&body, self.epoch);

@@ -249,15 +249,12 @@ impl GroupBuilder {
         for i in 1..self.areas {
             let p = (i - 1) / 2;
             let member = mykil_tree::MemberId(crate::area::AC_MEMBER_BASE + i as u64);
-            let path: Vec<(u32, SymmetricKey)> = acs[p]
+            let path = acs[p]
                 .tree()
                 .path_keys(member)
                 // mykil-lint: allow(L001) -- deployment harness: children enrolled in the loop above
-                .expect("child enrolled above")
-                .iter()
-                .map(|(n, k)| (n.raw() as u32, k.clone()))
-                .collect();
-            acs[i].seed_parent_keys(&path);
+                .expect("child enrolled above");
+            acs[i].seed_parent_tree_keys(&path);
         }
 
         let backups: Vec<AreaController> = (0..if self.replicated { self.areas } else { 0 })

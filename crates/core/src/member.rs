@@ -11,7 +11,7 @@ use crate::crypto_cost::CryptoCost;
 use crate::directory::AcDirectory;
 use crate::identity::{AreaId, ClientId, DeviceId};
 use crate::msg::{Msg, RejoinDenyReason};
-use crate::rekey::{decode_entries, decode_path, KeyState};
+use crate::rekey::{decode_path, KeyState};
 use crate::welcome::Welcome;
 use crate::wire::{Reader, Writer};
 use mykil_crypto::envelope::{self, HybridCiphertext};
@@ -548,11 +548,15 @@ impl Member {
         if epoch <= self.epoch {
             return;
         }
-        let Ok(entries) = decode_entries(body) else {
+        // Entries are opened straight out of the frame (no decoded
+        // entry list); the count prefix alone prices the work.
+        let Ok(count) = Reader::new(body).u32() else {
             return;
         };
-        ctx.charge_compute(self.cost.symmetric_op.saturating_mul(entries.len() as u64));
-        let outcome = self.keys.apply_entries(&entries);
+        let Ok(outcome) = self.keys.apply_encoded(body) else {
+            return;
+        };
+        ctx.charge_compute(self.cost.symmetric_op.saturating_mul(count as u64));
         // Stale protecting keys, nothing decryptable, or a skipped epoch
         // all mean we missed an update (e.g. one multicast before we
         // subscribed to the group); ask the AC for a fresh path.

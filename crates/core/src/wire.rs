@@ -7,10 +7,21 @@
 
 use crate::error::ProtocolError;
 
+/// Upper bound on a `u32`-length-prefixed byte string, shared by
+/// [`Writer::bytes`] and [`Reader::bytes`]. Anything a conforming node
+/// can emit, a conforming node will accept.
+pub const MAX_BYTES_FIELD: usize = 16 << 20;
+
 /// Append-only message builder.
+///
+/// Oversized length-prefixed fields poison the writer instead of
+/// silently truncating the prefix: a poisoned writer refuses to finish
+/// (see [`Writer::try_into_bytes`]), so a corrupt frame can never reach
+/// the wire.
 #[derive(Debug, Default)]
 pub struct Writer {
     buf: Vec<u8>,
+    poisoned: bool,
 }
 
 impl Writer {
@@ -19,9 +30,68 @@ impl Writer {
         Writer::default()
     }
 
+    /// Creates a writer whose buffer is pre-sized for `cap` bytes, so
+    /// hot paths that know their frame size up front encode without
+    /// reallocation.
+    pub fn with_capacity(cap: usize) -> Writer {
+        Writer {
+            buf: Vec::with_capacity(cap),
+            poisoned: false,
+        }
+    }
+
+    /// Wraps an existing buffer, clearing it first. Lets hot paths
+    /// reuse one allocation across frames: the buffer keeps its
+    /// capacity from previous encodes.
+    pub fn into_reused(mut buf: Vec<u8>) -> Writer {
+        buf.clear();
+        Writer {
+            buf,
+            poisoned: false,
+        }
+    }
+
+    /// Ensures room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) -> &mut Self {
+        self.buf.reserve(additional);
+        self
+    }
+
     /// Finishes and returns the bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer was poisoned by an oversized [`Writer::bytes`]
+    /// field. That can only happen when local code tries to emit a field
+    /// larger than [`MAX_BYTES_FIELD`] — never from parsing network
+    /// input, since [`Reader::bytes`] caps reads at the same bound.
+    /// Callers assembling attacker-influenced payloads should use
+    /// [`Writer::try_into_bytes`].
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+        match self.try_into_bytes() {
+            Ok(buf) => buf,
+            // mykil-lint: allow(L001) -- documented panic on local encoder misuse only
+            Err(e) => panic!("Writer poisoned: {e}"),
+        }
+    }
+
+    /// Finishes and returns the bytes, or the error that poisoned the
+    /// writer.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] if any [`Writer::bytes`] call was
+    /// handed a payload longer than [`MAX_BYTES_FIELD`].
+    pub fn try_into_bytes(self) -> Result<Vec<u8>, ProtocolError> {
+        if self.poisoned {
+            return Err(ProtocolError::Malformed("oversized length-prefixed field"));
+        }
+        Ok(self.buf)
+    }
+
+    /// Whether an oversized field has poisoned this writer.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Current length in bytes.
@@ -59,9 +129,39 @@ impl Writer {
     }
 
     /// Writes a `u32` length prefix followed by the bytes.
+    ///
+    /// A payload longer than [`MAX_BYTES_FIELD`] writes nothing and
+    /// poisons the writer — the old behaviour truncated the length
+    /// prefix via `as u32`, producing a frame whose prefix lied about
+    /// the field length. Use [`Writer::try_bytes`] to surface the error
+    /// at the call site instead.
     pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        if self.try_bytes(bytes).is_err() {
+            self.poisoned = true;
+        }
+        self
+    }
+
+    /// Writes a `u32` length prefix followed by the bytes, rejecting
+    /// oversized payloads at the call site.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] (writing nothing) if the payload
+    /// exceeds [`MAX_BYTES_FIELD`].
+    pub fn try_bytes(&mut self, bytes: &[u8]) -> Result<&mut Self, ProtocolError> {
+        if bytes.len() > MAX_BYTES_FIELD {
+            return Err(ProtocolError::Malformed("oversized length-prefixed field"));
+        }
         self.u32(bytes.len() as u32);
-        self.raw(bytes)
+        Ok(self.raw(bytes))
+    }
+
+    /// Appends bytes produced directly into the underlying buffer —
+    /// e.g. `envelope::seal_into` — avoiding an intermediate `Vec`.
+    pub fn append_with(&mut self, f: impl FnOnce(&mut Vec<u8>)) -> &mut Self {
+        f(&mut self.buf);
+        self
     }
 }
 
@@ -69,7 +169,11 @@ impl Writer {
 ///
 /// All accessors return [`ProtocolError::Malformed`] on truncation, so
 /// attacker-controlled bytes can never panic the node.
-#[derive(Debug, Clone, Copy)]
+///
+/// Deliberately *not* `Copy`: a cursor that silently forks on every
+/// by-value use made it easy to re-parse the same bytes twice. Forking
+/// now requires an explicit `.clone()`.
+#[derive(Debug, Clone)]
 pub struct Reader<'a> {
     buf: &'a [u8],
 }
@@ -130,11 +234,12 @@ impl<'a> Reader<'a> {
             .map_err(|_| ProtocolError::Malformed("bad fixed-size field"))
     }
 
-    /// Reads a `u32`-length-prefixed byte string (capped at 16 MiB to
-    /// stop hostile length fields from causing huge allocations).
+    /// Reads a `u32`-length-prefixed byte string (capped at
+    /// [`MAX_BYTES_FIELD`] to stop hostile length fields from causing
+    /// huge allocations).
     pub fn bytes(&mut self) -> Result<&'a [u8], ProtocolError> {
         let len = self.u32()? as usize;
-        if len > 16 << 20 {
+        if len > MAX_BYTES_FIELD {
             return Err(ProtocolError::Malformed("length field too large"));
         }
         self.take(len)
@@ -211,5 +316,53 @@ mod tests {
         assert_eq!(a, [9u8; 16]);
         let mut r2 = Reader::new(&buf[..10]);
         assert!(r2.array::<16>().is_err());
+    }
+
+    #[test]
+    fn oversized_bytes_poisons_instead_of_truncating() {
+        // Regression: `bytes()` used to write `len as u32`, so a payload
+        // of MAX_BYTES_FIELD + 1 bytes got a length prefix that lied.
+        let big = vec![0u8; MAX_BYTES_FIELD + 1];
+        let mut w = Writer::new();
+        assert!(w.try_bytes(&big).is_err());
+        assert_eq!(w.len(), 0, "failed try_bytes must write nothing");
+        assert!(!w.is_poisoned());
+
+        let mut w = Writer::new();
+        w.u8(1).bytes(&big).u8(2);
+        assert!(w.is_poisoned());
+        assert!(w.try_into_bytes().is_err());
+    }
+
+    #[test]
+    fn max_sized_bytes_field_accepted() {
+        let exact = vec![7u8; 32];
+        let mut w = Writer::new();
+        w.try_bytes(&exact).unwrap();
+        let buf = w.try_into_bytes().unwrap();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), &exact[..]);
+    }
+
+    #[test]
+    fn reader_fork_requires_explicit_clone() {
+        let buf = [1u8, 2, 3];
+        let mut r = Reader::new(&buf);
+        let mut fork = r.clone();
+        assert_eq!(r.u8().unwrap(), 1);
+        // The explicit clone still sees the original position.
+        assert_eq!(fork.u8().unwrap(), 1);
+    }
+
+    #[test]
+    fn writer_reuse_keeps_capacity() {
+        let mut w = Writer::with_capacity(64);
+        w.u64(9).bytes(b"abc");
+        let buf = w.into_bytes();
+        let cap = buf.capacity();
+        let mut w = Writer::into_reused(buf);
+        assert!(w.is_empty());
+        w.u8(1);
+        assert!(w.into_bytes().capacity() >= cap);
     }
 }

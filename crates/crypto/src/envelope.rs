@@ -40,19 +40,36 @@ fn cipher_for(key: &SymmetricKey, nonce: &[u8; ENVELOPE_NONCE_LEN]) -> ChaCha20 
 
 /// Seals `plaintext` under `key`: `nonce || ciphertext || mac`.
 pub fn seal<R: RngCore + ?Sized>(key: &SymmetricKey, plaintext: &[u8], rng: &mut R) -> Vec<u8> {
+    let mut out = Vec::with_capacity(plaintext.len() + ENVELOPE_OVERHEAD);
+    seal_into(key, plaintext, rng, &mut out);
+    out
+}
+
+/// [`seal`], appending the envelope to `out` instead of allocating.
+///
+/// Encryption and MAC computation run in place on the appended bytes,
+/// so a caller that reuses `out` across messages (the rekey hot path
+/// seals one 44-byte envelope per key copy) performs no per-envelope
+/// allocations once the buffer has warmed up.
+pub fn seal_into<R: RngCore + ?Sized>(
+    key: &SymmetricKey,
+    plaintext: &[u8],
+    rng: &mut R,
+    out: &mut Vec<u8>,
+) {
+    let start = out.len();
+    out.reserve(plaintext.len() + ENVELOPE_OVERHEAD);
     let mut nonce = [0u8; ENVELOPE_NONCE_LEN];
     rng.fill_bytes(&mut nonce);
-    let mut out = Vec::with_capacity(plaintext.len() + ENVELOPE_OVERHEAD);
     out.extend_from_slice(&nonce);
-    let mut body = plaintext.to_vec();
-    cipher_for(key, &nonce).apply_keystream(&mut body);
-    out.extend_from_slice(&body);
+    out.extend_from_slice(plaintext);
+    let body_start = start + ENVELOPE_NONCE_LEN;
+    cipher_for(key, &nonce).apply_keystream(&mut out[body_start..]);
     let mac_key = key.derive(b"mykil-envelope-mac");
     let mut mac = HmacSha256::new(mac_key.as_bytes());
-    mac.update(&nonce);
-    mac.update(&body);
+    // `nonce || body` is contiguous in `out`; one update covers both.
+    mac.update(&out[start..]);
     out.extend_from_slice(&mac.finalize()[..ENVELOPE_MAC_LEN]);
-    out
 }
 
 /// Opens an envelope produced by [`seal`].
@@ -63,6 +80,40 @@ pub fn seal<R: RngCore + ?Sized>(key: &SymmetricKey, plaintext: &[u8], rng: &mut
 /// [`CryptoError::VerificationFailed`] when the MAC does not match
 /// (wrong key or tampering).
 pub fn open(key: &SymmetricKey, envelope: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let (nonce, body) = verify_envelope(key, envelope)?;
+    let mut plain = body.to_vec();
+    cipher_for(key, &nonce).apply_keystream(&mut plain);
+    Ok(plain)
+}
+
+/// Opens an envelope whose plaintext must be exactly `N` bytes,
+/// without allocating (the rekey apply path opens 16-byte key
+/// envelopes by the thousand).
+///
+/// # Errors
+///
+/// Returns [`CryptoError::EnvelopeError`] when the envelope length does
+/// not match an `N`-byte plaintext, and
+/// [`CryptoError::VerificationFailed`] when the MAC does not match.
+pub fn open_fixed<const N: usize>(
+    key: &SymmetricKey,
+    envelope: &[u8],
+) -> Result<[u8; N], CryptoError> {
+    if envelope.len() != N + ENVELOPE_OVERHEAD {
+        return Err(CryptoError::EnvelopeError("envelope length mismatch"));
+    }
+    let (nonce, body) = verify_envelope(key, envelope)?;
+    let mut plain = [0u8; N];
+    plain.copy_from_slice(body);
+    cipher_for(key, &nonce).apply_keystream(&mut plain);
+    Ok(plain)
+}
+
+/// Checks the MAC and splits an envelope into `(nonce, ciphertext)`.
+fn verify_envelope<'a>(
+    key: &SymmetricKey,
+    envelope: &'a [u8],
+) -> Result<([u8; ENVELOPE_NONCE_LEN], &'a [u8]), CryptoError> {
     if envelope.len() < ENVELOPE_OVERHEAD {
         return Err(CryptoError::EnvelopeError("envelope truncated"));
     }
@@ -76,10 +127,9 @@ pub fn open(key: &SymmetricKey, envelope: &[u8]) -> Result<Vec<u8>, CryptoError>
     if !crate::ct::ct_eq(&expected[..ENVELOPE_MAC_LEN], tag) {
         return Err(CryptoError::VerificationFailed);
     }
+    // mykil-lint: allow(L001) -- split_at guarantees the slice length
     let nonce: [u8; ENVELOPE_NONCE_LEN] = nonce_bytes.try_into().unwrap();
-    let mut plain = body.to_vec();
-    cipher_for(key, &nonce).apply_keystream(&mut plain);
-    Ok(plain)
+    Ok((nonce, body))
 }
 
 /// A hybrid RSA + symmetric ciphertext (the paper's one-time-key
@@ -193,6 +243,42 @@ mod tests {
             assert_eq!(env.len(), len + ENVELOPE_OVERHEAD);
             assert_eq!(open(&key(), &env).unwrap(), msg, "len={len}");
         }
+    }
+
+    #[test]
+    fn seal_into_appends_and_matches_open() {
+        let mut rng = Drbg::from_seed(11);
+        let mut buf = vec![0xEE; 7]; // pre-existing bytes must survive
+        seal_into(&key(), b"sixteen byte key", &mut rng, &mut buf);
+        assert_eq!(&buf[..7], &[0xEE; 7]);
+        let env = &buf[7..];
+        assert_eq!(env.len(), 16 + ENVELOPE_OVERHEAD);
+        assert_eq!(open(&key(), env).unwrap(), b"sixteen byte key");
+        assert_eq!(open_fixed::<16>(&key(), env).unwrap(), *b"sixteen byte key");
+    }
+
+    #[test]
+    fn open_fixed_rejects_wrong_length_and_tampering() {
+        let mut rng = Drbg::from_seed(12);
+        let env = seal(&key(), &[0x42; 16], &mut rng);
+        assert_eq!(open_fixed::<16>(&key(), &env).unwrap(), [0x42; 16]);
+        // Length mismatch: a 17-byte plaintext cannot be a key envelope.
+        assert_eq!(
+            open_fixed::<16>(&key(), &seal(&key(), &[0x42; 17], &mut rng)),
+            Err(CryptoError::EnvelopeError("envelope length mismatch"))
+        );
+        // Tampering still caught by the MAC.
+        let mut bad = env.clone();
+        bad[ENVELOPE_NONCE_LEN] ^= 1;
+        assert_eq!(
+            open_fixed::<16>(&key(), &bad),
+            Err(CryptoError::VerificationFailed)
+        );
+        // Wrong key.
+        assert_eq!(
+            open_fixed::<16>(&SymmetricKey::from_label("other"), &env),
+            Err(CryptoError::VerificationFailed)
+        );
     }
 
     #[test]

@@ -92,7 +92,7 @@ impl KeyTree {
             }
         }
 
-        let mut rekey_starts: Vec<NodeIdx> = Vec::new();
+        let mut rekey_starts: Vec<NodeIdx> = Vec::with_capacity(joins.len() + leaves.len());
 
         // 1. Remove leavers, remembering where each rekey must start.
         for &m in leaves {
@@ -106,7 +106,7 @@ impl KeyTree {
         // 2. Place joiners (vacant leaves are preferred, so leave+join
         //    batches reuse slots — the Mykil keep-empty-leaf payoff).
         let mut displaced: BTreeSet<MemberId> = BTreeSet::new();
-        let mut new_leaves = Vec::new();
+        let mut new_leaves = Vec::with_capacity(joins.len());
         for &m in joins {
             let (leaf, moved) = self.place_leaf(rng);
             self.occupy(leaf, m, rng);
@@ -114,7 +114,7 @@ impl KeyTree {
             if let Some((dm, _)) = moved {
                 displaced.insert(dm);
             }
-            if let Some(p) = self.children_parent(leaf) {
+            if let Some(p) = self.parent_of(leaf) {
                 rekey_starts.push(p);
             }
         }
@@ -148,10 +148,6 @@ impl KeyTree {
             joined: joins.to_vec(),
             left: leaves.to_vec(),
         })
-    }
-
-    fn children_parent(&self, node: NodeIdx) -> Option<NodeIdx> {
-        self.path_to_root(node).get(1).copied()
     }
 
     fn occupy<R: RngCore + ?Sized>(&mut self, leaf: NodeIdx, member: MemberId, rng: &mut R) {
@@ -237,7 +233,7 @@ mod tests {
         // Every newcomer got a full path ending at the root.
         for u in &out.plan.unicasts {
             assert_eq!(u.keys.last().unwrap().0, t.root());
-            assert_eq!(u.keys.last().unwrap().1, t.area_key());
+            assert_eq!(&u.keys.last().unwrap().1, t.area_key());
         }
         t.check_invariants();
     }
@@ -290,10 +286,10 @@ mod tests {
     fn empty_batch_is_noop() {
         let mut r = Drbg::from_seed(6);
         let mut t = tree_with(4, TreeConfig::quad(), &mut r);
-        let key_before = t.area_key();
+        let key_before = t.area_key().clone();
         let out = t.batch(&[], &[], &mut r).unwrap();
         assert!(out.plan.is_empty());
-        assert_eq!(t.area_key(), key_before);
+        assert_eq!(t.area_key(), &key_before);
     }
 
     #[test]

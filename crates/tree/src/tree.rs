@@ -122,6 +122,13 @@ pub struct KeyTree {
     open_internal: BTreeSet<(u32, NodeIdx)>,
     /// Occupied leaves, ordered for shallowest-leftmost splitting.
     occupied: BTreeSet<(u32, NodeIdx)>,
+    /// Per-node visit stamps for aggregated path collection: a node is
+    /// on the current batch's rekey frontier iff its stamp equals
+    /// [`Self::visit_epoch`]. Reused across calls so the leave hot path
+    /// performs no set allocations (see `rekey_paths_leave_style`).
+    visit_stamp: Vec<u32>,
+    /// Current stamp generation (bumped per aggregated rekey).
+    visit_epoch: u32,
 }
 
 impl KeyTree {
@@ -144,6 +151,8 @@ impl KeyTree {
             vacant: BTreeSet::new(),
             open_internal,
             occupied: BTreeSet::new(),
+            visit_stamp: Vec::new(),
+            visit_epoch: 0,
         }
     }
 
@@ -175,18 +184,23 @@ impl KeyTree {
         NodeIdx(0)
     }
 
-    /// The current area key (the root key).
-    pub fn area_key(&self) -> SymmetricKey {
-        self.nodes[0].key.clone()
+    /// The current area key (the root key), borrowed from the tree.
+    ///
+    /// Key storage lives in the tree's node arena; accessors hand out
+    /// borrowed views so reading a key never copies (or later zeroizes)
+    /// key material. Callers that must retain a key across a tree
+    /// mutation clone explicitly.
+    pub fn area_key(&self) -> &SymmetricKey {
+        &self.nodes[0].key
     }
 
-    /// Current key of a node.
+    /// Current key of a node, borrowed from the tree.
     ///
     /// # Panics
     ///
     /// Panics on an index from a different tree.
-    pub fn key_of(&self, node: NodeIdx) -> SymmetricKey {
-        self.nodes[node.0].key.clone()
+    pub fn key_of(&self, node: NodeIdx) -> &SymmetricKey {
+        &self.nodes[node.0].key
     }
 
     /// Version counter of a node's key (bumped on every change).
@@ -226,21 +240,42 @@ impl KeyTree {
     /// [`TreeError::NotAMember`] when absent.
     pub fn path_keys(&self, member: MemberId) -> Result<Vec<(NodeIdx, SymmetricKey)>, TreeError> {
         let leaf = self.leaf_of(member)?;
-        Ok(self
-            .path_to_root(leaf)
-            .into_iter()
-            .map(|n| (n, self.nodes[n.0].key.clone()))
-            .collect())
+        let mut out = Vec::with_capacity(self.nodes[leaf.0].depth as usize + 1);
+        for n in self.ancestors(leaf) {
+            out.push((n, self.nodes[n.0].key.clone()));
+        }
+        Ok(out)
+    }
+
+    /// Borrowed `(node, key)` pairs on the member's path, leaf first,
+    /// root last — the allocation-free view behind [`Self::path_keys`].
+    /// Serializers iterate this directly instead of materializing a
+    /// cloned path vector.
+    pub fn path_key_refs(
+        &self,
+        member: MemberId,
+    ) -> Result<impl Iterator<Item = (NodeIdx, &SymmetricKey)> + '_, TreeError> {
+        let leaf = self.leaf_of(member)?;
+        Ok(self.ancestors(leaf).map(|n| (n, &self.nodes[n.0].key)))
+    }
+
+    /// Nodes from `node` (inclusive) up to the root (inclusive),
+    /// without allocating. The precomputed parent links and depths make
+    /// this (and the sibling lookups during leave-style rekeys) a pure
+    /// pointer chase.
+    pub fn ancestors(&self, node: NodeIdx) -> Ancestors<'_> {
+        Ancestors {
+            tree: self,
+            cur: Some(node),
+        }
     }
 
     /// Nodes from `node` (inclusive) up to the root (inclusive).
+    ///
+    /// Allocates; prefer [`Self::ancestors`] on hot paths.
     pub fn path_to_root(&self, node: NodeIdx) -> Vec<NodeIdx> {
-        let mut path = vec![node];
-        let mut cur = node;
-        while let Some(p) = self.nodes[cur.0].parent {
-            path.push(p);
-            cur = p;
-        }
+        let mut path = Vec::with_capacity(self.nodes[node.0].depth as usize + 1);
+        path.extend(self.ancestors(node));
         path
     }
 
@@ -256,11 +291,13 @@ impl KeyTree {
 
     // ---- mutation helpers ----
 
+    /// Installs a fresh random key at `node`, returning the **previous**
+    /// key (moved out, not copied — the caller either records it in a
+    /// plan or lets it drop and zeroize).
     fn fresh_key<R: RngCore + ?Sized>(&mut self, node: NodeIdx, rng: &mut R) -> SymmetricKey {
-        let k = SymmetricKey::random(rng);
-        self.nodes[node.0].key = k.clone();
+        let new = SymmetricKey::random(rng);
         self.nodes[node.0].version += 1;
-        k
+        std::mem::replace(&mut self.nodes[node.0].key, new)
     }
 
     fn alloc_leaf<R: RngCore + ?Sized>(&mut self, parent: NodeIdx, rng: &mut R) -> NodeIdx {
@@ -366,28 +403,30 @@ impl KeyTree {
         self.occupy_leaf(leaf, member, rng);
 
         // Refresh every key from the leaf's parent to the root; each is
-        // multicast encrypted under its previous version.
-        let mut changes = Vec::new();
-        if let Some(parent) = self.nodes[leaf.0].parent {
-            for node in self.path_to_root(parent) {
-                let old = self.nodes[node.0].key.clone();
-                let new = self.fresh_key(node, rng);
-                changes.push(KeyChange {
-                    node,
-                    new_key: new,
-                    encryptions: vec![(EncryptUnder::PreviousSelf, old)],
-                });
-            }
+        // multicast encrypted under its previous version. The walk uses
+        // the parent links directly — no path vector is materialized.
+        let depth = self.nodes[leaf.0].depth as usize;
+        let mut changes = Vec::with_capacity(depth);
+        let mut cur = self.nodes[leaf.0].parent;
+        while let Some(node) = cur {
+            let old = self.fresh_key(node, rng);
+            changes.push(KeyChange {
+                node,
+                new_key: self.nodes[node.0].key.clone(),
+                encryptions: vec![(EncryptUnder::PreviousSelf, old)],
+            });
+            cur = self.nodes[node.0].parent;
         }
 
-        let mut unicasts = vec![UnicastKeys {
+        let mut newcomer_keys = Vec::with_capacity(depth + 1);
+        for n in self.ancestors(leaf) {
+            newcomer_keys.push((n, self.nodes[n.0].key.clone()));
+        }
+        let mut unicasts = Vec::with_capacity(2);
+        unicasts.push(UnicastKeys {
             member,
-            keys: self
-                .path_to_root(leaf)
-                .into_iter()
-                .map(|n| (n, self.nodes[n.0].key.clone()))
-                .collect(),
-        }];
+            keys: newcomer_keys,
+        });
         if let Some((displaced_member, new_leaf)) = displaced {
             // The displaced member can decrypt the path updates with its
             // old keys; it only needs its fresh leaf key.
@@ -477,23 +516,43 @@ impl KeyTree {
         rng: &mut R,
     ) -> RekeyPlan {
         // Union of paths, deepest first (so child keys are already fresh
-        // when the parent's change is encrypted under them).
-        let mut changed: BTreeSet<(u32, NodeIdx)> = BTreeSet::new();
+        // when the parent's change is encrypted under them). Dedup uses
+        // the reusable per-node visit stamps: paths share every node
+        // above the first common ancestor, so a stamped node ends the
+        // climb — no set allocation, no re-walking shared segments.
+        self.visit_epoch = self.visit_epoch.wrapping_add(1);
+        if self.visit_epoch == 0 {
+            // Stamp generation wrapped: old stamps could alias epoch 0.
+            self.visit_stamp.fill(0);
+            self.visit_epoch = 1;
+        }
+        self.visit_stamp.resize(self.nodes.len(), 0);
+        let max_depth = starts
+            .iter()
+            .map(|s| self.nodes[s.0].depth as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut changed: Vec<(u32, NodeIdx)> = Vec::with_capacity(max_depth + starts.len());
         for &s in starts {
-            for node in self.path_to_root(s) {
-                let d = self.nodes[node.0].depth;
-                if !changed.insert((d, node)) {
-                    // The rest of this path is already covered; paths
-                    // share every node above the first common ancestor.
+            let mut cur = Some(s);
+            while let Some(node) = cur {
+                if self.visit_stamp[node.0] == self.visit_epoch {
                     break;
                 }
+                self.visit_stamp[node.0] = self.visit_epoch;
+                changed.push((self.nodes[node.0].depth, node));
+                cur = self.nodes[node.0].parent;
             }
         }
-        let mut changes = Vec::new();
-        for &(_, node) in changed.iter().rev() {
-            let new = self.fresh_key(node, rng);
-            let mut encryptions = Vec::new();
-            for &child in &self.nodes[node.0].children {
+        // Deepest first, index as the (deterministic) tiebreaker —
+        // the same order the former (depth, idx) set walk produced.
+        changed.sort_unstable_by(|a, b| b.cmp(a));
+        let mut changes = Vec::with_capacity(changed.len());
+        for &(_, node) in &changed {
+            let _superseded = self.fresh_key(node, rng);
+            let children = &self.nodes[node.0].children;
+            let mut encryptions = Vec::with_capacity(children.len());
+            for &child in children {
                 let c = &self.nodes[child.0];
                 // A vacant leaf's key is known only to departed members;
                 // never encrypt under it.
@@ -506,7 +565,7 @@ impl KeyTree {
             }
             changes.push(KeyChange {
                 node,
-                new_key: new,
+                new_key: self.nodes[node.0].key.clone(),
                 encryptions,
             });
         }
@@ -520,12 +579,11 @@ impl KeyTree {
     /// change distributed under the previous area key — the periodic
     /// freshness rekey of the paper's Section III-E.
     pub fn rotate_area_key<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> RekeyPlan {
-        let old = self.nodes[0].key.clone();
-        let new = self.fresh_key(NodeIdx(0), rng);
+        let old = self.fresh_key(NodeIdx(0), rng);
         RekeyPlan {
             changes: vec![KeyChange {
                 node: NodeIdx(0),
-                new_key: new,
+                new_key: self.nodes[0].key.clone(),
                 encryptions: vec![(EncryptUnder::PreviousSelf, old)],
             }],
             unicasts: Vec::new(),
@@ -548,6 +606,8 @@ impl KeyTree {
             vacant: BTreeSet::new(),
             open_internal: BTreeSet::new(),
             occupied: BTreeSet::new(),
+            visit_stamp: Vec::new(),
+            visit_epoch: 0,
         }
     }
 
@@ -659,6 +719,23 @@ impl KeyTree {
     }
 }
 
+/// Iterator over a node's path to the root via the stored parent links.
+/// See [`KeyTree::ancestors`].
+pub struct Ancestors<'a> {
+    tree: &'a KeyTree,
+    cur: Option<NodeIdx>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeIdx;
+
+    fn next(&mut self) -> Option<NodeIdx> {
+        let node = self.cur?;
+        self.cur = self.tree.nodes[node.0].parent;
+        Some(node)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -734,9 +811,9 @@ mod tests {
         for m in 0..8 {
             tree.join(MemberId(m), &mut r).unwrap();
         }
-        let area_key_before = tree.area_key();
+        let area_key_before = tree.area_key().clone();
         let plan = tree.join(MemberId(100), &mut r).unwrap();
-        assert_ne!(tree.area_key(), area_key_before, "area key must rotate");
+        assert_ne!(tree.area_key(), &area_key_before, "area key must rotate");
         // Every change is distributed under the previous self key.
         for c in &plan.changes {
             assert_eq!(c.encryptions.len(), 1);
@@ -817,7 +894,7 @@ mod tests {
         let path = tree.path_keys(MemberId(5)).unwrap();
         assert!(path.len() >= 2);
         assert_eq!(path.last().unwrap().0, tree.root());
-        assert_eq!(path.last().unwrap().1, tree.area_key());
+        assert_eq!(&path.last().unwrap().1, tree.area_key());
         // First entry is the member's own leaf.
         assert_eq!(tree.occupant_of(path[0].0), Some(MemberId(5)));
     }
@@ -978,9 +1055,9 @@ mod prune_tests {
     fn forward_secrecy_holds_in_prune_mode() {
         let mut r = Drbg::from_seed(4);
         let mut t = build(true, 16, &mut r);
-        let key_before = t.area_key();
+        let key_before = t.area_key().clone();
         let plan = t.leave(MemberId(5), &mut r).unwrap();
-        assert_ne!(t.area_key(), key_before);
+        assert_ne!(t.area_key(), &key_before);
         // No encryption under the departed leaf's key.
         for c in &plan.changes {
             for (under, _) in &c.encryptions {
