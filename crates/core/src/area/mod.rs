@@ -34,7 +34,7 @@ use mykil_crypto::keys::SymmetricKey;
 use mykil_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use mykil_net::{Context, GroupId, MsgToken, Node, NodeId, SecretBytes, Time};
 use mykil_tree::{KeyTree, MemberId};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 pub(crate) const TIMER_IDLE_ALIVE: u64 = 1;
 pub(crate) const TIMER_SWEEP: u64 = 2;
@@ -177,11 +177,11 @@ pub struct AreaController {
     pub(crate) role: Role,
 
     pub(crate) tree: KeyTree,
-    pub(crate) members: HashMap<ClientId, MemberRecord>,
-    pub(crate) pending_admissions: HashMap<u64, PendingAdmission>,
-    pub(crate) pending_rejoins: HashMap<NodeId, PendingRejoin>,
+    pub(crate) members: BTreeMap<ClientId, MemberRecord>,
+    pub(crate) pending_admissions: BTreeMap<u64, PendingAdmission>,
+    pub(crate) pending_rejoins: BTreeMap<NodeId, PendingRejoin>,
     /// Per pending rejoin: the previous AC (node, area) from the ticket.
-    pub(crate) pending_rejoin_prev_ac: HashMap<NodeId, (u32, AreaId)>,
+    pub(crate) pending_rejoin_prev_ac: BTreeMap<NodeId, (u32, AreaId)>,
 
     // Batching state (Section III-E).
     pub(crate) epoch: u64,
@@ -202,9 +202,9 @@ pub struct AreaController {
     /// Last parent-area rekey epoch applied (ordering guard).
     pub(crate) parent_epoch: u64,
     pub(crate) last_heard_parent: Time,
-    pub(crate) child_acs: HashSet<NodeId>,
+    pub(crate) child_acs: BTreeSet<NodeId>,
     /// Tree member id → node address for enrolled child controllers.
-    pub(crate) child_ac_members: HashMap<u64, NodeId>,
+    pub(crate) child_ac_members: BTreeMap<u64, NodeId>,
     /// In-flight parent switch/enrollment: the only node whose
     /// `AreaJoinAck` will be accepted, plus the reliable-send token of
     /// the outstanding request (replay/impostor hardening).
@@ -217,7 +217,7 @@ pub struct AreaController {
     /// Recently superseded area keys (own tree), for unwrapping data
     /// sealed just before a rotation.
     pub(crate) prev_area_keys: VecDeque<SymmetricKey>,
-    pub(crate) seen_data: HashSet<(u64, u64)>,
+    pub(crate) seen_data: BTreeSet<(u64, u64)>,
     pub(crate) seen_order: VecDeque<(u64, u64)>,
     pub(crate) last_area_mcast: Time,
 
@@ -293,10 +293,10 @@ impl AreaController {
             k_shared,
             role,
             tree,
-            members: HashMap::new(),
-            pending_admissions: HashMap::new(),
-            pending_rejoins: HashMap::new(),
-            pending_rejoin_prev_ac: HashMap::new(),
+            members: BTreeMap::new(),
+            pending_admissions: BTreeMap::new(),
+            pending_rejoins: BTreeMap::new(),
+            pending_rejoin_prev_ac: BTreeMap::new(),
             epoch: 0,
             update_needed: false,
             buffered_join_updates: BTreeMap::new(),
@@ -306,12 +306,12 @@ impl AreaController {
             parent_keys: KeyState::new(),
             parent_epoch: 0,
             last_heard_parent: Time::ZERO,
-            child_acs: HashSet::new(),
-            child_ac_members: HashMap::new(),
+            child_acs: BTreeSet::new(),
+            child_ac_members: BTreeMap::new(),
             pending_parent_join: None,
             parent_switch_cursor: 0,
             prev_area_keys: VecDeque::new(),
-            seen_data: HashSet::new(),
+            seen_data: BTreeSet::new(),
             seen_order: VecDeque::new(),
             last_area_mcast: Time::ZERO,
             repl_key,

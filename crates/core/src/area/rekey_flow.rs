@@ -134,7 +134,7 @@ impl AreaController {
             plan.ok()
         };
 
-        let leave_changed: std::collections::HashSet<u32> = leave_plan
+        let leave_changed: std::collections::BTreeSet<u32> = leave_plan
             .as_ref()
             .map(|out| {
                 out.plan

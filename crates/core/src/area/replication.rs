@@ -79,7 +79,7 @@ impl AreaController {
         let mut r = Reader::new(bytes);
         let tree = KeyTree::restore(r.bytes().ok()?).ok()?;
         let count = r.u32().ok()? as usize;
-        let mut members = std::collections::HashMap::with_capacity(count);
+        let mut members = std::collections::BTreeMap::new();
         for _ in 0..count {
             let client = ClientId(r.u64().ok()?);
             let node = NodeId::from_index(r.u32().ok()? as usize);
@@ -115,12 +115,12 @@ impl AreaController {
         let parent_keys = KeyState::from_bytes(r.bytes().ok()?).ok()?;
         let epoch = r.u64().ok()?;
         let child_count = r.u32().ok()? as usize;
-        let mut child_acs = std::collections::HashSet::with_capacity(child_count);
+        let mut child_acs = std::collections::BTreeSet::new();
         for _ in 0..child_count {
             child_acs.insert(NodeId::from_index(r.u32().ok()? as usize));
         }
         let enrolled_count = r.u32().ok()? as usize;
-        let mut child_ac_members = std::collections::HashMap::with_capacity(enrolled_count);
+        let mut child_ac_members = std::collections::BTreeMap::new();
         for _ in 0..enrolled_count {
             let member = r.u64().ok()?;
             let node = NodeId::from_index(r.u32().ok()? as usize);

@@ -8,7 +8,7 @@
 //! trait with an in-memory implementation.
 
 use mykil_net::Duration;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Decision returned by an authorization backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +34,7 @@ pub trait AuthDb: Send {
 /// configured duration; unknown tokens follow the default policy.
 #[derive(Debug)]
 pub struct InMemoryAuthDb {
-    tokens: HashMap<Vec<u8>, AuthDecision>,
+    tokens: BTreeMap<Vec<u8>, AuthDecision>,
     default: AuthDecision,
 }
 
@@ -43,7 +43,7 @@ impl InMemoryAuthDb {
     /// (convenient for simulations).
     pub fn allow_all(default_duration: Duration) -> Self {
         InMemoryAuthDb {
-            tokens: HashMap::new(),
+            tokens: BTreeMap::new(),
             default: AuthDecision::Granted {
                 duration: default_duration,
             },
@@ -53,7 +53,7 @@ impl InMemoryAuthDb {
     /// A database that rejects unknown tokens.
     pub fn deny_by_default() -> Self {
         InMemoryAuthDb {
-            tokens: HashMap::new(),
+            tokens: BTreeMap::new(),
             default: AuthDecision::Denied,
         }
     }

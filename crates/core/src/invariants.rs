@@ -39,7 +39,7 @@ use crate::area::Role;
 use crate::durable::{replay_ac, replay_rs};
 use crate::group::GroupHandle;
 use mykil_net::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One violated invariant, with enough context to debug a soak
 /// failure without re-running it.
@@ -166,7 +166,7 @@ struct ReplBaseline {
 /// Stateful checker; see the module docs for the invariants.
 #[derive(Debug, Default)]
 pub struct InvariantChecker {
-    repl: HashMap<NodeId, ReplBaseline>,
+    repl: BTreeMap<NodeId, ReplBaseline>,
 }
 
 impl InvariantChecker {

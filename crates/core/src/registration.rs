@@ -20,7 +20,7 @@ use mykil_crypto::envelope::HybridCiphertext;
 use mykil_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use mykil_net::{Context, Node, NodeId, Time};
 use rand::RngCore;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A join handshake in flight at the registration server.
 #[derive(Debug)]
@@ -52,13 +52,13 @@ pub struct RegistrationServer {
     /// The directory as deployed — what a crashed server reads back
     /// from its configuration before recovery replays takeovers on top.
     directory_initial: AcDirectory,
-    pending: HashMap<NodeId, PendingJoin>,
+    pending: BTreeMap<NodeId, PendingJoin>,
     /// Handshakes lost to the last crash, reported at restart.
     wiped_pending: u64,
     next_client: u64,
     next_area: usize,
     /// Backup-controller public keys per area, for takeover validation.
-    backup_keys: HashMap<AreaId, RsaPublicKey>,
+    backup_keys: BTreeMap<AreaId, RsaPublicKey>,
     /// Counters exposed for tests and reports.
     pub stats: RegistrationStats,
 }
@@ -90,11 +90,11 @@ impl RegistrationServer {
             auth,
             directory_initial: directory.clone(),
             directory,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             wiped_pending: 0,
             next_client: 1,
             next_area: 0,
-            backup_keys: HashMap::new(),
+            backup_keys: BTreeMap::new(),
             stats: RegistrationStats::default(),
         }
     }

@@ -79,7 +79,7 @@ pub fn write_entries_from_plan<R: RngCore + ?Sized>(
     w: &mut Writer,
 ) {
     w.reserve(entries_wire_len(plan));
-    w.u32(plan.encryption_count() as u32);
+    w.u32_from(plan.encryption_count());
     write_plan_entries(plan, rng, w);
 }
 
@@ -89,16 +89,16 @@ pub fn write_entries_from_plan<R: RngCore + ?Sized>(
 pub fn write_plan_entries<R: RngCore + ?Sized>(plan: &RekeyPlan, rng: &mut R, w: &mut Writer) {
     for change in &plan.changes {
         for (under, key) in &change.encryptions {
-            w.u32(change.node.raw() as u32);
+            w.u32(change.node.wire());
             match under {
                 EncryptUnder::PreviousSelf => {
                     w.u8(0);
                 }
                 EncryptUnder::Child(c) => {
-                    w.u8(1).u32(c.raw() as u32);
+                    w.u8(1).u32(c.wire());
                 }
             }
-            w.u32(KEY_ENV_LEN as u32);
+            w.u32_from(KEY_ENV_LEN);
             w.append_with(|buf| envelope::seal_into(key, change.new_key.as_bytes(), rng, buf));
         }
     }
@@ -113,10 +113,10 @@ pub fn entries_from_plan<R: RngCore + ?Sized>(plan: &RekeyPlan, rng: &mut R) -> 
         for (under, key) in &change.encryptions {
             let tag = match under {
                 EncryptUnder::PreviousSelf => UnderTag::PrevSelf,
-                EncryptUnder::Child(c) => UnderTag::Child(c.raw() as u32),
+                EncryptUnder::Child(c) => UnderTag::Child(c.wire()),
             };
             out.push(WireKeyEntry {
-                node: change.node.raw() as u32,
+                node: change.node.wire(),
                 under: tag,
                 env: envelope::seal(key, change.new_key.as_bytes(), rng),
             });
@@ -139,7 +139,7 @@ pub fn encode_entries(entries: &[WireKeyEntry]) -> Vec<u8> {
             })
             .sum::<usize>();
     let mut w = Writer::with_capacity(total);
-    w.u32(entries.len() as u32);
+    w.u32_from(entries.len());
     for e in entries {
         w.u32(e.node);
         match e.under {
@@ -192,7 +192,7 @@ fn decode_one_entry<'a>(r: &mut Reader<'a>) -> Result<(u32, UnderTag, &'a [u8]),
 /// Serializes a unicast key path (`(node, key)` pairs, leaf first).
 pub fn encode_path(path: &[(u32, SymmetricKey)]) -> Vec<u8> {
     let mut w = Writer::with_capacity(4 + path.len() * (4 + SYMMETRIC_KEY_LEN));
-    w.u32(path.len() as u32);
+    w.u32_from(path.len());
     for (node, key) in path {
         w.u32(*node).raw(key.as_bytes());
     }
@@ -204,9 +204,9 @@ pub fn encode_path(path: &[(u32, SymmetricKey)]) -> Vec<u8> {
 /// build. Byte-identical to converting and calling [`encode_path`].
 pub fn encode_tree_path(path: &[(NodeIdx, SymmetricKey)]) -> Vec<u8> {
     let mut w = Writer::with_capacity(4 + path.len() * (4 + SYMMETRIC_KEY_LEN));
-    w.u32(path.len() as u32);
+    w.u32_from(path.len());
     for (node, key) in path {
-        w.u32(node.raw() as u32).raw(key.as_bytes());
+        w.u32(node.wire()).raw(key.as_bytes());
     }
     w.into_bytes()
 }
@@ -284,7 +284,7 @@ impl KeyState {
     /// `(NodeIdx, key)` form.
     pub fn install_tree_path(&mut self, path: &[(NodeIdx, SymmetricKey)]) {
         for (node, key) in path {
-            let node = node.raw() as u32;
+            let node = node.wire();
             if node == AREA_KEY_NODE {
                 self.note_root_change(key.clone());
             }
@@ -392,7 +392,7 @@ impl KeyState {
     /// cloned path.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::with_capacity(4 + self.keys.len() * (4 + SYMMETRIC_KEY_LEN));
-        w.u32(self.keys.len() as u32);
+        w.u32_from(self.keys.len());
         for (node, key) in &self.keys {
             w.u32(*node).raw(key.as_bytes());
         }

@@ -122,6 +122,20 @@ impl Writer {
         self
     }
 
+    /// Writes a `usize` count/length as a big-endian `u32`, poisoning
+    /// the writer if the value does not fit — the same contract as
+    /// [`Writer::bytes`]: a frame whose length field would lie can
+    /// never reach the wire.
+    pub fn u32_from(&mut self, v: usize) -> &mut Self {
+        match u32::try_from(v) {
+            Ok(n) => self.u32(n),
+            Err(_) => {
+                self.poisoned = true;
+                self
+            }
+        }
+    }
+
     /// Writes raw bytes with no length prefix (fixed-size fields).
     pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
         self.buf.extend_from_slice(bytes);
@@ -153,7 +167,9 @@ impl Writer {
         if bytes.len() > MAX_BYTES_FIELD {
             return Err(ProtocolError::Malformed("oversized length-prefixed field"));
         }
-        self.u32(bytes.len() as u32);
+        let len = u32::try_from(bytes.len())
+            .map_err(|_| ProtocolError::Malformed("oversized length-prefixed field"))?;
+        self.u32(len);
         Ok(self.raw(bytes))
     }
 
@@ -199,17 +215,18 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
-        if self.buf.len() < n {
-            return Err(ProtocolError::Malformed("truncated"));
-        }
-        let (head, rest) = self.buf.split_at(n);
+        let (head, rest) = self
+            .buf
+            .split_at_checked(n)
+            .ok_or(ProtocolError::Malformed("truncated"))?;
         self.buf = rest;
         Ok(head)
     }
 
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, ProtocolError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array::<1>()?;
+        Ok(b)
     }
 
     /// Reads a big-endian `u32`.

@@ -280,3 +280,81 @@ fn restarted_primary_is_demoted_to_backup() {
         assert!(g.is_member(m));
     }
 }
+
+/// Regression for the HashMap→BTreeMap determinism migration (lint
+/// L006): a seeded chaos soak must replay **byte-identically**. Two
+/// independent deployments built from the same seed, driven through
+/// the same random fault plan with live workload interleaved, must
+/// produce the same fault schedule and the same delivery/drop/timer
+/// trace, byte for byte. Before the migration this held only
+/// probabilistically — any hash-ordered iteration feeding the
+/// schedule (multicast fan-out, membership sweeps) could reorder
+/// same-timestamp events between runs.
+#[test]
+fn chaos_soak_replay_is_byte_identical() {
+    fn run(seed: u64) -> (String, String) {
+        let mut g = soak_group(seed);
+        g.sim.enable_trace(200_000);
+        let mut targets = g.primaries.clone();
+        targets.extend(&g.backups);
+        targets.extend(&g.members);
+        let opts = ChaosOptions {
+            targets,
+            horizon: Duration::from_secs(8),
+            episodes: 6,
+            max_knob_per_mille: 250,
+            storage_faults: true,
+        };
+        let plan = FaultPlan::random(seed, &opts);
+        let schedule = plan.serialize();
+        let mut driver = ChaosDriver::new(plan);
+
+        // Interleave workload exactly like the soak so the trace
+        // covers joins, moves and data traffic, not an idle group.
+        let start = g.now();
+        for slice in 1..=2u64 {
+            driver.run_until(&mut g.sim, start + Duration::from_secs(4 * slice));
+            let talker = g.members.iter().copied().find(|&m| !g.sim.is_crashed(m));
+            if let Some(m) = talker {
+                g.send_data(m, format!("replay-{seed}-{slice}").as_bytes());
+            }
+            if slice == 1 {
+                g.register_member(100 + seed);
+            }
+        }
+        g.run_for(Duration::from_secs(10));
+
+        let mut trace = String::new();
+        for e in g.sim.trace_events() {
+            trace.push_str(&format!("{e:?}\n"));
+        }
+        (schedule, trace)
+    }
+
+    for seed in [3u64, 11] {
+        let (schedule_a, trace_a) = run(seed);
+        let (schedule_b, trace_b) = run(seed);
+        assert_eq!(schedule_a, schedule_b, "seed {seed}: fault plans diverged");
+        assert!(
+            trace_a.lines().count() > 100,
+            "seed {seed}: trace too thin to be a meaningful replay check"
+        );
+        if trace_a != trace_b {
+            let diverged = trace_a
+                .lines()
+                .zip(trace_b.lines())
+                .enumerate()
+                .find(|(_, (a, b))| a != b);
+            let (at, (line_a, line_b)) = diverged.unwrap_or((
+                trace_a.lines().count().min(trace_b.lines().count()),
+                ("<run A ended>", "<run B ended>"),
+            ));
+            panic!(
+                "seed {seed}: replay diverged at trace line {at}:\n  A: {line_a}\n  B: {line_b}\n\
+                 ({} vs {} events)",
+                trace_a.lines().count(),
+                trace_b.lines().count(),
+            );
+        }
+    }
+}

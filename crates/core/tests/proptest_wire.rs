@@ -142,3 +142,42 @@ fn decode_with(mut r: Reader<'_>, fields: &[Field]) -> Result<Vec<Field>, Protoc
     r.finish()?;
     Ok(out)
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        max_shrink_iters: 128,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn u32_from_round_trips_in_range_lengths(n in any::<u32>()) {
+        // The checked length-prefix helper (lint L009 migration): any
+        // usize that fits u32 round-trips exactly.
+        let mut w = Writer::new();
+        w.u32_from(n as usize);
+        prop_assert!(!w.is_poisoned());
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.u32(), Ok(n));
+        prop_assert!(r.finish().is_ok());
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn u32_from_oversized_poisons_instead_of_truncating(
+        over in any::<u64>().prop_map(|v| v | (1u64 << 32)),
+        tail in any::<u32>(),
+    ) {
+        // An out-of-range length must not silently truncate to a bogus
+        // prefix: the writer poisons and refuses to finish, even if
+        // valid fields are appended afterwards.
+        let mut w = Writer::new();
+        w.u32_from(over as usize).u32(tail);
+        prop_assert!(w.is_poisoned());
+        prop_assert!(matches!(
+            w.try_into_bytes(),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+}

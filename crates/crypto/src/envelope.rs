@@ -33,7 +33,9 @@ pub const ENVELOPE_OVERHEAD: usize = ENVELOPE_NONCE_LEN + ENVELOPE_MAC_LEN;
 fn cipher_for(key: &SymmetricKey, nonce: &[u8; ENVELOPE_NONCE_LEN]) -> ChaCha20 {
     let enc_key = key.derive(b"mykil-envelope-enc");
     let mut k32 = [0u8; 32];
+    // mykil-lint: allow(L010) -- compile-time halves of a [u8; 32]
     k32[..SYMMETRIC_KEY_LEN].copy_from_slice(enc_key.as_bytes());
+    // mykil-lint: allow(L010) -- compile-time halves of a [u8; 32]
     k32[SYMMETRIC_KEY_LEN..].copy_from_slice(enc_key.as_bytes());
     ChaCha20::new(&k32, nonce, 0)
 }
@@ -64,12 +66,16 @@ pub fn seal_into<R: RngCore + ?Sized>(
     out.extend_from_slice(&nonce);
     out.extend_from_slice(plaintext);
     let body_start = start + ENVELOPE_NONCE_LEN;
+    // mykil-lint: allow(L010) -- body_start <= out.len() by the appends above
     cipher_for(key, &nonce).apply_keystream(&mut out[body_start..]);
     let mac_key = key.derive(b"mykil-envelope-mac");
     let mut mac = HmacSha256::new(mac_key.as_bytes());
     // `nonce || body` is contiguous in `out`; one update covers both.
+    // mykil-lint: allow(L010) -- start was out.len() at entry
     mac.update(&out[start..]);
-    out.extend_from_slice(&mac.finalize()[..ENVELOPE_MAC_LEN]);
+    let tag = mac.finalize();
+    // mykil-lint: allow(L010) -- compile-time prefix of a [u8; 32]
+    out.extend_from_slice(&tag[..ENVELOPE_MAC_LEN]);
 }
 
 /// Opens an envelope produced by [`seal`].
@@ -103,8 +109,9 @@ pub fn open_fixed<const N: usize>(
         return Err(CryptoError::EnvelopeError("envelope length mismatch"));
     }
     let (nonce, body) = verify_envelope(key, envelope)?;
-    let mut plain = [0u8; N];
-    plain.copy_from_slice(body);
+    let mut plain: [u8; N] = body
+        .try_into()
+        .map_err(|_| CryptoError::EnvelopeError("envelope length mismatch"))?;
     cipher_for(key, &nonce).apply_keystream(&mut plain);
     Ok(plain)
 }
@@ -114,21 +121,28 @@ fn verify_envelope<'a>(
     key: &SymmetricKey,
     envelope: &'a [u8],
 ) -> Result<([u8; ENVELOPE_NONCE_LEN], &'a [u8]), CryptoError> {
-    if envelope.len() < ENVELOPE_OVERHEAD {
-        return Err(CryptoError::EnvelopeError("envelope truncated"));
-    }
-    let (nonce_bytes, rest) = envelope.split_at(ENVELOPE_NONCE_LEN);
-    let (body, tag) = rest.split_at(rest.len() - ENVELOPE_MAC_LEN);
+    let (nonce_bytes, rest) = envelope
+        .split_at_checked(ENVELOPE_NONCE_LEN)
+        .ok_or(CryptoError::EnvelopeError("envelope truncated"))?;
+    let body_len = rest
+        .len()
+        .checked_sub(ENVELOPE_MAC_LEN)
+        .ok_or(CryptoError::EnvelopeError("envelope truncated"))?;
+    let (body, tag) = rest
+        .split_at_checked(body_len)
+        .ok_or(CryptoError::EnvelopeError("envelope truncated"))?;
     let mac_key = key.derive(b"mykil-envelope-mac");
     let mut mac = HmacSha256::new(mac_key.as_bytes());
     mac.update(nonce_bytes);
     mac.update(body);
     let expected = mac.finalize();
+    // mykil-lint: allow(L010) -- compile-time prefix of a [u8; 32]
     if !crate::ct::ct_eq(&expected[..ENVELOPE_MAC_LEN], tag) {
         return Err(CryptoError::VerificationFailed);
     }
-    // mykil-lint: allow(L001) -- split_at guarantees the slice length
-    let nonce: [u8; ENVELOPE_NONCE_LEN] = nonce_bytes.try_into().unwrap();
+    let nonce: [u8; ENVELOPE_NONCE_LEN] = nonce_bytes
+        .try_into()
+        .map_err(|_| CryptoError::EnvelopeError("envelope truncated"))?;
     Ok((nonce, body))
 }
 
@@ -186,7 +200,12 @@ impl HybridCiphertext {
     /// Serializes as `len(wrapped) || wrapped || payload`.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len() + 4);
-        out.extend_from_slice(&(self.wrapped_key.len() as u32).to_be_bytes());
+        // A wrapped key is one RSA block (≤ modulus size); a value that
+        // does not fit the prefix cannot be constructed, and try_from
+        // keeps the impossible case loud instead of truncating.
+        let klen = u32::try_from(self.wrapped_key.len())
+            .expect("RSA-wrapped key length fits a u32 prefix");
+        out.extend_from_slice(&klen.to_be_bytes());
         out.extend_from_slice(&self.wrapped_key);
         out.extend_from_slice(&self.sealed_payload);
         out
@@ -198,17 +217,22 @@ impl HybridCiphertext {
     ///
     /// Returns [`CryptoError::EnvelopeError`] on malformed input.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
-        if bytes.len() < 4 {
-            return Err(CryptoError::EnvelopeError("hybrid ciphertext truncated"));
-        }
-        let klen = u32::from_be_bytes(bytes[..4].try_into().unwrap()) as usize;
-        let rest = &bytes[4..];
+        let (len_bytes, rest) = bytes
+            .split_at_checked(4)
+            .ok_or(CryptoError::EnvelopeError("hybrid ciphertext truncated"))?;
+        let len_arr: [u8; 4] = len_bytes
+            .try_into()
+            .map_err(|_| CryptoError::EnvelopeError("hybrid ciphertext truncated"))?;
+        let klen = u32::from_be_bytes(len_arr) as usize;
         if rest.len() < klen + ENVELOPE_OVERHEAD {
             return Err(CryptoError::EnvelopeError("hybrid ciphertext truncated"));
         }
+        let (wrapped, sealed) = rest
+            .split_at_checked(klen)
+            .ok_or(CryptoError::EnvelopeError("hybrid ciphertext truncated"))?;
         Ok(HybridCiphertext {
-            wrapped_key: rest[..klen].to_vec(),
-            sealed_payload: rest[klen..].to_vec(),
+            wrapped_key: wrapped.to_vec(),
+            sealed_payload: sealed.to_vec(),
         })
     }
 }
@@ -219,7 +243,11 @@ impl HybridCiphertext {
 pub fn mac_fields(key: &SymmetricKey, fields: &[&[u8]]) -> [u8; 32] {
     let mut joined = Vec::new();
     for f in fields {
-        joined.extend_from_slice(&(f.len() as u32).to_be_bytes());
+        // Fields come from already-parsed frames (each capped well
+        // below 4 GiB); try_from keeps the impossible overflow loud
+        // instead of silently colliding two different field splits.
+        let flen = u32::try_from(f.len()).expect("MAC field length fits a u32 prefix");
+        joined.extend_from_slice(&flen.to_be_bytes());
         joined.extend_from_slice(f);
     }
     hmac_sha256(key.as_bytes(), &joined)

@@ -41,6 +41,50 @@ impl Diagnostic {
     }
 }
 
+/// Renders a diagnostic set as a SARIF 2.1.0 log, the format CI
+/// annotation tooling ingests. Hand-rolled like the JSON mode — the
+/// workspace builds with zero external dependencies.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let rules: Vec<String> = crate::rules::RULES
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+                escape_json(r.id),
+                escape_json(&collapse_ws(r.description))
+            )
+        })
+        .collect();
+    let results: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+                 {{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+                escape_json(d.rule),
+                escape_json(&d.message),
+                escape_json(&d.file),
+                d.line
+            )
+        })
+        .collect();
+    format!(
+        "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":\
+         {{\"name\":\"mykil-lint\",\"informationUri\":\
+         \"https://example.invalid/mykil\",\"rules\":[{}]}}}},\
+         \"results\":[{}]}}]}}",
+        rules.join(","),
+        results.join(",")
+    )
+}
+
+/// Collapses the multi-line registry descriptions to single-space text.
+fn collapse_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
 /// Minimal JSON string escaping (the diagnostics contain no exotic
 /// control characters, but quoting must still be airtight).
 fn escape_json(s: &str) -> String {
@@ -93,6 +137,27 @@ mod tests {
         let j = d.to_json();
         assert!(j.contains("\\\"Debug\\\""), "{j}");
         assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn sarif_contains_schema_rules_and_results() {
+        let d = Diagnostic {
+            rule: "L009",
+            file: "crates/core/src/wire.rs".into(),
+            line: 5,
+            message: "bare `as u32`".into(),
+        };
+        let s = to_sarif(&[d]);
+        assert!(s.contains("\"version\":\"2.1.0\""), "{s}");
+        assert!(s.contains("\"ruleId\":\"L009\""));
+        assert!(s.contains("\"startLine\":5"));
+        // Every registry rule is described in the driver section.
+        for rule in crate::rules::RULES {
+            assert!(s.contains(&format!("\"id\":\"{}\"", rule.id)));
+        }
+        // Empty result sets still produce a valid log.
+        let empty = to_sarif(&[]);
+        assert!(empty.contains("\"results\":[]"));
     }
 
     #[test]

@@ -13,36 +13,121 @@
 //!
 //! Several rules may be listed: `allow(L001, L005)`.
 
+use crate::ast::{self, Ast};
 use crate::diagnostics::{display_path, Diagnostic};
-use crate::rules::{FileContext, RULES};
-use crate::tokenizer::{scan, Comment, ScannedFile, Token};
-use std::collections::HashMap;
+use crate::rules::{Check, FileContext, RULES};
+use crate::tokenizer::{scan, Comment, Token};
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 
-/// Lints one file's source text. `rel_path` must be workspace-relative
-/// with forward slashes — rule scoping keys off it.
-pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+/// One file after the full analysis pipeline: tokens, test mask, and
+/// the syntax layer. This is what crate-scoped (AST) rules consume.
+pub struct AnalyzedFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Code tokens.
+    pub tokens: Vec<Token>,
+    /// Comments (for suppression directives).
+    pub comments: Vec<Comment>,
+    /// Per-token flag: inside `#[cfg(test)]` / `#[test]` code.
+    pub test_mask: Vec<bool>,
+    /// The syntax layer: functions, events, typed declarations.
+    pub ast: Ast,
+}
+
+/// Everything a crate-scoped rule sees: all analyzed files of one
+/// workspace crate (files outside `crates/<name>/src/` form singleton
+/// groups with `crate_name == None`).
+pub struct CrateContext<'a> {
+    /// The `crates/<name>/src/` crate these files belong to, if any.
+    pub crate_name: Option<&'a str>,
+    /// Every analyzed file in the crate, in path order.
+    pub files: &'a [&'a AnalyzedFile],
+}
+
+/// The `crates/<name>/src/` crate a workspace-relative path belongs to.
+pub fn crate_of(rel_path: &str) -> Option<&str> {
+    let rest = rel_path.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    tail.starts_with("src/").then_some(name)
+}
+
+/// Runs the analysis pipeline on one file.
+pub fn analyze(rel_path: &str, source: &str) -> AnalyzedFile {
     let scanned = scan(source);
     let test_mask = compute_test_mask(&scanned.tokens);
-    let suppressed = suppression_map(&scanned);
-    let ctx = FileContext {
-        path: rel_path,
-        tokens: &scanned.tokens,
-        test_mask: &test_mask,
-    };
+    let parsed = ast::parse(&scanned.tokens);
+    AnalyzedFile {
+        path: rel_path.to_string(),
+        tokens: scanned.tokens,
+        comments: scanned.comments,
+        test_mask,
+        ast: parsed,
+    }
+}
+
+/// Lints a set of files as one unit: token rules run per file, AST
+/// rules run once per crate group (so cross-file facts — a field's
+/// declared type, a timer's handling site — are visible). Suppression
+/// directives are honored for both rule kinds.
+pub fn lint_files(files: &[(String, String)]) -> Vec<Diagnostic> {
+    let analyzed: Vec<AnalyzedFile> = files
+        .iter()
+        .map(|(path, source)| analyze(path, source))
+        .collect();
     let mut out = Vec::new();
-    for rule in RULES {
-        for d in (rule.check)(&ctx) {
-            let allowed = suppressed
-                .get(&d.line)
-                .is_some_and(|rules| rules.iter().any(|r| r == d.rule));
-            if !allowed {
-                out.push(d);
+    for f in &analyzed {
+        let ctx = FileContext {
+            path: &f.path,
+            tokens: &f.tokens,
+            test_mask: &f.test_mask,
+        };
+        for rule in RULES {
+            if let Check::Token(check) = rule.check {
+                out.extend(check(&ctx));
             }
         }
     }
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    // Group files by crate for the AST rules. Files outside a crate's
+    // src/ tree group by their own path (singleton, crate_name = None).
+    let mut groups: BTreeMap<&str, Vec<&AnalyzedFile>> = BTreeMap::new();
+    for f in &analyzed {
+        groups
+            .entry(crate_of(&f.path).unwrap_or(f.path.as_str()))
+            .or_default()
+            .push(f);
+    }
+    for group in groups.values() {
+        let cctx = CrateContext {
+            crate_name: crate_of(&group[0].path),
+            files: group,
+        };
+        for rule in RULES {
+            if let Check::Crate(check) = rule.check {
+                out.extend(check(&cctx));
+            }
+        }
+    }
+    let suppressed: HashMap<&str, HashMap<u32, Vec<String>>> = analyzed
+        .iter()
+        .map(|f| (f.path.as_str(), suppression_map(&f.tokens, &f.comments)))
+        .collect();
+    out.retain(|d| {
+        !suppressed
+            .get(d.file.as_str())
+            .and_then(|m| m.get(&d.line))
+            .is_some_and(|rules| rules.iter().any(|r| r == d.rule))
+    });
+    out.sort_by(|a, b| (a.file.clone(), a.line, a.rule).cmp(&(b.file.clone(), b.line, b.rule)));
     out
+}
+
+/// Lints one file's source text. `rel_path` must be workspace-relative
+/// with forward slashes — rule scoping keys off it. Crate-scoped rules
+/// see only this file; use [`lint_files`] / [`lint_workspace`] for
+/// cross-file analysis.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    lint_files(&[(rel_path.to_string(), source.to_string())])
 }
 
 /// Marks every token that lives inside `#[cfg(test)]` or `#[test]`
@@ -121,17 +206,16 @@ fn test_attribute_end(tokens: &[Token], i: usize) -> Option<usize> {
 /// Builds `line -> allowed rule ids` from suppression comments. A
 /// trailing comment covers its own line; a comment on its own line
 /// covers the next line that has code.
-fn suppression_map(scanned: &ScannedFile) -> HashMap<u32, Vec<String>> {
+fn suppression_map(tokens: &[Token], comments: &[Comment]) -> HashMap<u32, Vec<String>> {
     let mut map: HashMap<u32, Vec<String>> = HashMap::new();
-    for comment in &scanned.comments {
+    for comment in comments {
         let Some(rules) = parse_directive(comment) else {
             continue;
         };
         let target = if comment.has_code_before {
             comment.line
         } else {
-            scanned
-                .tokens
+            tokens
                 .iter()
                 .map(|t| t.line)
                 .find(|l| *l > comment.line)
@@ -190,16 +274,15 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 }
 
 /// Lints every workspace file under `root`, returning diagnostics with
-/// workspace-relative paths.
+/// workspace-relative paths. All files are analyzed as one batch so
+/// crate-scoped rules see whole crates.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let mut out = Vec::new();
+    let mut files = Vec::new();
     for path in workspace_files(root)? {
         let source = std::fs::read_to_string(&path)?;
-        let rel = display_path(&path, root);
-        out.extend(lint_source(&rel, &source));
+        files.push((display_path(&path, root), source));
     }
-    out.sort_by(|a, b| (a.file.clone(), a.line, a.rule).cmp(&(b.file.clone(), b.line, b.rule)));
-    Ok(out)
+    Ok(lint_files(&files))
 }
 
 #[cfg(test)]

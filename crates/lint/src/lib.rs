@@ -2,8 +2,10 @@
 //! and protocol-hygiene invariants.
 //!
 //! The linter is dependency-free: a hand-rolled token scanner
-//! ([`tokenizer`]) feeds a small rule engine ([`engine`]) running five
-//! rules ([`rules`]) tuned to this codebase:
+//! ([`tokenizer`]) feeds a small rule engine ([`engine`]) running two
+//! rule families:
+//!
+//! **Token rules** (per file, over the raw token stream):
 //!
 //! - **L001** — no `unwrap()`/`expect()` in non-test code of the
 //!   protocol crates (`core`, `net`, `tree`). A Mykil node processing a
@@ -19,14 +21,37 @@
 //! - **L005** — protocol `Msg` dispatch must list variants explicitly;
 //!   no `_ =>` catch-all.
 //!
+//! **Syntax-aware rules** (per crate, over the [`ast`] layer — function
+//! bodies as ordered event streams plus crate-wide declaration tables):
+//!
+//! - **L006** — no iteration over `HashMap`/`HashSet` in the
+//!   deterministic crates: bucket order varies per process and breaks
+//!   seeded chaos replay and byte-identical wire output.
+//! - **L007** — WAL-before-ack call ordering in `core` handlers: an
+//!   ack/reply `Msg` must not be emitted before the function's
+//!   `wal_commit`-family call.
+//! - **L008** — every `set_timer` arm site uses a named `TIMER_*` kind
+//!   with a matching handling/cancel site in the same crate.
+//! - **L009** — no bare narrowing `as` casts in wire/codec files; use
+//!   `try_from` + `Malformed`.
+//! - **L010** — no panicking slice access (`x[i]`, `split_at`,
+//!   `copy_from_slice`) in wire/codec files.
+//!
+//! The `syn` crate is deliberately not used: the workspace builds
+//! offline with zero external dependencies, so [`ast`] is a small
+//! hand-rolled syntax layer tuned to exactly what the rules consume.
+//!
 //! Findings are suppressed per line with
 //! `// mykil-lint: allow(L00x) -- reason`.
 
+pub mod ast;
 pub mod diagnostics;
 pub mod engine;
+pub mod explain;
 pub mod rules;
+pub mod rules_ast;
 pub mod tokenizer;
 
 pub use diagnostics::Diagnostic;
-pub use engine::{lint_source, lint_workspace};
+pub use engine::{lint_files, lint_source, lint_workspace};
 pub use rules::RULES;

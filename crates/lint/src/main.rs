@@ -1,15 +1,20 @@
 //! `mykil-lint` CLI.
 //!
 //! ```text
-//! mykil-lint --workspace [--format human|json]
-//! mykil-lint [--format human|json] FILE...
+//! mykil-lint --workspace [--format human|json|sarif] [--out FILE]
+//! mykil-lint [--format human|json|sarif] FILE...
 //! mykil-lint --list-rules
+//! mykil-lint --explain L007
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O
-//! error. JSON mode emits one object per finding (JSON Lines).
+//! error. JSON mode emits one object per finding (JSON Lines); SARIF
+//! mode emits one SARIF 2.1.0 log. `--out` additionally writes the
+//! machine-readable form to a file (human mode still prints findings
+//! to stdout), which is how CI captures the artifact.
 
-use mykil_lint::diagnostics::display_path;
+use mykil_lint::diagnostics::{display_path, to_sarif};
+use mykil_lint::explain::{explain, render};
 use mykil_lint::{lint_source, lint_workspace, Diagnostic, RULES};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -17,12 +22,15 @@ use std::process::ExitCode;
 enum Format {
     Human,
     Json,
+    Sarif,
 }
 
 fn main() -> ExitCode {
     let mut format = Format::Human;
     let mut workspace = false;
     let mut list_rules = false;
+    let mut explain_id: Option<String> = None;
+    let mut out_file: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -31,11 +39,27 @@ fn main() -> ExitCode {
             "--workspace" => workspace = true,
             "--list-rules" => list_rules = true,
             "--json" => format = Format::Json,
+            "--explain" => match args.next() {
+                Some(id) => explain_id = Some(id),
+                None => {
+                    eprintln!("mykil-lint: --explain expects a rule id (L001..L010)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out_file = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("mykil-lint: --out expects a file path");
+                    return ExitCode::from(2);
+                }
+            },
             "--format" => match args.next().as_deref() {
                 Some("human") => format = Format::Human,
                 Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
                 other => {
-                    eprintln!("mykil-lint: --format expects human|json, got {other:?}");
+                    let got = other.unwrap_or("nothing");
+                    eprintln!("mykil-lint: --format expects human|json|sarif, got {got:?}");
                     return ExitCode::from(2);
                 }
             },
@@ -52,6 +76,25 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(id) = explain_id {
+        return match explain(&id) {
+            Some(e) => {
+                println!("{}", render(e));
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "mykil-lint: unknown rule {id:?}; known rules: {}",
+                    RULES
+                        .iter()
+                        .map(|r| r.id)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
     if list_rules {
         for rule in RULES {
             println!("{}  {}", rule.id, normalize_ws(rule.description));
@@ -88,10 +131,33 @@ fn main() -> ExitCode {
         }
     }
 
-    for d in &diagnostics {
-        match format {
-            Format::Human => println!("{d}"),
-            Format::Json => println!("{}", d.to_json()),
+    match format {
+        Format::Human => {
+            for d in &diagnostics {
+                println!("{d}");
+            }
+        }
+        Format::Json => {
+            for d in &diagnostics {
+                println!("{}", d.to_json());
+            }
+        }
+        Format::Sarif => println!("{}", to_sarif(&diagnostics)),
+    }
+    if let Some(path) = &out_file {
+        // The artifact file is always machine-readable: SARIF when that
+        // format was chosen, JSON Lines otherwise.
+        let body = match format {
+            Format::Sarif => to_sarif(&diagnostics),
+            _ => diagnostics
+                .iter()
+                .map(|d| d.to_json())
+                .collect::<Vec<_>>()
+                .join("\n"),
+        };
+        if let Err(e) = std::fs::write(path, body + "\n") {
+            eprintln!("mykil-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
         }
     }
     if diagnostics.is_empty() {
@@ -102,7 +168,8 @@ fn main() -> ExitCode {
     } else {
         if matches!(format, Format::Human) {
             eprintln!(
-                "mykil-lint: {} finding{}",
+                "mykil-lint: {} finding{} (run `mykil-lint --explain <rule>` for \
+                 the invariant and fix guidance)",
                 diagnostics.len(),
                 if diagnostics.len() == 1 { "" } else { "s" }
             );
@@ -136,7 +203,8 @@ fn normalize_ws(s: &str) -> String {
 
 fn print_usage() {
     eprintln!(
-        "usage: mykil-lint [--workspace] [--format human|json] [--list-rules] [FILE...]\n\
+        "usage: mykil-lint [--workspace] [--format human|json|sarif] [--out FILE]\n\
+         \x20                 [--list-rules] [--explain L00N] [FILE...]\n\
          exit codes: 0 clean, 1 findings, 2 error"
     );
 }

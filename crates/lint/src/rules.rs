@@ -14,6 +14,7 @@
 //! | L005 | protocol `Msg` dispatch has no `_ =>` catch-all |
 
 use crate::diagnostics::Diagnostic;
+use crate::engine::CrateContext;
 use crate::tokenizer::{Token, TokenKind};
 
 /// Crates whose non-test code must be panic-free on peer input (L001).
@@ -83,6 +84,17 @@ impl FileContext<'_> {
     }
 }
 
+/// How a rule runs: over one file's raw tokens, or over every analyzed
+/// file of a crate (the syntax-aware rules need cross-file facts: a
+/// field's declared type, a timer kind's handling site).
+#[derive(Clone, Copy)]
+pub enum Check {
+    /// Runs once per file over raw tokens.
+    Token(fn(&FileContext<'_>) -> Vec<Diagnostic>),
+    /// Runs once per workspace crate over AST-analyzed files.
+    Crate(fn(&CrateContext<'_>) -> Vec<Diagnostic>),
+}
+
 /// A lint rule: id, one-line rationale, and the check itself.
 pub struct RuleInfo {
     /// Stable rule id (`L001`…).
@@ -90,7 +102,7 @@ pub struct RuleInfo {
     /// One-line description used by `--list-rules` and docs.
     pub description: &'static str,
     /// The check function.
-    pub check: fn(&FileContext<'_>) -> Vec<Diagnostic>,
+    pub check: Check,
 }
 
 /// The rule registry, in id order.
@@ -99,32 +111,67 @@ pub const RULES: &[RuleInfo] = &[
         id: "L001",
         description: "no unwrap()/expect() in non-test code of protocol crates \
                       (core, net, tree): malformed peer input must not panic a node",
-        check: check_l001,
+        check: Check::Token(check_l001),
     },
     RuleInfo {
         id: "L002",
         description: "secret-bearing types (SymmetricKey, Rc4, ChaCha20, RsaKeyPair, \
                       SecretBytes) must not derive Debug/PartialEq/Hash and must \
                       impl Drop (zeroize)",
-        check: check_l002,
+        check: Check::Token(check_l002),
     },
     RuleInfo {
         id: "L003",
         description: "MAC/digest/secret byte comparisons must use ct_eq, \
                       never ==/!= (timing side channel)",
-        check: check_l003,
+        check: Check::Token(check_l003),
     },
     RuleInfo {
         id: "L004",
         description: "no wall-clock reads (SystemTime/Instant) in sim-deterministic \
                       crates (net, core): the simulator owns time",
-        check: check_l004,
+        check: Check::Token(check_l004),
     },
     RuleInfo {
         id: "L005",
         description: "protocol Msg dispatch must match variants exhaustively, \
                       no `_ =>` catch-all (new wire messages must be triaged)",
-        check: check_l005,
+        check: Check::Token(check_l005),
+    },
+    RuleInfo {
+        id: "L006",
+        description: "no iteration over HashMap/HashSet (.iter/.keys/.values/.drain/\
+                      for-loops) in deterministic crates (core, net, tree): bucket \
+                      order breaks seeded replay and byte-identical wire output",
+        check: Check::Crate(crate::rules_ast::check_l006),
+    },
+    RuleInfo {
+        id: "L007",
+        description: "WAL-before-ack: in core handlers that commit to the WAL, \
+                      every ack/reply Msg send must come after the commit \
+                      (crash between send and commit orphans the peer)",
+        check: Check::Crate(crate::rules_ast::check_l007),
+    },
+    RuleInfo {
+        id: "L008",
+        description: "every set_timer arm site must use a named TIMER_* kind that \
+                      is matched or cancelled somewhere in the same crate \
+                      (stale/orphan timer bug class)",
+        check: Check::Crate(crate::rules_ast::check_l008),
+    },
+    RuleInfo {
+        id: "L009",
+        description: "no bare `as` narrowing casts (u8/u16/u32/i8/i16/i32) in \
+                      wire/codec files: use try_from + Malformed \
+                      (silent length-prefix truncation bug class)",
+        check: Check::Crate(crate::rules_ast::check_l009),
+    },
+    RuleInfo {
+        id: "L010",
+        description: "no panicking slice access (x[i], split_at, copy_from_slice) \
+                      in wire/codec files: use get()/split_at_checked/try_into \
+                      and return Malformed",
+        check: Check::Crate(crate::rules_ast::check_l010),
     },
 ];
 
@@ -515,13 +562,9 @@ fn collect_match_arms(t: &[Token], body_start: usize) -> (Vec<(usize, usize, u32
                 if let Some(start) = arm_start.take() {
                     // Trim a trailing `if guard` from the pattern so a
                     // lone `_ if cond` still counts as `_`.
-                    let mut end = j;
-                    for k in start..j {
-                        if t[k].is_ident("if") {
-                            end = k;
-                            break;
-                        }
-                    }
+                    let end = (start..j)
+                        .find(|&k| t[k].is_ident("if"))
+                        .unwrap_or(j);
                     arms.push((start, end, t[start].line));
                 }
                 // Skip over the arm body: either a block or until the

@@ -1,0 +1,580 @@
+//! The syntax-aware dataflow rules L006–L010.
+//!
+//! These rules run over the [`crate::ast`] layer — per-function event
+//! streams plus crate-wide declaration tables — so they can reason
+//! about *call order* and *cross-file pairing*, which the token rules
+//! L001–L005 cannot:
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | L006 | no iteration over `HashMap`/`HashSet` in deterministic crates |
+//! | L007 | WAL commit precedes every ack/reply send in the same handler |
+//! | L008 | every armed timer kind is matched or cancelled in its crate |
+//! | L009 | no bare narrowing `as` casts in wire/codec files |
+//! | L010 | no panicking slice indexing in wire/codec files |
+//!
+//! Rules receive a [`CrateContext`] — every analyzed file of one
+//! workspace crate — and report diagnostics across any of them.
+
+use crate::ast::{last_name_in, split_args, Event, EventKind};
+use crate::diagnostics::Diagnostic;
+use crate::engine::{AnalyzedFile, CrateContext};
+use crate::rules::HARNESS_PATHS;
+use crate::tokenizer::{Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Crates whose iteration order is protocol- or replay-visible (L006):
+/// the sim-deterministic crates plus the tree crate, whose plans feed
+/// byte-exact wire encoding.
+pub const DETERMINISTIC_ITER_CRATES: &[&str] = &["core", "net", "tree"];
+
+/// Files that parse or build wire bytes (L009/L010): hostile input
+/// flows through these, so casts must be checked and indexing
+/// non-panicking.
+pub const WIRE_SENSITIVE_PATHS: &[&str] = &[
+    "crates/core/src/wire.rs",
+    "crates/core/src/msg.rs",
+    "crates/core/src/rekey.rs",
+    "crates/core/src/durable.rs",
+    "crates/core/src/welcome.rs",
+    "crates/core/src/ticket.rs",
+    "crates/crypto/src/envelope.rs",
+];
+
+/// Iteration methods whose order is the hash map's bucket order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+
+/// Idents that mark a flagged iteration as explicitly ordered: a
+/// collect into an ordered map/set, or a sort of the collected items,
+/// in the same statement.
+const SORTED_MARKERS: &[&str] = &[
+    "BTreeMap",
+    "BTreeSet",
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// Durable-commit calls (L007): PR 4's WAL-before-ack contract counts
+/// any of these as the commit point.
+const WAL_FNS: &[&str] = &["wal_commit", "wal_commit_record"];
+
+/// Protocol-visible emission calls (L007).
+const SEND_FNS: &[&str] = &["send", "send_reliable", "multicast"];
+
+/// `Msg` variant-name fragments that mark a send as an ack/reply — the
+/// messages a peer takes as confirmation that state changed on this
+/// node.
+const ACK_MARKERS: &[&str] = &["Ack", "Denied", "Welcome", "Grant", "Reply"];
+
+/// Integer types a bare `as` cast can silently truncate into (L009).
+/// `usize`/`u64`/`u128` widen on every supported target and stay legal.
+const NARROWING_INT_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Slice calls that panic on length mismatch (L010).
+const PANICKING_SLICE_FNS: &[&str] = &[
+    "split_at",
+    "split_at_mut",
+    "copy_from_slice",
+    "clone_from_slice",
+];
+
+fn diag(rule: &'static str, file: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        file: file.to_string(),
+        line,
+        message,
+    }
+}
+
+/// Whether the event's anchor token is inside test code.
+fn in_test(file: &AnalyzedFile, e: &Event) -> bool {
+    file.test_mask.get(e.tok).copied().unwrap_or(false)
+}
+
+/// End of the statement containing token `from` (exclusive): the next
+/// `;` at the bracket depth of `from`, capped at `limit`.
+fn statement_end(tokens: &[Token], from: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < limit {
+        let t = &tokens[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return i;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return i;
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// Start of the statement containing token `from`: the token after the
+/// previous `;`, `{` or `}` at the bracket depth of `from`, floored at
+/// `floor`.
+fn statement_start(tokens: &[Token], from: usize, floor: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i > floor {
+        let t = &tokens[i - 1];
+        if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth += 1;
+            if t.is_punct('}') && depth == 1 {
+                // A `}` at our depth closes a preceding block statement.
+                return i;
+            }
+        } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth -= 1;
+            if depth < 0 {
+                return i;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return i;
+        }
+        i -= 1;
+    }
+    floor
+}
+
+/// L006: iteration over hash-ordered collections in deterministic
+/// crates. A name is hash-typed when any declaration in the crate types
+/// it `HashMap`/`HashSet`; `for` loops and iteration-method calls over
+/// such names are flagged unless the same statement sorts the result or
+/// collects it into an ordered container.
+pub fn check_l006(ctx: &CrateContext<'_>) -> Vec<Diagnostic> {
+    if !ctx
+        .crate_name
+        .is_some_and(|c| DETERMINISTIC_ITER_CRATES.contains(&c))
+    {
+        return Vec::new();
+    }
+    let mut hash_names: BTreeSet<&str> = BTreeSet::new();
+    for f in ctx.files {
+        for d in &f.ast.decls {
+            // Test-only declarations don't taint production names.
+            let test_only = f.test_mask.get(d.tok).copied().unwrap_or(false);
+            if !test_only && (d.ty_head == "HashMap" || d.ty_head == "HashSet") {
+                hash_names.insert(&d.name);
+            }
+        }
+    }
+    if hash_names.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in ctx.files {
+        for fun in &f.ast.fns {
+            for e in &fun.events {
+                if in_test(f, e) {
+                    continue;
+                }
+                let (what, range) = match &e.kind {
+                    EventKind::MethodCall { method, recv } if ITER_METHODS.contains(&method.as_str()) => {
+                        (format!(".{method}()"), recv)
+                    }
+                    EventKind::ForLoop { iter } => ("`for` loop".to_string(), iter),
+                    _ => continue,
+                };
+                let Some(name) = last_name_in(&f.tokens, range) else {
+                    continue;
+                };
+                if !hash_names.contains(name.as_str()) {
+                    continue;
+                }
+                // Escape hatch: an explicitly ordered use in the same
+                // statement — scan the whole statement so a
+                // `let ks: BTreeSet<_> = …` annotation counts too.
+                let start = statement_start(&f.tokens, e.tok, fun.body.start);
+                let end = statement_end(&f.tokens, e.tok, fun.body.end);
+                let sorted = (start..end).any(|i| {
+                    let t = &f.tokens[i];
+                    t.kind == TokenKind::Ident && SORTED_MARKERS.contains(&t.text.as_str())
+                });
+                if sorted {
+                    continue;
+                }
+                out.push(diag(
+                    "L006",
+                    &f.path,
+                    e.line,
+                    format!(
+                        "{what} over hash-ordered `{name}` is nondeterministic; \
+                         iteration order feeds replayable schedules and wire bytes — \
+                         use BTreeMap/BTreeSet or collect-and-sort in the same statement"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// L007: WAL-before-ack call ordering. In a core-crate handler whose
+/// body both commits to the WAL and emits an ack/reply `Msg`, every
+/// ack/reply emission must come after a commit: an acknowledgement that
+/// leaves before the write-ahead record is a durability hole (a crash
+/// between the two orphans a peer that believes the state change
+/// stuck).
+pub fn check_l007(ctx: &CrateContext<'_>) -> Vec<Diagnostic> {
+    if ctx.crate_name != Some("core") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in ctx.files {
+        if HARNESS_PATHS.contains(&f.path.as_str()) {
+            continue;
+        }
+        for fun in &f.ast.fns {
+            let first_wal = fun.events.iter().find_map(|e| {
+                (!in_test(f, e) && event_callee(e).is_some_and(|n| WAL_FNS.contains(&n)))
+                    .then_some(e.tok)
+            });
+            let Some(first_wal) = first_wal else {
+                continue; // no durable commit in this fn — out of scope
+            };
+            let bindings = ack_bindings(&f.tokens, &fun.body);
+            for e in &fun.events {
+                if in_test(f, e) || e.tok >= first_wal {
+                    continue;
+                }
+                if !event_callee(e).is_some_and(|n| SEND_FNS.contains(&n)) {
+                    continue;
+                }
+                if let Some(variant) = ack_variant_in_args(&f.tokens, &e.args, &bindings) {
+                    out.push(diag(
+                        "L007",
+                        &f.path,
+                        e.line,
+                        format!(
+                            "`Msg::{variant}` is sent before this handler's WAL commit; \
+                             the ack must not leave the node until the state change is \
+                             durable (WAL-before-ack, DESIGN.md §9)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The callee name of a call-like event.
+fn event_callee(e: &Event) -> Option<&str> {
+    match &e.kind {
+        EventKind::Call { path } => path.last().map(|s| s.as_str()),
+        EventKind::MethodCall { method, .. } => Some(method.as_str()),
+        _ => None,
+    }
+}
+
+/// `let NAME = … Msg::Variant …;` bindings in a body whose variant is
+/// ack-like, so `ctx.send(to, kind, reply)` resolves through `reply`.
+fn ack_bindings(tokens: &[Token], body: &Range<usize>) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    let mut i = body.start;
+    while i + 2 < body.end {
+        if tokens[i].is_ident("Msg")
+            && tokens[i + 1].is_punct(':')
+            && tokens[i + 2].is_punct(':')
+        {
+            if let Some(v) = tokens.get(i + 3).filter(|t| t.kind == TokenKind::Ident) {
+                if is_ack_variant(&v.text) {
+                    // Find the statement start and check for `let NAME =`.
+                    let mut j = i;
+                    while j > body.start {
+                        let t = &tokens[j - 1];
+                        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                            break;
+                        }
+                        j -= 1;
+                    }
+                    let name = match (
+                        tokens.get(j),
+                        tokens.get(j + 1),
+                        tokens.get(j + 2),
+                        tokens.get(j + 3),
+                    ) {
+                        (Some(l), Some(n), Some(eq), _)
+                            if l.is_ident("let")
+                                && n.kind == TokenKind::Ident
+                                && eq.is_punct('=') =>
+                        {
+                            Some(n.text.clone())
+                        }
+                        (Some(l), Some(m), Some(n), Some(eq))
+                            if l.is_ident("let")
+                                && m.is_ident("mut")
+                                && n.kind == TokenKind::Ident
+                                && eq.is_punct('=') =>
+                        {
+                            Some(n.text.clone())
+                        }
+                        _ => None,
+                    };
+                    if let Some(name) = name {
+                        map.insert(name, v.text.clone());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    map
+}
+
+fn is_ack_variant(name: &str) -> bool {
+    ACK_MARKERS.iter().any(|m| name.contains(m))
+}
+
+/// Scans a send's argument tokens for a direct `Msg::AckLike` build or
+/// an ident bound to one.
+fn ack_variant_in_args(
+    tokens: &[Token],
+    args: &Range<usize>,
+    bindings: &BTreeMap<String, String>,
+) -> Option<String> {
+    let mut i = args.start;
+    while i < args.end {
+        let t = &tokens[i];
+        if t.is_ident("Msg")
+            && tokens.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|x| x.is_punct(':'))
+        {
+            if let Some(v) = tokens.get(i + 3).filter(|x| x.kind == TokenKind::Ident) {
+                if is_ack_variant(&v.text) {
+                    return Some(v.text.clone());
+                }
+            }
+        }
+        if t.kind == TokenKind::Ident {
+            if let Some(v) = bindings.get(&t.text) {
+                return Some(v.clone());
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// L008: timer arm/handle pairing. Every `set_timer(_, KIND)` arm site
+/// in a protocol crate must use a *named* kind constant, and that kind
+/// must be consumed somewhere else in the crate — an `on_timer` match
+/// arm, a comparison, or a cancel path. An armed kind nobody matches is
+/// exactly PR 3's crash-purge bug class: the timer fires (or survives a
+/// crash) and nobody is responsible for it.
+pub fn check_l008(ctx: &CrateContext<'_>) -> Vec<Diagnostic> {
+    if !ctx.crate_name.is_some_and(|c| c == "core" || c == "net") {
+        return Vec::new();
+    }
+    struct Arm<'a> {
+        kind: String,
+        file: &'a str,
+        line: u32,
+    }
+    let mut arms: Vec<Arm<'_>> = Vec::new();
+    let mut out = Vec::new();
+    // Token positions used as a set_timer tag, per file: these do not
+    // count as "handling" the kind.
+    let mut tag_positions: BTreeMap<&str, BTreeSet<usize>> = BTreeMap::new();
+    for f in ctx.files {
+        if HARNESS_PATHS.contains(&f.path.as_str()) {
+            continue;
+        }
+        for fun in &f.ast.fns {
+            for e in &fun.events {
+                if in_test(f, e) || event_callee(e) != Some("set_timer") {
+                    continue;
+                }
+                let parts = split_args(&f.tokens, &e.args);
+                let Some(tag) = parts.get(1) else { continue };
+                let single = tag.len() == 1;
+                if single && f.tokens[tag.start].kind == TokenKind::Literal {
+                    out.push(diag(
+                        "L008",
+                        &f.path,
+                        e.line,
+                        "timer armed with a bare literal tag; use a named \
+                         `TIMER_*` kind constant so arm and handling sites \
+                         can be paired"
+                            .to_string(),
+                    ));
+                    continue;
+                }
+                if let Some(kind) = last_name_in(&f.tokens, tag) {
+                    tag_positions
+                        .entry(f.path.as_str())
+                        .or_default()
+                        .extend(tag.clone());
+                    arms.push(Arm {
+                        kind,
+                        file: &f.path,
+                        line: e.line,
+                    });
+                }
+            }
+        }
+    }
+    // A kind is handled when it appears outside arm-tag position, its
+    // own `const` definition, and `use` imports — i.e. a match arm, a
+    // comparison, or a cancel site.
+    let mut handled: BTreeSet<String> = BTreeSet::new();
+    for f in ctx.files {
+        let tags = tag_positions.get(f.path.as_str());
+        for (i, t) in f.tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            if !arms.iter().any(|a| a.kind == t.text) {
+                continue;
+            }
+            if tags.is_some_and(|s| s.contains(&i)) {
+                continue;
+            }
+            if i > 0 && f.tokens[i - 1].is_ident("const") {
+                continue;
+            }
+            if ident_in_use_statement(&f.tokens, i) {
+                continue;
+            }
+            handled.insert(t.text.clone());
+        }
+    }
+    for a in arms {
+        if !handled.contains(&a.kind) {
+            out.push(diag(
+                "L008",
+                a.file,
+                a.line,
+                format!(
+                    "timer kind `{}` is armed here but never matched or \
+                     cancelled anywhere in this crate; every armed timer \
+                     needs a handling/cancel site (stale-timer bug class)",
+                    a.kind
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Whether the ident at `i` sits inside a `use …;` statement.
+fn ident_in_use_statement(tokens: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        let t = &tokens[j - 1];
+        if t.is_punct(';') || t.is_punct('}') {
+            break;
+        }
+        if t.is_ident("use") {
+            return true;
+        }
+        j -= 1;
+    }
+    tokens.get(j).is_some_and(|t| t.is_ident("use"))
+}
+
+/// L009: bare narrowing `as` casts in wire/codec files. `len() as u32`
+/// shipped a real truncation bug (PR 5's length-prefix fix); narrowing
+/// must go through `try_from` with a `Malformed` error.
+pub fn check_l009(ctx: &CrateContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in ctx.files {
+        if !WIRE_SENSITIVE_PATHS.contains(&f.path.as_str()) {
+            continue;
+        }
+        for fun in &f.ast.fns {
+            for e in &fun.events {
+                if in_test(f, e) {
+                    continue;
+                }
+                if let EventKind::Cast { target } = &e.kind {
+                    if NARROWING_INT_TARGETS.contains(&target.as_str()) {
+                        out.push(diag(
+                            "L009",
+                            &f.path,
+                            e.line,
+                            format!(
+                                "bare `as {target}` in wire/codec code can silently \
+                                 truncate (the PR 5 length-prefix bug class); use \
+                                 `{target}::try_from(..)` and surface \
+                                 `ProtocolError::Malformed`"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// L010: panicking slice access in wire/codec files: `x[i]` / `x[a..b]`
+/// indexing and the panicking slice-copy/split family. Hostile bytes
+/// flow through these files; use `get(..)`, `split_at_checked`, or
+/// fixed-size `try_into` instead.
+pub fn check_l010(ctx: &CrateContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in ctx.files {
+        if !WIRE_SENSITIVE_PATHS.contains(&f.path.as_str()) {
+            continue;
+        }
+        for fun in &f.ast.fns {
+            for e in &fun.events {
+                if in_test(f, e) {
+                    continue;
+                }
+                match &e.kind {
+                    EventKind::Index { base } => {
+                        let shown = last_name_in(&f.tokens, base)
+                            .unwrap_or_else(|| "expression".to_string());
+                        out.push(diag(
+                            "L010",
+                            &f.path,
+                            e.line,
+                            format!(
+                                "indexing `{shown}[..]` panics on out-of-range input; \
+                                 wire/codec code must use `get(..)` / \
+                                 `split_at_checked` / `try_into` and return \
+                                 `Malformed`"
+                            ),
+                        ));
+                    }
+                    EventKind::MethodCall { method, .. }
+                        if PANICKING_SLICE_FNS.contains(&method.as_str()) =>
+                    {
+                        out.push(diag(
+                            "L010",
+                            &f.path,
+                            e.line,
+                            format!(
+                                "`{method}` panics on length mismatch; wire/codec \
+                                 code must use a checked variant and return \
+                                 `Malformed`"
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}

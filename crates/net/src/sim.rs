@@ -11,7 +11,7 @@ use crate::topology::Topology;
 use crate::trace::{DropReason, Trace, TraceEvent};
 use mykil_crypto::drbg::Drbg;
 use std::any::Any;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A simulated process. Implementors are area controllers, registration
 /// servers, group members, or baseline-protocol nodes.
@@ -84,7 +84,7 @@ struct PendingReliable {
 /// the oldest is evicted when the window is full).
 #[derive(Debug, Default)]
 struct DedupWindow {
-    seen: HashSet<u64>,
+    seen: BTreeSet<u64>,
     order: VecDeque<u64>,
 }
 
@@ -114,16 +114,16 @@ pub struct Simulator {
     storage: Vec<NodeStorage>,
     queue: EventQueue,
     topo: Topology,
-    groups: Vec<HashSet<NodeId>>,
+    groups: Vec<BTreeSet<NodeId>>,
     stats: Stats,
     rng: Drbg,
     now: Time,
     latency: LatencyModel,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     next_token: u64,
     next_msg_id: u64,
-    pending_reliable: HashMap<u64, PendingReliable>,
-    dedup: HashMap<(NodeId, NodeId), DedupWindow>,
+    pending_reliable: BTreeMap<u64, PendingReliable>,
+    dedup: BTreeMap<(NodeId, NodeId), DedupWindow>,
     reliable_base: Duration,
     reliable_max_attempts: u32,
     events_processed: u64,
@@ -133,15 +133,15 @@ pub struct Simulator {
     reorder_window: Duration,
     /// Per-node timer scale in permille (1000 = nominal); nodes absent
     /// from the map run their timers at nominal speed.
-    timer_skew: HashMap<NodeId, u32>,
+    timer_skew: BTreeMap<NodeId, u32>,
     /// Pending timer tokens per node, so a crash can cancel them all
     /// (a rebooted process holds no armed timers).
-    armed_timers: HashMap<NodeId, HashSet<u64>>,
+    armed_timers: BTreeMap<NodeId, BTreeSet<u64>>,
     /// Completed crash/restart cycles per node. Recovery is allowed to
     /// roll volatile counters backwards (a corrupt checkpoint falls
     /// back to an older slot), so monotonicity checkers use this to
     /// scope their baselines to one process incarnation.
-    restart_counts: HashMap<NodeId, u64>,
+    restart_counts: BTreeMap<NodeId, u64>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -172,11 +172,11 @@ impl Simulator {
             rng: Drbg::from_seed(seed),
             now: Time::ZERO,
             latency,
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             next_token: 0,
             next_msg_id: 0,
-            pending_reliable: HashMap::new(),
-            dedup: HashMap::new(),
+            pending_reliable: BTreeMap::new(),
+            dedup: BTreeMap::new(),
             reliable_base: Duration::from_millis(50),
             reliable_max_attempts: 6,
             events_processed: 0,
@@ -184,9 +184,9 @@ impl Simulator {
             dup_per_mille: 0,
             reorder_per_mille: 0,
             reorder_window: Duration::ZERO,
-            timer_skew: HashMap::new(),
-            armed_timers: HashMap::new(),
-            restart_counts: HashMap::new(),
+            timer_skew: BTreeMap::new(),
+            armed_timers: BTreeMap::new(),
+            restart_counts: BTreeMap::new(),
         }
     }
 
@@ -210,7 +210,7 @@ impl Simulator {
     /// Creates an empty multicast group.
     pub fn create_group(&mut self) -> GroupId {
         let id = GroupId(self.groups.len() as u32);
-        self.groups.push(HashSet::new());
+        self.groups.push(BTreeSet::new());
         id
     }
 
@@ -219,7 +219,7 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics for a `GroupId` not created by this simulator.
-    pub fn group_members(&self, group: GroupId) -> &HashSet<NodeId> {
+    pub fn group_members(&self, group: GroupId) -> &BTreeSet<NodeId> {
         &self.groups[group.index()]
     }
 
@@ -878,15 +878,13 @@ impl Simulator {
                     bytes,
                     after,
                 } => {
-                    let members: Vec<NodeId> = {
-                        let mut m: Vec<NodeId> = self.groups[group.index()]
-                            .iter()
-                            .copied()
-                            .filter(|&n| n != src)
-                            .collect();
-                        m.sort_unstable(); // determinism: HashSet order varies
-                        m
-                    };
+                    // BTreeSet iteration is already ordered, so the
+                    // delivery schedule is deterministic by construction.
+                    let members: Vec<NodeId> = self.groups[group.index()]
+                        .iter()
+                        .copied()
+                        .filter(|&n| n != src)
+                        .collect();
                     self.stats.record_send(kind, bytes.len(), members.len());
                     for to in members {
                         self.transmit(src, to, kind, bytes.clone(), after, Transport::Plain);

@@ -8,18 +8,18 @@
 use crate::id::NodeId;
 use crate::trace::DropReason;
 use mykil_crypto::drbg::Drbg;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Mutable connectivity state of the simulated network.
 #[derive(Debug, Default)]
 pub(crate) struct Topology {
     /// Partition label per node; nodes talk only within one label.
     /// Nodes absent from the map are in the default partition 0.
-    partition_of: HashMap<NodeId, u32>,
+    partition_of: BTreeMap<NodeId, u32>,
     /// Crashed nodes neither send nor receive.
-    crashed: HashSet<NodeId>,
+    crashed: BTreeSet<NodeId>,
     /// Directed links that silently drop everything.
-    cut_links: HashSet<(NodeId, NodeId)>,
+    cut_links: BTreeSet<(NodeId, NodeId)>,
     /// Probability (in 1/1000) that any given message is dropped.
     loss_per_mille: u32,
 }

@@ -16,7 +16,7 @@ use crate::plan::{RekeyPlan, UnicastKeys};
 use crate::tree::NodeIdx;
 use crate::MemberId;
 use mykil_crypto::keys::SymmetricKey;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The set of tree keys one member currently holds.
 #[derive(Debug, Clone)]
@@ -64,7 +64,7 @@ impl MemberView {
     /// in), so a parent protected by a child's *new* key is learnable in
     /// one pass, exactly like the real wire message.
     pub fn apply_plan(&mut self, plan: &RekeyPlan) -> usize {
-        let mut known: HashSet<[u8; 16]> = self.keys.values().map(|k| *k.as_bytes()).collect();
+        let mut known: BTreeSet<[u8; 16]> = self.keys.values().map(|k| *k.as_bytes()).collect();
         let mut learned = 0;
         for change in &plan.changes {
             let decryptable = change

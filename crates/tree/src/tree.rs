@@ -18,6 +18,15 @@ impl NodeIdx {
         self.0
     }
 
+    /// This index as the `u32` node reference used on the wire. Arena
+    /// indices are bounded far below `u32::MAX` (a 2^32-node tree does
+    /// not fit in memory), so the conversion saturates instead of
+    /// panicking in the unreachable case — the codec layer owns the
+    /// checked narrowing so wire code never needs a bare `as` cast.
+    pub fn wire(self) -> u32 {
+        u32::try_from(self.0).unwrap_or(u32::MAX)
+    }
+
     /// Rebuilds an index from [`Self::raw`] output.
     pub fn from_raw(raw: usize) -> NodeIdx {
         NodeIdx(raw)
