@@ -16,6 +16,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn live_add(n: u64) {
+    let live = LIVE_BYTES.fetch_add(n, Ordering::Relaxed) + n;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
 
 /// Forwards to the system allocator while counting events and bytes.
 pub struct CountingAllocator;
@@ -26,16 +33,20 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        live_add(layout.size() as u64);
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        live_add(new_size as u64);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -48,4 +59,22 @@ pub fn alloc_count() -> u64 {
 /// Total bytes requested since process start.
 pub fn alloc_bytes() -> u64 {
     ALLOC_BYTES.load(Ordering::Relaxed)
+}
+
+/// Bytes currently allocated and not yet freed.
+pub fn live_bytes() -> u64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`live_bytes`] since process start (or the last
+/// [`reset_peak`]) — a deterministic RSS proxy for memory gates, free
+/// of the page-cache and fragmentation noise a real RSS reading has.
+pub fn peak_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Restarts the high-water mark from the current live size, so a
+/// measured region's peak is not masked by setup allocations.
+pub fn reset_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
 }

@@ -47,6 +47,19 @@ fn main() {
     }
     println!();
 
+    println!("--- Figure 8 extension: leave cost vs group size to 1M (analytic) ---");
+    println!(
+        "{:>9} {:>6} {:>12} {:>8} {:>8}",
+        "members", "areas", "iolus", "lkh", "mykil"
+    );
+    for r in fig8_group_size_sweep() {
+        println!(
+            "{:>9} {:>6} {:>12} {:>8} {:>8}",
+            r.members, r.areas, r.iolus, r.lkh, r.mykil
+        );
+    }
+    println!();
+
     println!("--- Figure 10: ten aggregated leaves (measured key bytes) ---");
     println!(
         "{:>6} {:>10} {:>12} {:>12}",

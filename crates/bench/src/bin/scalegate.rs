@@ -1,0 +1,326 @@
+//! Million-member scale gate (ISSUE 7).
+//!
+//! Runs the hybrid hot/cold flash-crowd scenarios — 100,000 members
+//! for the CI smoke and the full 1,000,000-member / 1,000-area
+//! acceptance run — under the counting allocator and the scale
+//! invariant checker, and reports events/sec, wall time and peak
+//! live-heap bytes (a deterministic RSS proxy) as machine-readable
+//! JSON (`BENCH_scale.json` at the repo root).
+//!
+//! ```text
+//! scalegate                  # run and print
+//! scalegate --smoke          # 100k scenario only (bounded CI wall time)
+//! scalegate --write          # run and (re)write BENCH_scale.json
+//! scalegate --check <path>   # run and fail (exit 1) on regression
+//!           --tolerance 15   #   events/sec band, percent (calibrated)
+//!           --out <path>     #   also dump the fresh JSON (CI artifact)
+//! ```
+//!
+//! Gate semantics mirror `perfgate` (DESIGN.md §10): event counts are
+//! bit-deterministic and gated exactly; peak heap is gated at the
+//! tolerance; events/sec is normalized by a SHA-256 calibration loop
+//! and gated at the given tolerance (the ISSUE 7 regression bar).
+
+use mykil::invariants::check_scale;
+use mykil::scale::{ScaleConfig, ScaleGroup};
+use mykil_bench::alloc_track::{peak_bytes, reset_peak, CountingAllocator};
+use mykil_crypto::sha256::Sha256;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// One scenario's measurements.
+struct Sample {
+    name: &'static str,
+    members: u64,
+    areas: usize,
+    events: u64,
+    events_per_sec: f64,
+    wall_secs: f64,
+    peak_heap_bytes: u64,
+    rekey_multicast_bytes: u64,
+    rekey_unicast_bytes: u64,
+}
+
+/// Drives one flash-crowd join + mass-leave to completion with the
+/// invariant checker auditing both quiescent points; any violation is
+/// fatal (the gate must not publish numbers from a broken run).
+fn run_scenario(name: &'static str, cfg: ScaleConfig) -> Sample {
+    reset_peak();
+    let t0 = Instant::now();
+    let mut g = ScaleGroup::new(cfg);
+    if !g.run_flash_crowd_join() {
+        eprintln!("{name}: join phase ran out of event budget");
+        std::process::exit(2);
+    }
+    let join_violations = check_scale(&g);
+    if !join_violations.is_empty() {
+        eprintln!("{name}: invariant violations after join: {join_violations:?}");
+        std::process::exit(2);
+    }
+    if g.live_members() != cfg.members {
+        eprintln!(
+            "{name}: {} members live after join, expected {}",
+            g.live_members(),
+            cfg.members
+        );
+        std::process::exit(2);
+    }
+    if !g.run_mass_leave() {
+        eprintln!("{name}: leave phase ran out of event budget");
+        std::process::exit(2);
+    }
+    let leave_violations = check_scale(&g);
+    if !leave_violations.is_empty() {
+        eprintln!("{name}: invariant violations after leave: {leave_violations:?}");
+        std::process::exit(2);
+    }
+    if g.live_members() != 0 {
+        eprintln!("{name}: {} members left behind after mass leave", g.live_members());
+        std::process::exit(2);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let events = g.sim.events_processed();
+    Sample {
+        name,
+        members: cfg.members,
+        areas: cfg.areas,
+        events,
+        events_per_sec: events as f64 / wall,
+        wall_secs: wall,
+        peak_heap_bytes: peak_bytes(),
+        rekey_multicast_bytes: g.sim.stats().counter("scale-rekey-multicast-bytes"),
+        rekey_unicast_bytes: g.sim.stats().counter("scale-rekey-unicast-bytes"),
+    }
+}
+
+/// Host-speed calibration, identical to perfgate's: SHA-256 digests
+/// over a 4 KiB buffer per second.
+fn calibrate() -> f64 {
+    let buf = [0x5Au8; 4096];
+    let mut acc = 0u64;
+    const ITERS: u64 = 4000;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        acc = acc.wrapping_add(u64::from(Sha256::digest(&buf)[0]));
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(acc != u64::MAX);
+    ITERS as f64 / dt
+}
+
+fn render_json(samples: &[Sample], calibration: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": 1,\n");
+    out.push_str("  \"description\": \"hybrid hot/cold scale gate; refresh with: cargo run --release -p mykil-bench --bin scalegate -- --write\",\n");
+    out.push_str(&format!(
+        "  \"calibration_sha256_4k_per_sec\": {calibration:.1},\n"
+    ));
+    out.push_str("  \"scenarios\": {\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{ \"members\": {}, \"areas\": {}, \"events\": {}, \"events_per_sec\": {:.1}, \"wall_secs\": {:.3}, \"peak_heap_bytes\": {}, \"rekey_multicast_bytes\": {}, \"rekey_unicast_bytes\": {} }}{}\n",
+            s.name,
+            s.members,
+            s.areas,
+            s.events,
+            s.events_per_sec,
+            s.wall_secs,
+            s.peak_heap_bytes,
+            s.rekey_multicast_bytes,
+            s.rekey_unicast_bytes,
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Extracts `"key": <number>` from `text` scoped to the object that
+/// follows `"scope"` (a flat scan is enough for the format we emit).
+fn json_num(text: &str, scope: &str, key: &str) -> Option<f64> {
+    let start = match scope.is_empty() {
+        true => 0,
+        false => text.find(&format!("\"{scope}\""))?,
+    };
+    let scoped = &text[start..];
+    let end = scoped.find('}').unwrap_or(scoped.len());
+    let scoped = &scoped[..end];
+    let kpos = scoped.find(&format!("\"{key}\""))?;
+    let after = &scoped[kpos..];
+    let colon = after.find(':')?;
+    let rest = after[colon + 1..].trim_start();
+    let numlen = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..numlen].parse().ok()
+}
+
+struct Regression {
+    what: String,
+    base: f64,
+    fresh: f64,
+    limit_pct: f64,
+}
+
+/// Compares fresh samples against a committed baseline.
+fn check(baseline: &str, samples: &[Sample], calibration: f64, tol_pct: f64) -> Vec<Regression> {
+    let mut bad = Vec::new();
+    let base_calib = json_num(baseline, "", "calibration_sha256_4k_per_sec").unwrap_or(calibration);
+    for s in samples {
+        let Some(base_events) = json_num(baseline, s.name, "events") else {
+            bad.push(Regression {
+                what: format!("{}: missing from baseline", s.name),
+                base: 0.0,
+                fresh: 0.0,
+                limit_pct: 0.0,
+            });
+            continue;
+        };
+
+        // Event count and rekey bytes are bit-deterministic for a
+        // fixed seed: any drift is a behavior change, not noise.
+        if s.events as f64 != base_events {
+            bad.push(Regression {
+                what: format!("{}: events (deterministic)", s.name),
+                base: base_events,
+                fresh: s.events as f64,
+                limit_pct: 0.0,
+            });
+        }
+        for (key, fresh) in [
+            ("rekey_multicast_bytes", s.rekey_multicast_bytes as f64),
+            ("rekey_unicast_bytes", s.rekey_unicast_bytes as f64),
+        ] {
+            if let Some(base) = json_num(baseline, s.name, key) {
+                if fresh != base {
+                    bad.push(Regression {
+                        what: format!("{}: {key} (deterministic)", s.name),
+                        base,
+                        fresh,
+                        limit_pct: 0.0,
+                    });
+                }
+            }
+        }
+
+        // Peak heap is deterministic up to allocator growth policy;
+        // band it at the tolerance.
+        if let Some(base_peak) = json_num(baseline, s.name, "peak_heap_bytes") {
+            if s.peak_heap_bytes as f64 > base_peak * (1.0 + tol_pct / 100.0) {
+                bad.push(Regression {
+                    what: format!("{}: peak_heap_bytes", s.name),
+                    base: base_peak,
+                    fresh: s.peak_heap_bytes as f64,
+                    limit_pct: tol_pct,
+                });
+            }
+        }
+
+        // Throughput: normalize by the calibration ratio (the ISSUE 7
+        // bar — fail on >15% events/sec regression).
+        let base_eps = json_num(baseline, s.name, "events_per_sec").unwrap_or(0.0);
+        if base_eps > 0.0 && base_calib > 0.0 && calibration > 0.0 {
+            let expected = base_eps * (calibration / base_calib);
+            if s.events_per_sec < expected * (1.0 - tol_pct / 100.0) {
+                bad.push(Regression {
+                    what: format!("{}: events_per_sec (calibrated)", s.name),
+                    base: expected,
+                    fresh: s.events_per_sec,
+                    limit_pct: tol_pct,
+                });
+            }
+        }
+    }
+    bad
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut write = false;
+    let mut smoke_only = false;
+    let mut check_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut tolerance = 15.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--write" => write = true,
+            "--smoke" => smoke_only = true,
+            "--check" => check_path = it.next().cloned(),
+            "--out" => out_path = it.next().cloned(),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or(tolerance)
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let calibration = calibrate();
+    let mut samples = vec![run_scenario("flash_crowd_100k", ScaleConfig::smoke_100k())];
+    if !smoke_only {
+        samples.push(run_scenario("flash_crowd_1m", ScaleConfig::paper_million()));
+    }
+
+    println!(
+        "{:<18} {:>10} {:>12} {:>14} {:>10} {:>14}",
+        "scenario", "members", "events", "events/sec", "wall s", "peak heap MB"
+    );
+    for s in &samples {
+        println!(
+            "{:<18} {:>10} {:>12} {:>14.0} {:>10.3} {:>14.1}",
+            s.name,
+            s.members,
+            s.events,
+            s.events_per_sec,
+            s.wall_secs,
+            s.peak_heap_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    println!("calibration: {calibration:.0} sha256-4k/sec");
+
+    let json = render_json(&samples, calibration);
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if write {
+        if let Err(e) = std::fs::write("BENCH_scale.json", &json) {
+            eprintln!("cannot write BENCH_scale.json: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote BENCH_scale.json");
+    }
+
+    if let Some(path) = check_path {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let bad = check(&baseline, &samples, calibration, tolerance);
+        if bad.is_empty() {
+            println!("scale gate: PASS (tolerance {tolerance}%)");
+        } else {
+            println!("scale gate: FAIL");
+            for r in &bad {
+                println!(
+                    "  {} regressed beyond {:.0}%: baseline {:.2}, fresh {:.2}",
+                    r.what, r.limit_pct, r.base, r.fresh
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}

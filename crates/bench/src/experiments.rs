@@ -90,6 +90,56 @@ pub fn fig8_analytic(n: u64) -> Vec<LeaveBandwidthRow> {
         .collect()
 }
 
+/// Group sizes for the million-member sweep (ISSUE 7): the paper's
+/// figures stop at 100,000; the scale harness extends them to 1M.
+pub const SWEEP_GROUP_SIZES: [u64; 6] =
+    [10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000];
+
+/// One row of the Figure 8 group-size extension: leave-rekey key bytes
+/// as the *group* grows (areas scale with it), per protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupSizeRow {
+    /// Total group size.
+    pub members: u64,
+    /// Areas at this size (~1,000 members per area, the scale
+    /// harness's shape; never below the paper's 20).
+    pub areas: u64,
+    /// Iolus leave cost in key bytes.
+    pub iolus: u64,
+    /// LKH leave cost (one global tree over all members).
+    pub lkh: u64,
+    /// Mykil leave cost (one area tree).
+    pub mykil: u64,
+}
+
+/// Figure 8 extended along the group-size axis to 1,000,000 members,
+/// analytic: real trees at 1M are pointless here because the figures
+/// measure key bytes, which the closed forms reproduce exactly (the
+/// measured/analytic agreement is pinned at small scale by
+/// `fig8_measured_tracks_analytic`). Uses ~1,000-member areas, the
+/// same shape `ScaleConfig::paper_million` simulates.
+pub fn fig8_group_size_sweep() -> Vec<GroupSizeRow> {
+    SWEEP_GROUP_SIZES
+        .iter()
+        .map(|&members| {
+            let p = Params {
+                members,
+                ..Params::paper()
+            };
+            let areas = (members / 1_000).max(20);
+            let (areas, iolus, lkh, mykil) =
+                mykil_analysis::bandwidth::leave_bandwidth_row(&p, areas);
+            GroupSizeRow {
+                members,
+                areas,
+                iolus,
+                lkh,
+                mykil,
+            }
+        })
+        .collect()
+}
+
 /// One row of Figure 10: aggregated leave of `k` members.
 #[derive(Debug, Clone, Copy)]
 pub struct AggregationRow {
@@ -412,6 +462,31 @@ mod tests {
             let ratio = m.mykil as f64 / a.mykil as f64;
             assert!((0.3..3.0).contains(&ratio), "mykil {m:?} vs {a:?}");
         }
+    }
+
+    /// The 1M extension keeps the paper's ordering at every size:
+    /// Iolus pays per area member, LKH and Mykil logarithmically, and
+    /// the gap widens with the group.
+    #[test]
+    fn group_size_sweep_reaches_a_million() {
+        let rows = fig8_group_size_sweep();
+        let last = rows.last().unwrap();
+        assert_eq!(last.members, 1_000_000);
+        assert_eq!(last.areas, 1_000);
+        for r in &rows {
+            assert!(r.mykil <= r.lkh, "{r:?}");
+            assert!(r.iolus > 10 * r.lkh, "{r:?}");
+        }
+        // LKH grows with log(n): the 1M tree costs more than the 10k
+        // one, but by far less than the 100x member ratio.
+        let first = rows.first().unwrap();
+        assert!(last.lkh > first.lkh);
+        assert!(last.lkh < 3 * first.lkh, "{last:?} vs {first:?}");
+        // Mykil's cost depends only on the ~1,000-member area, so it
+        // stays flat from 100k to 1M while Iolus keeps paying per
+        // member of a (constant-size) subgroup.
+        let at_100k = rows.iter().find(|r| r.members == 100_000).unwrap();
+        assert_eq!(last.mykil, at_100k.mykil, "area size fixed => cost fixed");
     }
 
     #[test]

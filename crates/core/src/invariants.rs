@@ -38,6 +38,8 @@
 use crate::area::Role;
 use crate::durable::{replay_ac, replay_rs};
 use crate::group::GroupHandle;
+use crate::scale::ScaleGroup;
+use mykil_baselines::{ColdAreaModel, RekeyTraffic};
 use mykil_net::NodeId;
 use std::collections::BTreeMap;
 
@@ -107,6 +109,41 @@ pub enum InvariantViolation {
         /// What diverged.
         detail: String,
     },
+    /// A hybrid-scale area's live membership (cold aggregate + hot
+    /// set) disagrees with its own admission/departure counters:
+    /// members were lost or duplicated somewhere between the hot
+    /// handshakes and the cold aggregate.
+    ScaleConservation {
+        /// Area index.
+        area: usize,
+        /// `joins - hot_leaves - cold_leaves`.
+        expected: u64,
+        /// `cold + hot` actually live.
+        seen: u64,
+    },
+    /// A hybrid-scale area performed a departure without rotating the
+    /// area key: the forward-secrecy analog for the aggregate model,
+    /// where every leave batch must bump the epoch exactly once.
+    ScaleEpochStuck {
+        /// Area index.
+        area: usize,
+        /// Epoch an independent replay of the counters reaches.
+        expected: u64,
+        /// Epoch the controller's aggregate actually holds.
+        seen: u64,
+    },
+    /// The scale harness's rekey-byte ledger diverged from an
+    /// independent closed-form replay of the membership history —
+    /// either the controllers' accumulated traffic or the simulator's
+    /// stats counters drifted.
+    ScaleLedgerDrift {
+        /// Which ledger drifted (e.g. `"scale-rekey-multicast-bytes"`).
+        counter: &'static str,
+        /// Bytes the independent replay predicts.
+        expected: u64,
+        /// Bytes the ledger records.
+        seen: u64,
+    },
 }
 
 impl std::fmt::Display for InvariantViolation {
@@ -146,6 +183,33 @@ impl std::fmt::Display for InvariantViolation {
             InvariantViolation::RsDurabilityDrift { detail } => write!(
                 f,
                 "rs durability drift: {detail}"
+            ),
+            InvariantViolation::ScaleConservation {
+                area,
+                expected,
+                seen,
+            } => write!(
+                f,
+                "scale conservation: area {area} counters say {expected} live members \
+                 but cold+hot holds {seen}"
+            ),
+            InvariantViolation::ScaleEpochStuck {
+                area,
+                expected,
+                seen,
+            } => write!(
+                f,
+                "scale epoch stuck: area {area} should be at key epoch {expected} \
+                 after its departures but is at {seen}"
+            ),
+            InvariantViolation::ScaleLedgerDrift {
+                counter,
+                expected,
+                seen,
+            } => write!(
+                f,
+                "scale ledger drift: {counter} replay predicts {expected} bytes \
+                 but ledger records {seen}"
             ),
         }
     }
@@ -420,4 +484,111 @@ impl InvariantChecker {
 
         out
     }
+}
+
+/// Checks the hybrid-scale invariants against a [`ScaleGroup`]
+/// (ISSUE 7): per-area membership conservation, the epoch-rotation
+/// forward-secrecy analog, and byte-exact agreement between three
+/// independently-maintained ledgers — the controllers' accumulated
+/// [`RekeyTraffic`], the simulator's stats counters, and a fresh
+/// closed-form replay of each area's counters.
+///
+/// The replay is exact (not a bound) because controllers charge every
+/// rekey at the *total* area size `cold + hot`: promotion and demotion
+/// preserve that total, so the byte sequence depends only on the
+/// per-area scalars (joins `J`, hot leaves `H`, cold leaves drained in
+/// batches of `cold_batch`), not on how the handshakes interleaved.
+/// Stateless, unlike [`InvariantChecker`]: call at any quiescent point.
+pub fn check_scale(g: &ScaleGroup) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    let cfg = g.config();
+    let mut replay_total = RekeyTraffic::default();
+    let mut modeled_total = RekeyTraffic::default();
+
+    for (area, ctrl) in g.controllers().enumerate() {
+        // Conservation: the controller's own counters must explain
+        // exactly the members it still holds.
+        let expected_live = ctrl
+            .joins()
+            .saturating_sub(ctrl.hot_leaves())
+            .saturating_sub(ctrl.cold_leaves());
+        if ctrl.live_members() != expected_live {
+            out.push(InvariantViolation::ScaleConservation {
+                area,
+                expected: expected_live,
+                seen: ctrl.live_members(),
+            });
+        }
+
+        // Independent replay: J joins at sizes 1..=J, then H hot
+        // leaves at descending pre-departure sizes, then batches of
+        // `cold_batch` until the drained count is reached.
+        let mut replay = ColdAreaModel::new(cfg.key_len, cfg.rsa_len, cfg.arity);
+        for _ in 0..ctrl.joins() {
+            replay.join();
+        }
+        for _ in 0..ctrl.hot_leaves() {
+            let size = replay.cold_members();
+            replay.charge_single_leave_at(size);
+            replay.release(1);
+        }
+        let mut drained = 0;
+        while drained < ctrl.cold_leaves() {
+            let k = cfg
+                .cold_batch
+                .min(replay.cold_members())
+                .min(ctrl.cold_leaves() - drained);
+            if k == 0 {
+                break; // counters are inconsistent; conservation catches it
+            }
+            replay.batch_leave(k);
+            drained += k;
+        }
+
+        if ctrl.cold().epoch() != replay.epoch() {
+            out.push(InvariantViolation::ScaleEpochStuck {
+                area,
+                expected: replay.epoch(),
+                seen: ctrl.cold().epoch(),
+            });
+        }
+        replay_total += replay.traffic();
+        modeled_total += ctrl.cold().traffic();
+    }
+
+    // The three ledgers must agree byte-for-byte: replay vs the
+    // controllers' accumulators vs the simulator's stats counters.
+    let stats = g.sim.stats();
+    let checks: [(&'static str, u64, u64); 4] = [
+        (
+            "scale-model-multicast-bytes",
+            replay_total.multicast_bytes,
+            modeled_total.multicast_bytes,
+        ),
+        (
+            "scale-model-unicast-bytes",
+            replay_total.unicast_bytes,
+            modeled_total.unicast_bytes,
+        ),
+        (
+            "scale-rekey-multicast-bytes",
+            replay_total.multicast_bytes,
+            stats.counter("scale-rekey-multicast-bytes"),
+        ),
+        (
+            "scale-rekey-unicast-bytes",
+            replay_total.unicast_bytes,
+            stats.counter("scale-rekey-unicast-bytes"),
+        ),
+    ];
+    for (counter, expected, seen) in checks {
+        if expected != seen {
+            out.push(InvariantViolation::ScaleLedgerDrift {
+                counter,
+                expected,
+                seen,
+            });
+        }
+    }
+    out
 }

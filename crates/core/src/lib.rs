@@ -69,6 +69,7 @@ pub mod member;
 pub mod msg;
 pub mod registration;
 pub mod rekey;
+pub mod scale;
 pub mod ticket;
 pub mod welcome;
 pub mod wire;

@@ -1,0 +1,498 @@
+//! Hybrid hot/cold membership simulation for million-member groups
+//! (ISSUE 7).
+//!
+//! The paper claims Mykil scales to 100,000+ members; the full protocol
+//! stack in this crate simulates every member as a [`mykil_net::Node`]
+//! and tops out around tens of nodes per area. This module closes the
+//! gap with a *hybrid* mode:
+//!
+//! - **Hot members** — the ones currently joining, leaving or being
+//!   promoted/demoted — are real simulated nodes exchanging real
+//!   messages through the event queue ([`PoolMember`]). A bounded pool
+//!   of `P` such nodes drives the whole logical population: pool
+//!   member `p` performs the membership events of logical members
+//!   `p, p + P, p + 2P, …` in turn, so a 1,000,000-member flash crowd
+//!   needs only `P` live node slots.
+//! - **Cold members** — everyone else — are aggregated per area inside
+//!   that area's [`ScaleAreaController`] as a
+//!   [`mykil_baselines::ColdAreaModel`]: a member count, a key epoch,
+//!   and closed-form rekey-byte accounting from `mykil-analysis`
+//!   (validated against the measured `KeyTree` at small scale). Cold
+//!   members generate **no events**, which is what makes the scale
+//!   reachable.
+//!
+//! Lifecycle of one logical member: `JoinReq → JoinAck` (hot, real
+//! messages, join rekey charged) `→ DemoteReq → DemoteAck` (absorbed
+//! into the cold aggregate, free) and later either `PromoteReq →
+//! PromoteAck → LeaveReq → LeaveAck` (hot leave, single-leave rekey
+//! charged) or a controller-local batch-leave timer that drains the
+//! cold aggregate in per-area batches (aggregated rekey charged, one
+//! epoch bump per batch — Section III-E's batching at scale).
+//!
+//! What the aggregate checks and what it does not: membership
+//! conservation, epoch monotonicity (the forward-secrecy analog: every
+//! departure rotates the key) and byte-exact ledger agreement with an
+//! independent closed-form replay are enforced by
+//! [`crate::invariants::check_scale`]. Per-member key material,
+//! handshake authentication and retransmission behaviour are *not*
+//! modelled for cold members — that is what the full protocol tests
+//! cover at small scale.
+
+use mykil_baselines::{ColdAreaModel, RekeyTraffic};
+use mykil_net::{Context, Duration, Node, NodeId, Simulator};
+use std::collections::BTreeSet;
+
+/// Message opcodes (first byte of every scale-harness message).
+const OP_JOIN_REQ: u8 = 1;
+const OP_JOIN_ACK: u8 = 2;
+const OP_DEMOTE_REQ: u8 = 3;
+const OP_DEMOTE_ACK: u8 = 4;
+const OP_PROMOTE_REQ: u8 = 5;
+const OP_PROMOTE_ACK: u8 = 6;
+const OP_PROMOTE_NAK: u8 = 7;
+const OP_LEAVE_REQ: u8 = 8;
+const OP_LEAVE_ACK: u8 = 9;
+
+/// Timer tag for a controller's cold batch-leave sweep.
+const TAG_COLD_BATCH: u64 = 1;
+
+fn encode(op: u8, logical: u64) -> Vec<u8> {
+    let mut b = Vec::with_capacity(9);
+    b.push(op);
+    b.extend_from_slice(&logical.to_le_bytes());
+    b
+}
+
+fn decode(bytes: &[u8]) -> Option<(u8, u64)> {
+    let (&op, rest) = bytes.split_first()?;
+    let logical = u64::from_le_bytes(rest.get(..8)?.try_into().ok()?);
+    Some((op, logical))
+}
+
+/// Configuration of one hybrid scale scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleConfig {
+    /// Deterministic simulation seed.
+    pub seed: u64,
+    /// Total logical group size (e.g. 1,000,000).
+    pub members: u64,
+    /// Number of areas; logical member `m` belongs to area
+    /// `m % areas` (the registration server's round-robin policy).
+    pub areas: usize,
+    /// Live hot-member node slots driving the logical population.
+    pub hot_pool: usize,
+    /// How many of its logical members each pool node leaves via the
+    /// hot promote-then-leave handshake during mass-leave (the rest
+    /// drain through the controllers' cold batches).
+    pub hot_leaves_per_pool: u64,
+    /// Cold members removed per batch-leave timer fire.
+    pub cold_batch: u64,
+    /// Symmetric key length in bytes (closed-form accounting).
+    pub key_len: u64,
+    /// RSA modulus length in bytes (closed-form storage accounting).
+    pub rsa_len: u64,
+    /// Key-tree arity.
+    pub arity: u64,
+}
+
+impl ScaleConfig {
+    /// The acceptance scenario: 1,000,000 members across 1,000 areas.
+    pub fn paper_million() -> ScaleConfig {
+        ScaleConfig {
+            seed: 7,
+            members: 1_000_000,
+            areas: 1_000,
+            hot_pool: 64,
+            hot_leaves_per_pool: 2,
+            cold_batch: 500,
+            key_len: 16,
+            rsa_len: 256,
+            arity: 2,
+        }
+    }
+
+    /// CI-sized smoke: 100,000 members across 100 areas.
+    pub fn smoke_100k() -> ScaleConfig {
+        ScaleConfig {
+            members: 100_000,
+            areas: 100,
+            ..ScaleConfig::paper_million()
+        }
+    }
+}
+
+/// One area's controller: owns the cold aggregate and the hot set.
+pub struct ScaleAreaController {
+    area: usize,
+    cold: ColdAreaModel,
+    /// Logical ids currently hot in this area (joined, not yet demoted,
+    /// or promoted for a leave).
+    hot: BTreeSet<u64>,
+    /// Total members ever admitted / departed.
+    joins: u64,
+    hot_leaves: u64,
+    cold_leaves: u64,
+    cold_batch: u64,
+}
+
+impl ScaleAreaController {
+    fn new(area: usize, cfg: &ScaleConfig) -> ScaleAreaController {
+        ScaleAreaController {
+            area,
+            cold: ColdAreaModel::new(cfg.key_len, cfg.rsa_len, cfg.arity),
+            hot: BTreeSet::new(),
+            joins: 0,
+            hot_leaves: 0,
+            cold_leaves: 0,
+            cold_batch: cfg.cold_batch,
+        }
+    }
+
+    /// Current area size: cold aggregate plus hot members.
+    pub fn live_members(&self) -> u64 {
+        self.cold.cold_members() + self.hot.len() as u64
+    }
+
+    /// The cold aggregate (inspection).
+    pub fn cold(&self) -> &ColdAreaModel {
+        &self.cold
+    }
+
+    /// Hot members currently in the area.
+    pub fn hot_members(&self) -> u64 {
+        self.hot.len() as u64
+    }
+
+    /// Total admissions so far.
+    pub fn joins(&self) -> u64 {
+        self.joins
+    }
+
+    /// Departures via the hot handshake / via cold batches.
+    pub fn hot_leaves(&self) -> u64 {
+        self.hot_leaves
+    }
+
+    /// Departures drained from the cold aggregate by batch timers.
+    pub fn cold_leaves(&self) -> u64 {
+        self.cold_leaves
+    }
+
+    fn charge(ctx: &mut Context<'_>, t: RekeyTraffic) {
+        ctx.stats().bump("scale-rekey-multicast-bytes", t.multicast_bytes);
+        ctx.stats().bump("scale-rekey-unicast-bytes", t.unicast_bytes);
+        ctx.stats().bump(
+            "scale-rekey-messages",
+            t.multicast_messages + t.unicast_messages,
+        );
+    }
+}
+
+impl Node for ScaleAreaController {
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+        let Some((op, logical)) = decode(bytes) else {
+            return;
+        };
+        match op {
+            OP_JOIN_REQ => {
+                if self.hot.insert(logical) {
+                    self.joins += 1;
+                    ctx.stats().bump("scale-joins", 1);
+                    let size = self.live_members();
+                    let t = self.cold.charge_join_at(size);
+                    Self::charge(ctx, t);
+                }
+                ctx.send(from, "scale-join-ack", encode(OP_JOIN_ACK, logical));
+            }
+            OP_DEMOTE_REQ => {
+                if self.hot.remove(&logical) {
+                    self.cold.absorb(1);
+                    ctx.stats().bump("scale-demotions", 1);
+                }
+                ctx.send(from, "scale-demote-ack", encode(OP_DEMOTE_ACK, logical));
+            }
+            OP_PROMOTE_REQ => {
+                if self.cold.release(1) == 1 {
+                    self.hot.insert(logical);
+                    ctx.stats().bump("scale-promotions", 1);
+                    ctx.send(from, "scale-promote-ack", encode(OP_PROMOTE_ACK, logical));
+                } else {
+                    ctx.send(from, "scale-promote-nak", encode(OP_PROMOTE_NAK, logical));
+                }
+            }
+            OP_LEAVE_REQ => {
+                if self.hot.remove(&logical) {
+                    self.hot_leaves += 1;
+                    ctx.stats().bump("scale-hot-leaves", 1);
+                    // Size before the departure: cold + remaining hot
+                    // + the leaver itself.
+                    let size = self.live_members() + 1;
+                    let t = self.cold.charge_single_leave_at(size);
+                    Self::charge(ctx, t);
+                }
+                ctx.send(from, "scale-leave-ack", encode(OP_LEAVE_ACK, logical));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        // mykil-lint: allow(L003) -- u64 timer-kind dispatch, not MAC/digest material
+        if tag == TAG_COLD_BATCH {
+            let k = self.cold_batch.min(self.cold.cold_members());
+            if k > 0 {
+                let t = self.cold.batch_leave(k);
+                self.cold_leaves += k;
+                ctx.stats().bump("scale-cold-leaves", k);
+                Self::charge(ctx, t);
+            }
+            if self.cold.cold_members() > 0 {
+                // Drain the rest next tick; the stagger keeps 1,000
+                // area timers out of one wheel bucket.
+                ctx.set_timer(
+                    Duration::from_millis(10 + (self.area % 7) as u64),
+                    TAG_COLD_BATCH,
+                );
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Driving logical joins (flash crowd).
+    Joining,
+    /// All assigned logicals demoted; waiting for the next phase.
+    Idle,
+    /// Driving hot promote-then-leave handshakes.
+    Leaving,
+}
+
+/// One hot-pool node: performs the membership events of logical members
+/// `pool_index, pool_index + P, pool_index + 2P, …` sequentially, so
+/// the in-flight hot population never exceeds the pool size.
+pub struct PoolMember {
+    pool_index: u64,
+    pool_size: u64,
+    total: u64,
+    controllers: Vec<NodeId>,
+    current: u64,
+    phase: Phase,
+    joined: u64,
+    hot_leaves_left: u64,
+}
+
+impl PoolMember {
+    fn controller_of(&self, logical: u64) -> Option<NodeId> {
+        let area = (logical % self.controllers.len().max(1) as u64) as usize;
+        self.controllers.get(area).copied()
+    }
+
+    fn start_join(&mut self, ctx: &mut Context<'_>) {
+        if self.current >= self.total {
+            self.phase = Phase::Idle;
+            return;
+        }
+        if let Some(ac) = self.controller_of(self.current) {
+            ctx.send(ac, "scale-join-req", encode(OP_JOIN_REQ, self.current));
+        }
+    }
+
+    fn start_promote(&mut self, ctx: &mut Context<'_>) {
+        if self.hot_leaves_left == 0 || self.current >= self.total {
+            self.phase = Phase::Idle;
+            return;
+        }
+        if let Some(ac) = self.controller_of(self.current) {
+            ctx.send(ac, "scale-promote-req", encode(OP_PROMOTE_REQ, self.current));
+        }
+    }
+
+    /// Logical members this pool node has driven through a full
+    /// join-then-demote cycle.
+    pub fn joined(&self) -> u64 {
+        self.joined
+    }
+
+    /// Kicks the mass-leave phase: promote-then-leave the first
+    /// `hot_leaves_per_pool` of this node's logical members.
+    pub fn begin_leaving(&mut self, ctx: &mut Context<'_>) {
+        self.phase = Phase::Leaving;
+        self.current = self.pool_index;
+        self.start_promote(ctx);
+    }
+}
+
+impl Node for PoolMember {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.start_join(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+        let Some((op, logical)) = decode(bytes) else {
+            return;
+        };
+        if logical != self.current {
+            return; // stale reply from a previous logical member
+        }
+        match (op, self.phase) {
+            (OP_JOIN_ACK, Phase::Joining) => {
+                // Hot for exactly the handshake; hand the membership to
+                // the cold aggregate immediately.
+                ctx.send(from, "scale-demote-req", encode(OP_DEMOTE_REQ, logical));
+            }
+            (OP_DEMOTE_ACK, Phase::Joining) => {
+                self.joined += 1;
+                self.current += self.pool_size;
+                self.start_join(ctx);
+            }
+            (OP_PROMOTE_ACK, Phase::Leaving) => {
+                ctx.send(from, "scale-leave-req", encode(OP_LEAVE_REQ, logical));
+            }
+            (OP_PROMOTE_NAK, Phase::Leaving) => {
+                // Area already drained cold-side; stop driving leaves.
+                self.phase = Phase::Idle;
+            }
+            (OP_LEAVE_ACK, Phase::Leaving) => {
+                self.hot_leaves_left -= 1;
+                self.current += self.pool_size;
+                self.start_promote(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The hybrid-scale deployment: a simulator holding one controller per
+/// area plus the hot pool, with phase drivers and combined-view
+/// accessors for the invariant checker.
+pub struct ScaleGroup {
+    /// The underlying simulator (public like [`crate::group::GroupHandle::sim`]).
+    pub sim: Simulator,
+    cfg: ScaleConfig,
+    controllers: Vec<NodeId>,
+    pool: Vec<NodeId>,
+    joined_target: u64,
+    left_target: u64,
+}
+
+impl ScaleGroup {
+    /// Builds the deployment; nothing runs until a phase driver is
+    /// called.
+    pub fn new(cfg: ScaleConfig) -> ScaleGroup {
+        let mut sim = Simulator::new(cfg.seed);
+        let controllers: Vec<NodeId> = (0..cfg.areas)
+            .map(|a| sim.add_node(ScaleAreaController::new(a, &cfg)))
+            .collect();
+        let pool_size = cfg.hot_pool.max(1) as u64;
+        let pool: Vec<NodeId> = (0..pool_size)
+            .map(|p| {
+                sim.add_node(PoolMember {
+                    pool_index: p,
+                    pool_size,
+                    total: cfg.members,
+                    controllers: controllers.clone(),
+                    current: p,
+                    phase: Phase::Joining,
+                    joined: 0,
+                    hot_leaves_left: cfg.hot_leaves_per_pool,
+                })
+            })
+            .collect();
+        ScaleGroup {
+            sim,
+            cfg,
+            controllers,
+            pool,
+            joined_target: 0,
+            left_target: 0,
+        }
+    }
+
+    /// The configuration this deployment was built from.
+    pub fn config(&self) -> &ScaleConfig {
+        &self.cfg
+    }
+
+    /// Per-area controllers (inspection).
+    pub fn controllers(&self) -> impl Iterator<Item = &ScaleAreaController> {
+        self.controllers
+            .iter()
+            .map(|&id| self.sim.node::<ScaleAreaController>(id))
+    }
+
+    /// Drives the flash-crowd join to completion: every logical member
+    /// joins hot and demotes cold. Returns `false` if the event budget
+    /// ran out first.
+    pub fn run_flash_crowd_join(&mut self) -> bool {
+        // Each logical member costs four deliveries plus slack.
+        let budget = self.cfg.members.saturating_mul(8).max(1_000_000);
+        let drained = self.sim.run_until_quiet(budget);
+        self.joined_target = self.cfg.members;
+        drained
+    }
+
+    /// Drives the mass leave: pool members promote-then-leave their
+    /// first assigned logicals hot, then every controller drains its
+    /// cold aggregate through batch-leave timers.
+    pub fn run_mass_leave(&mut self) -> bool {
+        for i in 0..self.pool.len() {
+            let id = self.pool[i];
+            self.sim.invoke(id, |node: &mut PoolMember, ctx| {
+                node.begin_leaving(ctx);
+            });
+        }
+        let hot_budget = (self.pool.len() as u64)
+            .saturating_mul(self.cfg.hot_leaves_per_pool)
+            .saturating_mul(8)
+            .max(1_000_000);
+        let mut drained = self.sim.run_until_quiet(hot_budget);
+        for i in 0..self.controllers.len() {
+            let id = self.controllers[i];
+            self.sim.invoke(id, |node: &mut ScaleAreaController, ctx| {
+                let area = node.area as u64;
+                ctx.set_timer(Duration::from_millis(1 + area % 13), TAG_COLD_BATCH);
+            });
+        }
+        let batches = self
+            .cfg
+            .members
+            .div_ceil(self.cfg.cold_batch.max(1))
+            .saturating_add(self.cfg.areas as u64);
+        drained &= self.sim.run_until_quiet(batches.saturating_mul(4).max(1_000_000));
+        self.left_target = self.joined_target;
+        drained
+    }
+
+    /// Logical members expected to have joined so far.
+    pub fn joined_target(&self) -> u64 {
+        self.joined_target
+    }
+
+    /// Logical members expected to have left so far.
+    pub fn left_target(&self) -> u64 {
+        self.left_target
+    }
+
+    /// Combined live membership across every area (cold + hot).
+    pub fn live_members(&self) -> u64 {
+        self.controllers().map(|c| c.live_members()).sum()
+    }
+
+    /// Total modeled rekey traffic across every area.
+    pub fn modeled_traffic(&self) -> RekeyTraffic {
+        let mut total = RekeyTraffic::default();
+        for c in self.controllers() {
+            total += c.cold().traffic();
+        }
+        total
+    }
+
+    /// Closed-form controller storage summed across areas (the paper's
+    /// storage axis at the current population).
+    pub fn controller_storage_bytes(&self) -> u64 {
+        self.controllers()
+            .map(|c| c.cold().controller_storage_bytes())
+            .sum()
+    }
+}

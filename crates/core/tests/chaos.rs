@@ -130,6 +130,16 @@ fn chaos_soak_invariants_hold_across_seeds() {
             }
             g.run_for(Duration::from_secs(3));
         }
+
+        // Scheduler hygiene (ISSUE 7 satellite): after a soak full of
+        // crashes the timer bookkeeping must be residue-free. The old
+        // scheduler leaked `cancelled` tombstones for timers dropped by
+        // a crash; the wheel cancels in place, so every armed token
+        // maps to exactly one pending event and nothing more.
+        assert!(
+            g.sim.timer_accounting_consistent(),
+            "seed {seed}: timer bookkeeping left residue after the soak"
+        );
     }
 }
 

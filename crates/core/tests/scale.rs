@@ -1,0 +1,123 @@
+//! Hybrid hot/cold scale harness tests (ISSUE 7).
+//!
+//! Small-scale tests drive the full join / mass-leave lifecycle and
+//! cross-check every counter by hand; the 100k flash crowd is the CI
+//! smoke for the million-member scenario the scale benchmark runs.
+
+use mykil::invariants::check_scale;
+use mykil::scale::{ScaleConfig, ScaleGroup};
+
+fn tiny_config() -> ScaleConfig {
+    ScaleConfig {
+        members: 200,
+        areas: 4,
+        hot_pool: 8,
+        hot_leaves_per_pool: 2,
+        cold_batch: 10,
+        ..ScaleConfig::paper_million()
+    }
+}
+
+#[test]
+fn flash_crowd_join_reaches_target_membership() {
+    let mut g = ScaleGroup::new(tiny_config());
+    assert!(g.run_flash_crowd_join(), "join phase ran out of event budget");
+
+    assert_eq!(g.live_members(), 200);
+    // Every area got its round-robin share and demoted it to cold.
+    for ctrl in g.controllers() {
+        assert_eq!(ctrl.joins(), 50);
+        assert_eq!(ctrl.cold().cold_members(), 50);
+        assert_eq!(ctrl.hot_members(), 0, "hot members left behind after demotion");
+    }
+    let violations = check_scale(&g);
+    assert!(violations.is_empty(), "join-phase violations: {violations:?}");
+
+    // Join rekeys were charged: bytes flowed into the stats ledger.
+    assert!(g.sim.stats().counter("scale-rekey-multicast-bytes") > 0);
+    assert!(g.sim.stats().counter("scale-rekey-unicast-bytes") > 0);
+    assert_eq!(g.sim.stats().counter("scale-joins"), 200);
+}
+
+#[test]
+fn mass_leave_drains_everyone_and_rotates_epochs() {
+    let mut g = ScaleGroup::new(tiny_config());
+    assert!(g.run_flash_crowd_join());
+    let join_multicast = g.sim.stats().counter("scale-rekey-multicast-bytes");
+    assert!(g.run_mass_leave(), "leave phase ran out of event budget");
+
+    assert_eq!(g.live_members(), 0, "members left behind after mass leave");
+    let mut hot_leaves = 0;
+    let mut cold_leaves = 0;
+    for ctrl in g.controllers() {
+        hot_leaves += ctrl.hot_leaves();
+        cold_leaves += ctrl.cold_leaves();
+        assert_eq!(ctrl.hot_members(), 0);
+        assert_eq!(ctrl.cold().cold_members(), 0);
+        // Forward-secrecy analog: every departure batch rotated the key.
+        assert_eq!(ctrl.cold().epoch(), ctrl.cold().leave_batches());
+        assert!(ctrl.cold().epoch() > ctrl.hot_leaves());
+    }
+    // 8 pool nodes x 2 hot leaves each; the rest drained cold.
+    assert_eq!(hot_leaves, 16);
+    assert_eq!(cold_leaves, 200 - 16);
+    assert_eq!(g.sim.stats().counter("scale-hot-leaves"), 16);
+    assert_eq!(g.sim.stats().counter("scale-cold-leaves"), 200 - 16);
+    // Leave rekeys added multicast bytes on top of the join phase.
+    assert!(g.sim.stats().counter("scale-rekey-multicast-bytes") > join_multicast);
+
+    let violations = check_scale(&g);
+    assert!(violations.is_empty(), "leave-phase violations: {violations:?}");
+}
+
+#[test]
+fn scale_run_is_deterministic() {
+    let run = || {
+        let mut g = ScaleGroup::new(tiny_config());
+        g.run_flash_crowd_join();
+        g.run_mass_leave();
+        (
+            g.sim.events_processed(),
+            g.sim.now(),
+            g.sim.stats().counter("scale-rekey-multicast-bytes"),
+            g.sim.stats().counter("scale-rekey-unicast-bytes"),
+        )
+    };
+    assert_eq!(run(), run(), "identical configs must replay identically");
+}
+
+#[test]
+fn ledger_drift_is_detected() {
+    let mut g = ScaleGroup::new(tiny_config());
+    assert!(g.run_flash_crowd_join());
+    // Corrupt one ledger: the stats counter drifts from the replay.
+    g.sim.stats_mut().bump("scale-rekey-multicast-bytes", 1);
+    let violations = check_scale(&g);
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            mykil::invariants::InvariantViolation::ScaleLedgerDrift {
+                counter: "scale-rekey-multicast-bytes",
+                ..
+            }
+        )),
+        "corrupted ledger not flagged: {violations:?}"
+    );
+}
+
+/// The CI smoke for the acceptance scenario: 100,000 members across
+/// 100 areas join as a flash crowd and then all leave, with the
+/// invariant checker auditing both quiescent points.
+#[test]
+fn flash_crowd_100k_smoke() {
+    let mut g = ScaleGroup::new(ScaleConfig::smoke_100k());
+    assert!(g.run_flash_crowd_join(), "100k join ran out of event budget");
+    assert_eq!(g.live_members(), 100_000);
+    let violations = check_scale(&g);
+    assert!(violations.is_empty(), "100k join violations: {violations:?}");
+
+    assert!(g.run_mass_leave(), "100k leave ran out of event budget");
+    assert_eq!(g.live_members(), 0);
+    let violations = check_scale(&g);
+    assert!(violations.is_empty(), "100k leave violations: {violations:?}");
+}

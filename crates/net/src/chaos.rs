@@ -159,9 +159,16 @@ impl FaultPlan {
 
     /// Appends a fault; the plan is kept sorted by time (stable, so
     /// same-time faults apply in insertion order).
+    ///
+    /// Inserts at the position found by binary search instead of
+    /// re-sorting the whole vector on every push — the old
+    /// `sort_by_key` made building an n-fault plan O(n² log n).
+    /// `partition_point(at <= )` lands *after* any equal-time faults,
+    /// which is exactly where a stable sort would have kept a new
+    /// arrival, so generated plans are byte-identical to before.
     pub fn push(&mut self, at: Time, fault: FaultSpec) {
-        self.faults.push(TimedFault { at, fault });
-        self.faults.sort_by_key(|f| f.at);
+        let pos = self.faults.partition_point(|f| f.at <= at);
+        self.faults.insert(pos, TimedFault { at, fault });
     }
 
     /// The scheduled faults, in injection order.
@@ -477,6 +484,58 @@ mod tests {
                 .iter()
                 .any(|f| f.fault == FaultSpec::Restart(*target) && f.at == cleanup));
         }
+    }
+
+    /// Satellite fix (ISSUE 7): `push` used to re-sort the whole vector
+    /// on every call. The sorted-position insert must (a) keep large
+    /// plan construction cheap and (b) order faults exactly as the old
+    /// stable sort did, so serialized plans — and therefore replays —
+    /// stay byte-identical.
+    #[test]
+    fn large_plan_builds_fast_and_matches_stable_sort_order() {
+        let mut rng = Drbg::from_seed(0x10ad_91a4);
+        let n = |i: u64| NodeId::from_index((i % 64) as usize);
+        let faults: Vec<(Time, FaultSpec)> = (0..10_000u64)
+            .map(|_| {
+                let at = Time::from_micros(rng.gen_range(1_000_000));
+                let fault = match rng.gen_range(4) {
+                    0 => FaultSpec::Crash(n(rng.gen_range(64))),
+                    1 => FaultSpec::Restart(n(rng.gen_range(64))),
+                    2 => FaultSpec::Loss(rng.gen_range(300) as u32),
+                    _ => FaultSpec::HealPartitions,
+                };
+                (at, fault)
+            })
+            .collect();
+
+        // mykil-lint: allow(L004) -- wall-clock bound on test *build* time, not simulated time
+        let start = std::time::Instant::now();
+        let mut plan = FaultPlan::new();
+        for (at, fault) in &faults {
+            plan.push(*at, fault.clone());
+        }
+        // Generous even for a slow debug CI runner; the old
+        // sort-per-push implementation took tens of seconds here.
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "10k-fault plan took {:?} to build",
+            start.elapsed()
+        );
+
+        // Reference: what the old implementation produced — append
+        // everything, then one stable sort by time.
+        let mut reference: Vec<TimedFault> = faults
+            .iter()
+            .map(|(at, fault)| TimedFault {
+                at: *at,
+                fault: fault.clone(),
+            })
+            .collect();
+        reference.sort_by_key(|f| f.at);
+        assert_eq!(plan.faults(), &reference[..]);
+
+        // And the replay text form round-trips unchanged.
+        assert_eq!(FaultPlan::parse(&plan.serialize()).unwrap(), plan);
     }
 
     #[test]

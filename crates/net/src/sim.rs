@@ -1,7 +1,7 @@
 //! The simulator core: node table, event loop, and failure injection.
 
 use crate::context::{Action, Context, MsgToken};
-use crate::event::{Event, EventKind, EventQueue, Transport};
+use crate::event::{Event, EventHandle, EventKind, EventQueue, Transport};
 use crate::id::{GroupId, NodeId};
 use crate::latency::LatencyModel;
 use crate::stats::Stats;
@@ -66,6 +66,12 @@ pub trait Node: Any {
 /// Messages a receiver remembers per sender for duplicate suppression.
 const DEDUP_WINDOW: usize = 128;
 
+/// Default idle horizon after which a per-pair dedup window is evicted.
+/// Far longer than any retransmission schedule (6 attempts of the
+/// default policy span ~3.2 s), so eviction never unmasks a duplicate
+/// that the reliable layer could still produce.
+const DEDUP_IDLE_HORIZON_MICROS: u64 = 30_000_000;
+
 /// Nominal wire size of a reliable-layer ack (tag byte + u64 id).
 const ACK_WIRE_BYTES: usize = 9;
 
@@ -81,16 +87,22 @@ struct PendingReliable {
 }
 
 /// Recently seen reliable msg ids from one peer (insertion-ordered so
-/// the oldest is evicted when the window is full).
+/// the oldest is evicted when the window is full). `last_seen` lets the
+/// simulator evict whole windows for pairs that stopped talking —
+/// without it the map grows one window per communicating pair forever,
+/// which is unbounded memory at million-member scale.
 #[derive(Debug, Default)]
 struct DedupWindow {
     seen: BTreeSet<u64>,
     order: VecDeque<u64>,
+    last_seen: Time,
 }
 
 impl DedupWindow {
-    /// Records `msg_id`; returns `false` when it was already present.
-    fn fresh(&mut self, msg_id: u64) -> bool {
+    /// Records `msg_id` at `now`; returns `false` when it was already
+    /// present.
+    fn fresh(&mut self, msg_id: u64, now: Time) -> bool {
+        self.last_seen = now;
         if !self.seen.insert(msg_id) {
             return false;
         }
@@ -119,11 +131,15 @@ pub struct Simulator {
     rng: Drbg,
     now: Time,
     latency: LatencyModel,
-    cancelled: BTreeSet<u64>,
     next_token: u64,
     next_msg_id: u64,
     pending_reliable: BTreeMap<u64, PendingReliable>,
     dedup: BTreeMap<(NodeId, NodeId), DedupWindow>,
+    /// Windows idle past this horizon are evicted by a periodic sweep.
+    dedup_idle_horizon: Duration,
+    /// When the last eviction sweep ran (sweeps are time-driven and
+    /// deterministic: no RNG, ordered map iteration).
+    last_dedup_sweep: Time,
     reliable_base: Duration,
     reliable_max_attempts: u32,
     events_processed: u64,
@@ -134,9 +150,10 @@ pub struct Simulator {
     /// Per-node timer scale in permille (1000 = nominal); nodes absent
     /// from the map run their timers at nominal speed.
     timer_skew: BTreeMap<NodeId, u32>,
-    /// Pending timer tokens per node, so a crash can cancel them all
-    /// (a rebooted process holds no armed timers).
-    armed_timers: BTreeMap<NodeId, BTreeSet<u64>>,
+    /// Pending timers per node, keyed by token and holding the wheel
+    /// handle: cancellation (explicit or by crash) removes the event
+    /// from the queue in O(1) — there is no tombstone set to leak.
+    armed_timers: BTreeMap<NodeId, BTreeMap<u64, EventHandle>>,
     /// Completed crash/restart cycles per node. Recovery is allowed to
     /// roll volatile counters backwards (a corrupt checkpoint falls
     /// back to an older slot), so monotonicity checkers use this to
@@ -172,11 +189,12 @@ impl Simulator {
             rng: Drbg::from_seed(seed),
             now: Time::ZERO,
             latency,
-            cancelled: BTreeSet::new(),
             next_token: 0,
             next_msg_id: 0,
             pending_reliable: BTreeMap::new(),
             dedup: BTreeMap::new(),
+            dedup_idle_horizon: Duration::from_micros(DEDUP_IDLE_HORIZON_MICROS),
+            last_dedup_sweep: Time::ZERO,
             reliable_base: Duration::from_millis(50),
             reliable_max_attempts: 6,
             events_processed: 0,
@@ -193,6 +211,29 @@ impl Simulator {
     /// Configures the reliable-delivery layer: first retransmission
     /// after `base` (doubling each attempt), giving up after
     /// `max_attempts` total transmissions. Defaults: 50 ms, 6 attempts.
+    /// Overrides the idle horizon after which per-pair dedup windows
+    /// are evicted (zero disables eviction entirely).
+    pub fn set_dedup_idle_horizon(&mut self, horizon: Duration) {
+        self.dedup_idle_horizon = horizon;
+    }
+
+    /// Number of live per-pair dedup windows (also exported as the
+    /// `dedup-windows` stat whenever an eviction sweep runs).
+    pub fn dedup_windows(&self) -> usize {
+        self.dedup.len()
+    }
+
+    /// Timer bookkeeping consistency: every armed `(node, token)` pair
+    /// holds a handle to exactly one pending timer event in the wheel,
+    /// and the wheel holds no timer event outside the armed map. The
+    /// pre-wheel scheduler kept a `cancelled` tombstone set that leaked
+    /// entries for timers dropped by a crash; chaos soaks assert this
+    /// to pin the fix.
+    pub fn timer_accounting_consistent(&self) -> bool {
+        let armed: usize = self.armed_timers.values().map(|m| m.len()).sum();
+        armed == self.queue.pending_timers()
+    }
+
     pub fn set_reliable_policy(&mut self, base: Duration, max_attempts: u32) {
         self.reliable_base = base;
         self.reliable_max_attempts = max_attempts.max(1);
@@ -311,8 +352,12 @@ impl Simulator {
     pub fn crash(&mut self, node: NodeId) {
         let was_crashed = self.topo.is_crashed(node);
         self.topo.crash(node);
-        if let Some(tokens) = self.armed_timers.remove(&node) {
-            self.cancelled.extend(tokens);
+        if let Some(timers) = self.armed_timers.remove(&node) {
+            // O(1) removal straight from the wheel: nothing is left
+            // behind to fire, and no tombstone set can leak.
+            for handle in timers.into_values() {
+                self.queue.cancel(handle);
+            }
         }
         let dead: Vec<u64> = self
             .pending_reliable
@@ -554,11 +599,11 @@ impl Simulator {
                 return;
             }
             EventKind::Timer { token, .. } => {
+                // A firing timer is by definition still armed: cancels
+                // (explicit or via crash) removed the event from the
+                // wheel, so no tombstone check is needed here.
                 if let Some(set) = self.armed_timers.get_mut(&dst) {
                     set.remove(token);
-                }
-                if self.cancelled.remove(token) {
-                    return;
                 }
                 if self.topo.is_crashed(dst) {
                     return;
@@ -601,7 +646,9 @@ impl Simulator {
                 // Always ack — a duplicate usually means our previous
                 // ack was lost, so the sender needs another one.
                 self.send_ack(dst, from, msg_id);
-                if !self.dedup.entry((dst, from)).or_default().fresh(msg_id) {
+                self.maybe_sweep_dedup();
+                let now = self.now;
+                if !self.dedup.entry((dst, from)).or_default().fresh(msg_id, now) {
                     self.stats.bump("reliable-dup-dropped", 1);
                     self.record(TraceEvent::Dropped {
                         at: self.now,
@@ -747,6 +794,28 @@ impl Simulator {
 
     /// Emits the network-layer ack for a received reliable frame. Acks
     /// travel the same lossy network as everything else.
+    /// Evicts dedup windows idle past the configured horizon. Runs at
+    /// most once per horizon, from the reliable receive path, so the
+    /// sweep schedule is a pure function of the event timeline
+    /// (deterministic across replays; no RNG, ordered iteration).
+    fn maybe_sweep_dedup(&mut self) {
+        let horizon = self.dedup_idle_horizon.as_micros();
+        if horizon == 0
+            || self.now.as_micros() - self.last_dedup_sweep.as_micros() < horizon
+        {
+            return;
+        }
+        self.last_dedup_sweep = self.now;
+        let cutoff = self.now.as_micros().saturating_sub(horizon);
+        let before = self.dedup.len();
+        self.dedup.retain(|_, w| w.last_seen.as_micros() >= cutoff);
+        let evicted = before - self.dedup.len();
+        if evicted > 0 {
+            self.stats.bump("dedup-evicted", evicted as u64);
+        }
+        self.stats.set("dedup-windows", self.dedup.len() as u64);
+    }
+
     fn send_ack(&mut self, acker: NodeId, to: NodeId, msg_id: u64) {
         self.stats.record_send("reliable-ack", ACK_WIRE_BYTES, 1);
         self.transmit(
@@ -902,15 +971,24 @@ impl Simulator {
                         ),
                         None => delay,
                     };
-                    self.armed_timers.entry(src).or_default().insert(token);
-                    self.queue.push(
+                    let handle = self.queue.push(
                         self.now + after + delay,
                         src,
                         EventKind::Timer { tag, token },
                     );
+                    self.armed_timers.entry(src).or_default().insert(token, handle);
                 }
                 Action::CancelTimer { token } => {
-                    self.cancelled.insert(token);
+                    // Tokens are node-scoped in practice but globally
+                    // unique, so removing from the caller's map is
+                    // exact; the wheel drops the event immediately.
+                    if let Some(handle) = self
+                        .armed_timers
+                        .get_mut(&src)
+                        .and_then(|timers| timers.remove(&token))
+                    {
+                        self.queue.cancel(handle);
+                    }
                 }
                 Action::JoinGroup { group } => {
                     self.groups[group.index()].insert(src);
@@ -1577,6 +1655,102 @@ mod reliable_tests {
         let n = sim.node::<OneShot>(node);
         assert_eq!(n.restarts, 1);
         assert_eq!(n.fires, 0, "a timer armed before the crash leaked through restart");
+    }
+
+    /// Satellite fix (ISSUE 7): the pre-wheel scheduler tracked cancels
+    /// in a `cancelled` tombstone set that only shrank when the doomed
+    /// event *fired* — timers dropped by a crash leaked their tokens
+    /// forever. The wheel cancels in place; after any mix of explicit
+    /// cancels, crashes, and fires the armed-timer bookkeeping must
+    /// exactly mirror the queue with no residue.
+    #[test]
+    fn cancelled_and_crashed_timers_leave_no_residue() {
+        struct Armer {
+            tokens: Vec<crate::context::TimerToken>,
+        }
+        impl Node for Armer {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                // Eight long-lived timers; two cancelled immediately.
+                self.tokens = (0..8)
+                    .map(|tag| {
+                        // Tag 0 slightly earlier so it fires first and
+                        // can cancel a sibling from inside a handler.
+                        let delay = Duration::from_secs(if tag == 0 { 59 } else { 60 });
+                        ctx.set_timer(delay, tag)
+                    })
+                    .collect();
+                ctx.cancel_timer(self.tokens[1]);
+                ctx.cancel_timer(self.tokens[2]);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _bytes: &[u8]) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+                if tag == 0 {
+                    ctx.cancel_timer(self.tokens[3]);
+                }
+            }
+        }
+        let mut sim = Simulator::new(34);
+        let a = sim.add_node(Armer { tokens: Vec::new() });
+        let b = sim.add_node(Armer { tokens: Vec::new() });
+        sim.run_for(Duration::from_millis(1));
+        assert!(sim.timer_accounting_consistent());
+        // Crash one armer with all eight timers pending.
+        sim.crash(a);
+        assert!(sim.timer_accounting_consistent());
+        assert!(
+            !sim.armed_timers.contains_key(&a),
+            "crashed node left armed-timer entries behind"
+        );
+        // Let the surviving armer's timers fire (tag 0 cancels tag 3).
+        sim.run_for(Duration::from_secs(120));
+        assert!(sim.timer_accounting_consistent());
+        assert!(
+            sim.armed_timers.get(&b).is_none_or(|m| m.is_empty()),
+            "fired timers left armed-timer entries behind"
+        );
+        assert_eq!(sim.queue.pending_timers(), 0, "timer events leaked in the queue");
+    }
+
+    /// Satellite fix (ISSUE 7): dedup windows for pairs that stopped
+    /// talking are evicted after the idle horizon, and the stats
+    /// surface both the eviction count and the live-window gauge.
+    #[test]
+    fn idle_dedup_windows_are_evicted() {
+        struct Pinger {
+            target: NodeId,
+            rounds: u32,
+        }
+        impl Node for Pinger {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send_reliable(self.target, "ping", vec![0]);
+                ctx.set_timer(Duration::from_secs(1), 0);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _bytes: &[u8]) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+                if self.rounds > 0 {
+                    self.rounds -= 1;
+                    ctx.send_reliable(self.target, "ping", vec![0]);
+                    ctx.set_timer(Duration::from_secs(1), 0);
+                }
+            }
+        }
+        let mut sim = Simulator::new(35);
+        sim.set_dedup_idle_horizon(Duration::from_secs(5));
+        let sink_a = sim.add_node(Counter { got: 0 });
+        let sink_b = sim.add_node(Counter { got: 0 });
+        // One burst to sink_a, then silence towards it; steady pings to
+        // sink_b keep the simulation (and the sweep) running.
+        sim.add_node(Pinger { target: sink_a, rounds: 0 });
+        sim.add_node(Pinger { target: sink_b, rounds: 30 });
+        assert!(sim.run_until_quiet(1_000_000));
+        // The (sink_a, pinger) window went idle > 5s before the last
+        // sweep and must be gone; the (sink_b, pinger) window survives.
+        assert_eq!(sim.dedup_windows(), 1);
+        assert!(sim.stats().counter("dedup-evicted") >= 1);
+        assert_eq!(sim.stats().counter("dedup-windows"), 1);
+        // Both sinks still saw every payload exactly once.
+        assert_eq!(sim.node::<Counter>(sink_a).got, 1);
+        assert_eq!(sim.node::<Counter>(sink_b).got, 31);
     }
 }
 
