@@ -258,6 +258,43 @@ impl ColdAreaModel {
         t
     }
 
+    /// Accounts one member *moving out* of this area (inter-area
+    /// mobility, the paper's ticket-rejoin across areas): from the
+    /// source area's perspective a departure is a departure — the keys
+    /// on the leaver's path must rotate so the mover cannot read this
+    /// area's traffic from its new home. Cost and epoch behaviour are
+    /// therefore exactly a single-leave rekey at the pre-departure
+    /// `size` (see the KeyTree cross-check test: a measured
+    /// leave-here/join-there pair tracks `move_out + move_in`). Does
+    /// not touch the cold population — the caller decides whether the
+    /// mover was hot or cold.
+    pub fn charge_move_out_at(&mut self, size: u64) -> RekeyTraffic {
+        let p = mykil_analysis::Params {
+            members: size.max(1),
+            ..self.params
+        };
+        let t = RekeyTraffic {
+            multicast_bytes: mykil_analysis::bandwidth::mykil_leave_bytes(&p),
+            multicast_messages: 1,
+            unicast_bytes: 0,
+            unicast_messages: 0,
+        };
+        self.epoch += 1;
+        self.leave_batches += 1;
+        self.traffic += t;
+        t
+    }
+
+    /// Accounts one member *moving into* this area on a ticket rejoin.
+    /// The ticket spares the registration-server round trip, not the
+    /// key management: the newcomer still gets a fresh unicast key path
+    /// and the keys on that path are refreshed for the existing members,
+    /// i.e. the cost of a join at the post-arrival `size`. Does not
+    /// touch the cold population.
+    pub fn charge_move_in_at(&mut self, size: u64) -> RekeyTraffic {
+        self.charge_join_at(size)
+    }
+
     /// A batch of `k` cold members leaves: one aggregated rekey using
     /// the worst-case (disjoint-paths) closed form, so the model never
     /// under-reports against a measured tree. Bumps the epoch once.
@@ -455,6 +492,63 @@ mod tests {
             modeled >= 0.5 * measured_ctl && modeled <= 2.5 * measured_ctl,
             "controller storage diverged: measured {measured_ctl}, modeled {modeled}"
         );
+    }
+
+    /// An inter-area move charged through the closed forms must track
+    /// what two measured `KeyTree`s do when a member actually leaves
+    /// one and joins the other — the justification for `move_out` /
+    /// `move_in` charging in the hybrid mobility storm, exactly like
+    /// the join/leave cross-check above.
+    #[test]
+    fn cold_aggregate_move_charging_tracks_measured_trees() {
+        let mut rng = Drbg::from_seed(11);
+        // Two measured areas of 1,000 members each.
+        let mut src = MykilModel::new(1, TreeConfig::binary(), &mut rng);
+        let mut dst = MykilModel::new(1, TreeConfig::binary(), &mut rng);
+        for i in 0..1000u64 {
+            src.join(MemberId(i), &mut rng);
+            dst.join(MemberId(10_000 + i), &mut rng);
+        }
+        // The modeled counterparts at the same sizes.
+        let mut cold_src = ColdAreaModel::new(KEY_LEN as u64, 256, 2);
+        let mut cold_dst = ColdAreaModel::new(KEY_LEN as u64, 256, 2);
+        cold_src.absorb(1000);
+        cold_dst.absorb(1000);
+
+        // Move 200 members src -> dst on both sides.
+        let mut measured = RekeyTraffic::default();
+        let mut modeled = RekeyTraffic::default();
+        for i in 0..200u64 {
+            measured += src.leave(MemberId(i), &mut rng);
+            measured += dst.join(MemberId(20_000 + i), &mut rng);
+
+            modeled += cold_src.charge_move_out_at(cold_src.cold_members());
+            cold_src.release(1);
+            cold_dst.absorb(1);
+            modeled += cold_dst.charge_move_in_at(cold_dst.cold_members());
+        }
+        assert_eq!(cold_src.cold_members(), 800);
+        assert_eq!(cold_dst.cold_members(), 1200);
+        // Forward secrecy on the source side: every departure rotated
+        // the key; arrivals alone never do.
+        assert_eq!(cold_src.epoch(), 200);
+        assert_eq!(cold_dst.epoch(), 0);
+
+        // Same closed-form-vs-measured band as the join/leave check:
+        // ceil-log heights vs fill-order heights.
+        let (m, c) = (
+            measured.total_key_bytes() as f64,
+            modeled.total_key_bytes() as f64,
+        );
+        assert!(
+            c >= 0.8 * m && c <= 1.3 * m,
+            "move bytes diverged: measured {m}, modeled {c}"
+        );
+        // And a move must charge both sides: multicast (rotation in
+        // both areas) plus the unicast key path to the mover's new
+        // leaf.
+        assert_eq!(modeled.unicast_messages, 200);
+        assert_eq!(modeled.multicast_messages, 400);
     }
 
     /// Hot/cold bookkeeping: absorb/release move members without

@@ -1,36 +1,47 @@
-//! Million-member scale gate (ISSUE 7).
+//! Million-member scale gate (ISSUEs 7 and 8).
 //!
-//! Runs the hybrid hot/cold flash-crowd scenarios — 100,000 members
-//! for the CI smoke and the full 1,000,000-member / 1,000-area
-//! acceptance run — under the counting allocator and the scale
-//! invariant checker, and reports events/sec, wall time and peak
-//! live-heap bytes (a deterministic RSS proxy) as machine-readable
-//! JSON (`BENCH_scale.json` at the repo root).
+//! Runs the hybrid hot/cold scenarios under the counting allocator and
+//! the scale invariant checker, and reports events/sec, wall time and
+//! peak live-heap bytes (a deterministic RSS proxy) as machine-readable
+//! JSON:
+//!
+//! - flash-crowd join + mass-leave (`BENCH_scale.json`), and
+//! - with `--mobility`, the mobility-storm scenarios — inter-area
+//!   ticket rejoins under a generated chaos fault plan against durable
+//!   controllers (`BENCH_mobility.json`), including the per-fault
+//!   recovery envelope (mean/p50/p99 recovery micros, degraded-window
+//!   bytes).
 //!
 //! ```text
-//! scalegate                  # run and print
-//! scalegate --smoke          # 100k scenario only (bounded CI wall time)
-//! scalegate --write          # run and (re)write BENCH_scale.json
+//! scalegate                  # flash-crowd scenarios, run and print
+//! scalegate --mobility       # mobility-storm scenarios instead
+//! scalegate --smoke          # smoke scenario only (bounded CI wall time)
+//! scalegate --write          # run and (re)write the matching BENCH json
 //! scalegate --check <path>   # run and fail (exit 1) on regression
-//!           --tolerance 15   #   events/sec band, percent (calibrated)
+//!           --tolerance 15   #   banded-metric tolerance, percent
 //!           --out <path>     #   also dump the fresh JSON (CI artifact)
+//!           --dump-dir <dir> #   on failure, write the fault plan and
+//!                            #   per-area ledger dump there (CI artifacts)
 //! ```
 //!
-//! Gate semantics mirror `perfgate` (DESIGN.md §10): event counts are
-//! bit-deterministic and gated exactly; peak heap is gated at the
-//! tolerance; events/sec is normalized by a SHA-256 calibration loop
-//! and gated at the given tolerance (the ISSUE 7 regression bar).
+//! Gate semantics mirror `perfgate` (DESIGN.md §10): event counts,
+//! rekey bytes, move counts and degraded-window bytes are
+//! bit-deterministic and gated exactly; peak heap, calibrated
+//! events/sec and the recovery-time percentiles are gated at the
+//! tolerance (the ISSUE 8 bar: fail on >15% p99 recovery regression).
 
 use mykil::invariants::check_scale;
-use mykil::scale::{ScaleConfig, ScaleGroup};
+use mykil::scale::{MobilityReport, ScaleConfig, ScaleGroup};
 use mykil_bench::alloc_track::{peak_bytes, reset_peak, CountingAllocator};
 use mykil_crypto::sha256::Sha256;
+use mykil_net::{Duration, FaultPlan};
 use std::time::Instant;
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
-/// One scenario's measurements.
+/// One scenario's measurements. Flash-crowd scenarios leave the
+/// mobility block `None`; storm scenarios fill it.
 struct Sample {
     name: &'static str,
     members: u64,
@@ -41,6 +52,59 @@ struct Sample {
     peak_heap_bytes: u64,
     rekey_multicast_bytes: u64,
     rekey_unicast_bytes: u64,
+    mobility: Option<MobilityBlock>,
+}
+
+/// The recovery section of a mobility sample.
+struct MobilityBlock {
+    moves: u64,
+    faults: u64,
+    crashes: u64,
+    recovery_mean_micros: u64,
+    recovery_p50_micros: u64,
+    recovery_p99_micros: u64,
+    degraded_bytes: u64,
+    /// Serialized fault plan + per-area ledger, for failure artifacts.
+    plan_text: String,
+    ledger_dump: String,
+}
+
+/// One mobility-storm scenario's shape.
+struct StormSpec {
+    name: &'static str,
+    cfg: ScaleConfig,
+    moves: u64,
+    episodes: usize,
+    plan_seed: u64,
+    horizon_ms: u64,
+}
+
+fn smoke_storm() -> StormSpec {
+    StormSpec {
+        name: "mobility_storm_100k",
+        cfg: ScaleConfig {
+            members: 100_000,
+            areas: 100,
+            ..ScaleConfig::mobility_million()
+        },
+        moves: 10_000,
+        episodes: 12,
+        plan_seed: 42,
+        horizon_ms: 300,
+    }
+}
+
+/// The ISSUE 8 acceptance scenario: 1M members / 1,000 areas, 100k
+/// inter-area moves, 50+ injected faults (crashes, partitions, storage).
+fn full_storm() -> StormSpec {
+    StormSpec {
+        name: "mobility_storm_1m",
+        cfg: ScaleConfig::mobility_million(),
+        moves: 100_000,
+        episodes: 20,
+        plan_seed: 42,
+        horizon_ms: 2_000,
+    }
 }
 
 /// Drives one flash-crowd join + mass-leave to completion with the
@@ -50,8 +114,8 @@ fn run_scenario(name: &'static str, cfg: ScaleConfig) -> Sample {
     reset_peak();
     let t0 = Instant::now();
     let mut g = ScaleGroup::new(cfg);
-    if !g.run_flash_crowd_join() {
-        eprintln!("{name}: join phase ran out of event budget");
+    if let Err(stall) = g.run_flash_crowd_join() {
+        eprintln!("{name}: {stall}");
         std::process::exit(2);
     }
     let join_violations = check_scale(&g);
@@ -67,8 +131,8 @@ fn run_scenario(name: &'static str, cfg: ScaleConfig) -> Sample {
         );
         std::process::exit(2);
     }
-    if !g.run_mass_leave() {
-        eprintln!("{name}: leave phase ran out of event budget");
+    if let Err(stall) = g.run_mass_leave() {
+        eprintln!("{name}: {stall}");
         std::process::exit(2);
     }
     let leave_violations = check_scale(&g);
@@ -92,35 +156,151 @@ fn run_scenario(name: &'static str, cfg: ScaleConfig) -> Sample {
         peak_heap_bytes: peak_bytes(),
         rekey_multicast_bytes: g.sim.stats().counter("scale-rekey-multicast-bytes"),
         rekey_unicast_bytes: g.sim.stats().counter("scale-rekey-unicast-bytes"),
+        mobility: None,
     }
 }
 
-/// Host-speed calibration, identical to perfgate's: SHA-256 digests
-/// over a 4 KiB buffer per second.
+/// Per-area ledger dump: enough to diff a failing run against a
+/// healthy one without re-running it.
+fn dump_ledger(g: &ScaleGroup) -> String {
+    let mut out = String::from(
+        "# area live joins hot_leaves cold_leaves moves_out moves_in epoch multicast_bytes unicast_bytes\n",
+    );
+    for (area, c) in g.controllers().enumerate() {
+        let t = c.cold().traffic();
+        out.push_str(&format!(
+            "{area} {} {} {} {} {} {} {} {} {}\n",
+            c.live_members(),
+            c.joins(),
+            c.hot_leaves(),
+            c.cold_leaves(),
+            c.moves_out(),
+            c.moves_in(),
+            c.cold().epoch(),
+            t.multicast_bytes,
+            t.unicast_bytes,
+        ));
+    }
+    out
+}
+
+fn write_failure_artifacts(dump_dir: Option<&str>, name: &str, plan: &FaultPlan, ledger: &str) {
+    let Some(dir) = dump_dir else { return };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create dump dir {dir}: {e}");
+        return;
+    }
+    for (suffix, body) in [("plan.txt", plan.serialize()), ("ledger.txt", ledger.to_string())] {
+        let path = format!("{dir}/{name}.{suffix}");
+        match std::fs::write(&path, body) {
+            Ok(()) => eprintln!("wrote failure artifact {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+}
+
+/// Drives one seeded mobility storm under its generated fault plan,
+/// audits the quiescent point, and collects the recovery envelope. A
+/// stall or invariant violation dumps the plan + ledger (when
+/// `--dump-dir` is given) and aborts the gate.
+fn run_storm(spec: &StormSpec, dump_dir: Option<&str>) -> Sample {
+    reset_peak();
+    let t0 = Instant::now();
+    let mut g = ScaleGroup::new(spec.cfg);
+    g.seed_cold_population();
+    let plan = g.mobility_fault_plan(
+        spec.episodes,
+        spec.plan_seed,
+        Duration::from_millis(spec.horizon_ms),
+    );
+    let report: MobilityReport = match g.run_mobility_storm(spec.moves, &plan) {
+        Ok(r) => r,
+        Err(stall) => {
+            eprintln!("{}: {stall}", spec.name);
+            write_failure_artifacts(dump_dir, spec.name, &plan, &dump_ledger(&g));
+            std::process::exit(2);
+        }
+    };
+    let violations = check_scale(&g);
+    if !violations.is_empty() {
+        eprintln!("{}: invariant violations after storm:", spec.name);
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        write_failure_artifacts(dump_dir, spec.name, &plan, &dump_ledger(&g));
+        std::process::exit(2);
+    }
+    if report.moves != spec.moves {
+        eprintln!(
+            "{}: {} moves completed, expected {}",
+            spec.name, report.moves, spec.moves
+        );
+        write_failure_artifacts(dump_dir, spec.name, &plan, &dump_ledger(&g));
+        std::process::exit(2);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let events = g.sim.events_processed();
+    Sample {
+        name: spec.name,
+        members: spec.cfg.members,
+        areas: spec.cfg.areas,
+        events,
+        events_per_sec: events as f64 / wall,
+        wall_secs: wall,
+        peak_heap_bytes: peak_bytes(),
+        rekey_multicast_bytes: g.sim.stats().counter("scale-rekey-multicast-bytes"),
+        rekey_unicast_bytes: g.sim.stats().counter("scale-rekey-unicast-bytes"),
+        mobility: Some(MobilityBlock {
+            moves: report.moves,
+            faults: report.faults_applied,
+            crashes: report.crashes,
+            recovery_mean_micros: report.mean_recovery_micros(),
+            recovery_p50_micros: report.recovery_percentile_micros(0.50),
+            recovery_p99_micros: report.recovery_percentile_micros(0.99),
+            degraded_bytes: report.degraded_bytes_total(),
+            plan_text: plan.serialize(),
+            ledger_dump: dump_ledger(&g),
+        }),
+    }
+}
+
+/// Host-speed calibration, same unit as perfgate's: SHA-256 digests
+/// over a 4 KiB buffer per second. Measured as the best of several
+/// short rounds — the max is robust against transient frequency dips
+/// that would otherwise inflate the expected-throughput band.
 fn calibrate() -> f64 {
     let buf = [0x5Au8; 4096];
     let mut acc = 0u64;
-    const ITERS: u64 = 4000;
-    let t0 = Instant::now();
-    for _ in 0..ITERS {
-        acc = acc.wrapping_add(u64::from(Sha256::digest(&buf)[0]));
+    const ITERS: u64 = 2000;
+    const ROUNDS: usize = 5;
+    let mut best = 0.0f64;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            acc = acc.wrapping_add(u64::from(Sha256::digest(&buf)[0]));
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.max(ITERS as f64 / dt);
     }
-    let dt = t0.elapsed().as_secs_f64();
     assert!(acc != u64::MAX);
-    ITERS as f64 / dt
+    best
 }
 
-fn render_json(samples: &[Sample], calibration: f64) -> String {
+fn render_json(samples: &[Sample], calibration: f64, mobility: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": 1,\n");
-    out.push_str("  \"description\": \"hybrid hot/cold scale gate; refresh with: cargo run --release -p mykil-bench --bin scalegate -- --write\",\n");
+    if mobility {
+        out.push_str("  \"description\": \"mobility-storm scale gate; refresh with: cargo run --release -p mykil-bench --bin scalegate -- --mobility --write\",\n");
+    } else {
+        out.push_str("  \"description\": \"hybrid hot/cold scale gate; refresh with: cargo run --release -p mykil-bench --bin scalegate -- --write\",\n");
+    }
     out.push_str(&format!(
         "  \"calibration_sha256_4k_per_sec\": {calibration:.1},\n"
     ));
     out.push_str("  \"scenarios\": {\n");
     for (i, s) in samples.iter().enumerate() {
         out.push_str(&format!(
-            "    \"{}\": {{ \"members\": {}, \"areas\": {}, \"events\": {}, \"events_per_sec\": {:.1}, \"wall_secs\": {:.3}, \"peak_heap_bytes\": {}, \"rekey_multicast_bytes\": {}, \"rekey_unicast_bytes\": {} }}{}\n",
+            "    \"{}\": {{ \"members\": {}, \"areas\": {}, \"events\": {}, \"events_per_sec\": {:.1}, \"wall_secs\": {:.3}, \"peak_heap_bytes\": {}, \"rekey_multicast_bytes\": {}, \"rekey_unicast_bytes\": {}",
             s.name,
             s.members,
             s.areas,
@@ -130,6 +310,21 @@ fn render_json(samples: &[Sample], calibration: f64) -> String {
             s.peak_heap_bytes,
             s.rekey_multicast_bytes,
             s.rekey_unicast_bytes,
+        ));
+        if let Some(m) = &s.mobility {
+            out.push_str(&format!(
+                ", \"moves\": {}, \"faults\": {}, \"crashes\": {}, \"recovery_mean_micros\": {}, \"recovery_p50_micros\": {}, \"recovery_p99_micros\": {}, \"degraded_window_bytes\": {}",
+                m.moves,
+                m.faults,
+                m.crashes,
+                m.recovery_mean_micros,
+                m.recovery_p50_micros,
+                m.recovery_p99_micros,
+                m.degraded_bytes,
+            ));
+        }
+        out.push_str(&format!(
+            " }}{}\n",
             if i + 1 == samples.len() { "" } else { "," }
         ));
     }
@@ -179,8 +374,9 @@ fn check(baseline: &str, samples: &[Sample], calibration: f64, tol_pct: f64) -> 
             continue;
         };
 
-        // Event count and rekey bytes are bit-deterministic for a
-        // fixed seed: any drift is a behavior change, not noise.
+        // Event counts, rekey bytes, move counts, fault counts and
+        // degraded-window bytes are bit-deterministic for a fixed
+        // seed: any drift is a behavior change, not noise.
         if s.events as f64 != base_events {
             bad.push(Regression {
                 what: format!("{}: events (deterministic)", s.name),
@@ -189,10 +385,17 @@ fn check(baseline: &str, samples: &[Sample], calibration: f64, tol_pct: f64) -> 
                 limit_pct: 0.0,
             });
         }
-        for (key, fresh) in [
+        let mut exact: Vec<(&'static str, f64)> = vec![
             ("rekey_multicast_bytes", s.rekey_multicast_bytes as f64),
             ("rekey_unicast_bytes", s.rekey_unicast_bytes as f64),
-        ] {
+        ];
+        if let Some(m) = &s.mobility {
+            exact.push(("moves", m.moves as f64));
+            exact.push(("faults", m.faults as f64));
+            exact.push(("crashes", m.crashes as f64));
+            exact.push(("degraded_window_bytes", m.degraded_bytes as f64));
+        }
+        for (key, fresh) in exact {
             if let Some(base) = json_num(baseline, s.name, key) {
                 if fresh != base {
                     bad.push(Regression {
@@ -206,15 +409,25 @@ fn check(baseline: &str, samples: &[Sample], calibration: f64, tol_pct: f64) -> 
         }
 
         // Peak heap is deterministic up to allocator growth policy;
-        // band it at the tolerance.
-        if let Some(base_peak) = json_num(baseline, s.name, "peak_heap_bytes") {
-            if s.peak_heap_bytes as f64 > base_peak * (1.0 + tol_pct / 100.0) {
-                bad.push(Regression {
-                    what: format!("{}: peak_heap_bytes", s.name),
-                    base: base_peak,
-                    fresh: s.peak_heap_bytes as f64,
-                    limit_pct: tol_pct,
-                });
+        // band it at the tolerance. Recovery times are virtual-clock
+        // and banded at the same tolerance (the ISSUE 8 bar: fail on
+        // >15% p99 recovery-time regression).
+        let mut banded: Vec<(&'static str, f64)> =
+            vec![("peak_heap_bytes", s.peak_heap_bytes as f64)];
+        if let Some(m) = &s.mobility {
+            banded.push(("recovery_p99_micros", m.recovery_p99_micros as f64));
+            banded.push(("recovery_mean_micros", m.recovery_mean_micros as f64));
+        }
+        for (key, fresh) in banded {
+            if let Some(base) = json_num(baseline, s.name, key) {
+                if fresh > base * (1.0 + tol_pct / 100.0) {
+                    bad.push(Regression {
+                        what: format!("{}: {key}", s.name),
+                        base,
+                        fresh,
+                        limit_pct: tol_pct,
+                    });
+                }
             }
         }
 
@@ -240,16 +453,20 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut write = false;
     let mut smoke_only = false;
+    let mut mobility = false;
     let mut check_path: Option<String> = None;
     let mut out_path: Option<String> = None;
+    let mut dump_dir: Option<String> = None;
     let mut tolerance = 15.0f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--write" => write = true,
             "--smoke" => smoke_only = true,
+            "--mobility" => mobility = true,
             "--check" => check_path = it.next().cloned(),
             "--out" => out_path = it.next().cloned(),
+            "--dump-dir" => dump_dir = it.next().cloned(),
             "--tolerance" => {
                 tolerance = it
                     .next()
@@ -264,18 +481,27 @@ fn main() {
     }
 
     let calibration = calibrate();
-    let mut samples = vec![run_scenario("flash_crowd_100k", ScaleConfig::smoke_100k())];
-    if !smoke_only {
-        samples.push(run_scenario("flash_crowd_1m", ScaleConfig::paper_million()));
-    }
+    let samples: Vec<Sample> = if mobility {
+        let mut v = vec![run_storm(&smoke_storm(), dump_dir.as_deref())];
+        if !smoke_only {
+            v.push(run_storm(&full_storm(), dump_dir.as_deref()));
+        }
+        v
+    } else {
+        let mut v = vec![run_scenario("flash_crowd_100k", ScaleConfig::smoke_100k())];
+        if !smoke_only {
+            v.push(run_scenario("flash_crowd_1m", ScaleConfig::paper_million()));
+        }
+        v
+    };
 
     println!(
-        "{:<18} {:>10} {:>12} {:>14} {:>10} {:>14}",
+        "{:<20} {:>10} {:>12} {:>14} {:>10} {:>14}",
         "scenario", "members", "events", "events/sec", "wall s", "peak heap MB"
     );
     for s in &samples {
         println!(
-            "{:<18} {:>10} {:>12} {:>14.0} {:>10.3} {:>14.1}",
+            "{:<20} {:>10} {:>12} {:>14.0} {:>10.3} {:>14.1}",
             s.name,
             s.members,
             s.events,
@@ -284,9 +510,29 @@ fn main() {
             s.peak_heap_bytes as f64 / (1024.0 * 1024.0)
         );
     }
+    if samples.iter().any(|s| s.mobility.is_some()) {
+        println!();
+        println!(
+            "{:<20} {:>10} {:>8} {:>8} {:>14} {:>14} {:>16}",
+            "recovery", "moves", "faults", "crashes", "mean us", "p99 us", "degraded bytes"
+        );
+        for s in &samples {
+            let Some(m) = &s.mobility else { continue };
+            println!(
+                "{:<20} {:>10} {:>8} {:>8} {:>14} {:>14} {:>16}",
+                s.name,
+                m.moves,
+                m.faults,
+                m.crashes,
+                m.recovery_mean_micros,
+                m.recovery_p99_micros,
+                m.degraded_bytes
+            );
+        }
+    }
     println!("calibration: {calibration:.0} sha256-4k/sec");
 
-    let json = render_json(&samples, calibration);
+    let json = render_json(&samples, calibration, mobility);
     if let Some(path) = &out_path {
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("cannot write {path}: {e}");
@@ -294,11 +540,16 @@ fn main() {
         }
     }
     if write {
-        if let Err(e) = std::fs::write("BENCH_scale.json", &json) {
-            eprintln!("cannot write BENCH_scale.json: {e}");
+        let target = if mobility {
+            "BENCH_mobility.json"
+        } else {
+            "BENCH_scale.json"
+        };
+        if let Err(e) = std::fs::write(target, &json) {
+            eprintln!("cannot write {target}: {e}");
             std::process::exit(2);
         }
-        println!("wrote BENCH_scale.json");
+        println!("wrote {target}");
     }
 
     if let Some(path) = check_path {
@@ -319,6 +570,14 @@ fn main() {
                     "  {} regressed beyond {:.0}%: baseline {:.2}, fresh {:.2}",
                     r.what, r.limit_pct, r.base, r.fresh
                 );
+            }
+            // Leave the evidence behind: the exact plan that was run
+            // and the per-area ledger, for artifact upload.
+            for s in &samples {
+                if let Some(m) = &s.mobility {
+                    let plan = FaultPlan::parse(&m.plan_text).unwrap_or_default();
+                    write_failure_artifacts(dump_dir.as_deref(), s.name, &plan, &m.ledger_dump);
+                }
             }
             std::process::exit(1);
         }

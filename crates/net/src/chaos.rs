@@ -301,6 +301,11 @@ impl FaultPlan {
 
     /// Parses the text form produced by [`FaultPlan::serialize`].
     /// Empty lines and `#` comments are ignored.
+    ///
+    /// Errors carry the 1-based line number *and* the offending line
+    /// text, so a failed replay of a dumped schedule points straight at
+    /// the bad fault line instead of making the operator diff the dump
+    /// against the verb table by hand.
     pub fn parse(text: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::new();
         for (lineno, line) in text.lines().enumerate() {
@@ -309,7 +314,7 @@ impl FaultPlan {
                 continue;
             }
             let mut words = line.split_whitespace();
-            let err = |what: &str| format!("line {}: {}", lineno + 1, what);
+            let err = |what: &str| format!("line {}: {what} in `{line}`", lineno + 1);
             let at = words
                 .next()
                 .ok_or_else(|| err("missing time"))?
@@ -319,9 +324,9 @@ impl FaultPlan {
             let mut num = |what: &str| -> Result<u64, String> {
                 words
                     .next()
-                    .ok_or_else(|| format!("line {}: missing {}", lineno + 1, what))?
+                    .ok_or_else(|| format!("line {}: missing {what} in `{line}`", lineno + 1))?
                     .parse::<u64>()
-                    .map_err(|_| format!("line {}: bad {}", lineno + 1, what))
+                    .map_err(|_| format!("line {}: bad {what} in `{line}`", lineno + 1))
             };
             let fault = match verb {
                 "crash" => FaultSpec::Crash(NodeId::from_index(num("node")? as usize)),
@@ -388,8 +393,26 @@ impl ChaosDriver {
     }
 
     /// Runs the simulator to `deadline`, injecting every plan fault
-    /// whose time falls within the span.
+    /// whose time falls within the span. Faults scheduled at exactly
+    /// `deadline` are injected (the span is inclusive), so splitting a
+    /// run into back-to-back `run_until` windows injects every fault
+    /// exactly once regardless of where the window boundaries land.
     pub fn run_until(&mut self, sim: &mut Simulator, deadline: Time) {
+        self.run_until_observed(sim, deadline, |_, _| {});
+    }
+
+    /// Like [`Self::run_until`], but calls `observe` immediately after
+    /// each fault is applied (the simulator is at the fault's virtual
+    /// time, the fault has taken effect, and no later event has run).
+    /// Harnesses use this to snapshot ledgers at crash instants — e.g.
+    /// the scale storm records byte counters per AC crash so the
+    /// degraded window can be measured without replaying the run.
+    pub fn run_until_observed(
+        &mut self,
+        sim: &mut Simulator,
+        deadline: Time,
+        mut observe: impl FnMut(&mut Simulator, &TimedFault),
+    ) {
         while let Some(tf) = self.plan.faults.get(self.next) {
             if tf.at > deadline {
                 break;
@@ -399,6 +422,7 @@ impl ChaosDriver {
             sim.run_until(tf.at);
             sim.record_fault(tf.fault.to_string());
             tf.fault.apply(sim);
+            observe(sim, &tf);
         }
         sim.run_until(deadline);
     }
@@ -455,6 +479,28 @@ mod tests {
         // Comments and blanks are fine.
         let ok = FaultPlan::parse("# a comment\n\n100 heal\n");
         assert_eq!(ok.unwrap().faults().len(), 1);
+    }
+
+    /// Satellite fix (ISSUE 8): parse errors must point at the bad
+    /// fault line — 1-based line number plus the offending text — so a
+    /// dumped-schedule replay failure is debuggable from the message
+    /// alone.
+    #[test]
+    fn parse_errors_carry_line_number_and_offending_text() {
+        let text = "0 heal\n100 explode 1\n200 heal\n";
+        let err = FaultPlan::parse(text).unwrap_err();
+        assert!(err.contains("line 2"), "no line number in: {err}");
+        assert!(err.contains("`100 explode 1`"), "no offending text in: {err}");
+
+        // Comment/blank lines still count toward the line number.
+        let text = "# header\n\n300 partition 5 x\n";
+        let err = FaultPlan::parse(text).unwrap_err();
+        assert!(err.contains("line 3"), "no line number in: {err}");
+        assert!(err.contains("`300 partition 5 x`"), "no offending text in: {err}");
+
+        let err = FaultPlan::parse("oops crash 1").unwrap_err();
+        assert!(err.contains("line 1") && err.contains("bad time"), "bad: {err}");
+        assert!(err.contains("`oops crash 1`"), "no offending text in: {err}");
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Property-based tests for the chaos harness (ISSUE 8): the
+//! serialize/parse round-trip over *every* fault verb (the unit tests
+//! only cover hand-picked cases), parse diagnostics, and the driver's
+//! deadline semantics — a fault scheduled at the exact `run_until`
+//! deadline must fire, deterministically.
+
+use mykil_net::{
+    ChaosDriver, Context, Duration, FaultPlan, FaultSpec, Node, NodeId, Simulator, Time,
+};
+use proptest::prelude::*;
+
+fn node_id() -> impl Strategy<Value = NodeId> {
+    (0usize..64).prop_map(NodeId::from_index)
+}
+
+/// Every [`FaultSpec`] verb, with representative argument ranges.
+fn fault_spec() -> impl Strategy<Value = FaultSpec> {
+    prop_oneof![
+        node_id().prop_map(FaultSpec::Crash),
+        node_id().prop_map(FaultSpec::Restart),
+        (node_id(), 0u32..8).prop_map(|(n, l)| FaultSpec::Partition(n, l)),
+        Just(FaultSpec::HealPartitions),
+        (node_id(), node_id()).prop_map(|(a, b)| FaultSpec::CutLink(a, b)),
+        (node_id(), node_id()).prop_map(|(a, b)| FaultSpec::RestoreLink(a, b)),
+        (0u32..1001).prop_map(FaultSpec::Loss),
+        (0u32..1001).prop_map(FaultSpec::Duplication),
+        (0u32..1001, 0u64..10_000_000)
+            .prop_map(|(pm, w)| FaultSpec::Reorder(pm, Duration::from_micros(w))),
+        (node_id(), 1u32..4000).prop_map(|(n, pm)| FaultSpec::TimerSkew(n, pm)),
+        node_id().prop_map(FaultSpec::StorageLostTail),
+        node_id().prop_map(FaultSpec::StorageTorn),
+        node_id().prop_map(FaultSpec::CorruptCheckpoint),
+        node_id().prop_map(FaultSpec::StorageHeal),
+    ]
+}
+
+proptest! {
+    /// serialize → parse reproduces the plan exactly, whatever mix of
+    /// verbs, argument values, and (possibly equal) times it holds.
+    #[test]
+    fn fault_plan_round_trips(
+        faults in proptest::collection::vec((0u64..100_000_000, fault_spec()), 0..40)
+    ) {
+        let mut plan = FaultPlan::new();
+        for (at, fault) in faults {
+            plan.push(Time::from_micros(at), fault);
+        }
+        let text = plan.serialize();
+        let reparsed = FaultPlan::parse(&text)
+            .unwrap_or_else(|e| panic!("serialized plan failed to parse: {e}\n{text}"));
+        prop_assert_eq!(reparsed, plan);
+    }
+
+    /// Every parse error points at the offending 1-based line and
+    /// quotes its text.
+    #[test]
+    fn parse_errors_carry_line_number_and_text(
+        good in proptest::collection::vec((0u64..1_000_000, fault_spec()), 0..5),
+        bad_line in prop_oneof![
+            // Unknown verb, bad time, and missing-argument shapes.
+            any::<u8>().prop_map(|n| format!("7 zzz-verb-{n} 1")),
+            any::<u8>().prop_map(|n| format!("not-a-time crash {n}")),
+            Just("12 crash".to_string()),
+            Just("12 partition 3".to_string()),
+            Just("12 reorder 100".to_string()),
+        ],
+    ) {
+        let mut text = String::new();
+        for (at, fault) in &good {
+            text.push_str(&format!("{at} {fault}\n"));
+        }
+        let bad_lineno = good.len() + 1;
+        text.push_str(&bad_line);
+        let err = FaultPlan::parse(&text).expect_err("malformed line must not parse");
+        prop_assert!(
+            err.contains(&format!("line {bad_lineno}:")),
+            "error `{}` does not name line {}", err, bad_lineno
+        );
+        prop_assert!(
+            err.contains(bad_line.trim()),
+            "error `{}` does not quote the offending text `{}`", err, bad_line
+        );
+    }
+}
+
+/// A minimal node that counts timer fires, to give the simulator a
+/// pulse while the driver steps through a plan.
+struct Ticker {
+    fires: u64,
+}
+
+impl Node for Ticker {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(Duration::from_millis(1), 1);
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _bytes: &[u8]) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+        self.fires += 1;
+        ctx.set_timer(Duration::from_millis(1), 1);
+    }
+}
+
+/// A fault scheduled at the exact `run_until` deadline fires on that
+/// call (the deadline is inclusive), not on the next one — and does so
+/// deterministically across identical runs.
+#[test]
+fn deadline_faults_fire_deterministically() {
+    let run = || {
+        let mut sim = Simulator::new(3);
+        let a = sim.add_node(Ticker { fires: 0 });
+        let b = sim.add_node(Ticker { fires: 0 });
+        let deadline = Time::from_millis(10);
+        let mut plan = FaultPlan::new();
+        plan.push(deadline, FaultSpec::Crash(a));
+        plan.push(deadline, FaultSpec::Loss(250));
+        // Strictly past the deadline: must NOT fire on this call.
+        plan.push(deadline + Duration::from_micros(1), FaultSpec::Crash(b));
+        let mut driver = ChaosDriver::new(plan);
+        driver.run_until(&mut sim, deadline);
+        assert!(
+            sim.is_crashed(a),
+            "fault at the exact deadline did not fire"
+        );
+        assert!(
+            !sim.is_crashed(b),
+            "fault past the deadline fired early"
+        );
+        assert!(!driver.finished(), "driver consumed the post-deadline fault");
+        // The remainder fires on the next call.
+        driver.run_until(&mut sim, deadline + Duration::from_millis(1));
+        assert!(sim.is_crashed(b));
+        assert!(driver.finished());
+        (sim.events_processed(), sim.now(), sim.node::<Ticker>(b).fires)
+    };
+    assert_eq!(run(), run(), "deadline chaos replay diverged");
+}
