@@ -17,7 +17,9 @@ use crate::registration::RegistrationServer;
 use mykil_crypto::drbg::Drbg;
 use mykil_crypto::keys::SymmetricKey;
 use mykil_crypto::rsa::RsaKeyPair;
-use mykil_net::{Duration, LatencyModel, NodeId, Simulator, Stats, Time};
+use mykil_net::{
+    Duration, LatencyModel, NodeId, Simulator, StableStore, Stats, StorageFactory, Time,
+};
 
 /// Configures and constructs a simulated Mykil deployment.
 pub struct GroupBuilder {
@@ -29,6 +31,7 @@ pub struct GroupBuilder {
     key_bits: usize,
     replicated: bool,
     auth: Option<Box<dyn AuthDb>>,
+    storage: Option<StorageFactory>,
 }
 
 impl std::fmt::Debug for GroupBuilder {
@@ -55,6 +58,7 @@ impl GroupBuilder {
             key_bits: 768,
             replicated: false,
             auth: None,
+            storage: None,
         }
     }
 
@@ -133,10 +137,28 @@ impl GroupBuilder {
         self
     }
 
+    /// Replaces the stable-storage backend for every node (default:
+    /// the in-memory [`mykil_net::SimStore`]). The factory runs once
+    /// per node as the deployment is laid out; file-backed deployments
+    /// typically return a
+    /// [`FaultyStore`](mykil_net::FaultyStore)-wrapped
+    /// [`FileStore`](mykil_net::FileStore) so the chaos storage verbs
+    /// still apply.
+    pub fn storage_factory(
+        mut self,
+        make: impl FnMut(NodeId) -> Box<dyn StableStore> + Send + 'static,
+    ) -> Self {
+        self.storage = Some(Box::new(make));
+        self
+    }
+
     /// Builds the deployment.
     pub fn build(self) -> GroupHandle {
         let mut keyrng = Drbg::from_seed(self.seed ^ 0x6b65_7967_656e);
         let mut sim = Simulator::with_latency(self.seed, self.latency.clone());
+        if let Some(make) = self.storage {
+            sim.set_storage_factory(make);
+        }
 
         // mykil-lint: allow(L001) -- deployment harness, not peer input
         let rs_pair = RsaKeyPair::generate(self.key_bits, &mut keyrng).expect("rs keygen");

@@ -203,7 +203,7 @@ impl ScaleEvent {
 }
 
 /// Checkpoint payload: seeded base population + full journal prefix.
-fn encode_checkpoint(seeded: u64, journal: &[ScaleEvent]) -> Vec<u8> {
+pub fn encode_checkpoint(seeded: u64, journal: &[ScaleEvent]) -> Vec<u8> {
     let mut b = Vec::with_capacity(16 + ScaleEvent::WIRE_LEN * journal.len());
     put_u64(&mut b, seeded);
     put_u64(&mut b, journal.len() as u64);
@@ -213,13 +213,27 @@ fn encode_checkpoint(seeded: u64, journal: &[ScaleEvent]) -> Vec<u8> {
     b
 }
 
-pub(crate) fn decode_checkpoint(bytes: &[u8]) -> Option<(u64, Vec<ScaleEvent>)> {
+/// Decodes a checkpoint payload read back from stable storage.
+///
+/// The payload may be arbitrarily corrupt (bit-rot, torn slot), so
+/// nothing in it is trusted: the event count must match the bytes
+/// actually present — sizing an allocation from a corrupt count would
+/// be an abort, not a recovery — and every event must decode. The
+/// `seeded` base is validated against the deployment size by the
+/// caller, which knows it (see `ScaleAreaController::on_restarted`).
+pub fn decode_checkpoint(bytes: &[u8]) -> Option<(u64, Vec<ScaleEvent>)> {
     let seeded = get_u64(bytes, 0)?;
-    let n = get_u64(bytes, 8)? as usize;
-    let mut journal = Vec::with_capacity(n);
-    let mut at = 16;
-    for _ in 0..n {
-        let ev = ScaleEvent::decode(bytes.get(at..)?)?;
+    let claimed = get_u64(bytes, 8)?;
+    let body = bytes.get(16..)?;
+    if body.len() % ScaleEvent::WIRE_LEN != 0
+        || claimed != (body.len() / ScaleEvent::WIRE_LEN) as u64
+    {
+        return None;
+    }
+    let mut journal = Vec::with_capacity(body.len() / ScaleEvent::WIRE_LEN);
+    let mut at = 0;
+    while at < body.len() {
+        let ev = ScaleEvent::decode(body.get(at..)?)?;
         journal.push(ev);
         at += ScaleEvent::WIRE_LEN;
     }
@@ -271,6 +285,12 @@ impl AreaState {
 
     /// Folds `seeded` closed-form joins and then the journal. This is
     /// the crash-recovery path and the invariant checker's replay.
+    ///
+    /// `seeded` must come from a validated source (it is folded one
+    /// closed-form join at a time, exactly like the live seeding path,
+    /// so the ledger reproduces byte-for-byte): recovery rejects any
+    /// checkpoint claiming more seeded members than the deployment
+    /// holds *before* calling this.
     pub fn replay(cfg: &ScaleConfig, seeded: u64, journal: &[ScaleEvent]) -> AreaState {
         let mut s = AreaState::new(cfg);
         for _ in 0..seeded {
@@ -799,10 +819,12 @@ impl Node for ScaleAreaController {
                 let Some(count) = get_u64(bytes, 33) else {
                     return;
                 };
-                if !self.seed_known {
+                if !self.seed_known && seeded_dir <= self.cfg.members {
                     // Local checkpoint was unreadable (e.g. bit-rot on
                     // both slots): the directory is the authority for
-                    // the seeded base too.
+                    // the seeded base too (bounded by the deployment
+                    // size — a hostile or garbled tail must not wedge
+                    // the refold below).
                     self.seeded = seeded_dir;
                     self.seed_known = true;
                 }
@@ -892,7 +914,13 @@ impl Node for ScaleAreaController {
         self.journal = Vec::new();
         let ckpt = rec
             .checkpoint
-            .and_then(|(_seq, bytes)| decode_checkpoint(&bytes));
+            .and_then(|(_seq, bytes)| decode_checkpoint(&bytes))
+            // A checkpoint that decodes but claims more seeded members
+            // than the whole deployment is corruption that slipped the
+            // checksum; adopting it would wedge recovery in a
+            // near-endless refold. Treat it like an unreadable slot
+            // and fall back to the directory.
+            .filter(|&(seeded, _)| seeded <= self.cfg.members);
         if let Some((seeded, events)) = ckpt {
             self.seeded = seeded;
             self.seed_known = true;
@@ -1413,7 +1441,32 @@ impl ScaleGroup {
     /// the controllers, then the pool (volatile mode keeps the exact
     /// ISSUE 7 node-id layout, so its event streams are unchanged).
     pub fn new(cfg: ScaleConfig) -> ScaleGroup {
+        Self::build(cfg, None)
+    }
+
+    /// Like [`ScaleGroup::new`] with a stable-storage factory: every
+    /// node (directory, controllers, pool) gets its backend from
+    /// `make` instead of the default in-memory
+    /// [`SimStore`](mykil_net::SimStore). This is how the mobility +
+    /// durability matrix runs against real files
+    /// ([`FileStore`](mykil_net::FileStore), usually wrapped in
+    /// [`FaultyStore`](mykil_net::FaultyStore) so the storm's storage
+    /// verbs still inject).
+    pub fn new_with_storage(
+        cfg: ScaleConfig,
+        make: impl FnMut(NodeId) -> Box<dyn mykil_net::StableStore> + Send + 'static,
+    ) -> ScaleGroup {
+        Self::build(cfg, Some(Box::new(make)))
+    }
+
+    fn build(
+        cfg: ScaleConfig,
+        storage: Option<mykil_net::StorageFactory>,
+    ) -> ScaleGroup {
         let mut sim = Simulator::new(cfg.seed);
+        if let Some(make) = storage {
+            sim.set_storage_factory(make);
+        }
         let directory = if cfg.durable {
             Some(sim.add_node(ScaleDirectory::new(cfg.areas)))
         } else {
@@ -1859,5 +1912,59 @@ impl ScaleGroup {
         self.controllers()
             .map(|c| c.cold().controller_storage_bytes())
             .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let journal = vec![
+            ScaleEvent::Join(1),
+            ScaleEvent::Promote(1),
+            ScaleEvent::HotLeave(1),
+            ScaleEvent::ColdBatch(42),
+        ];
+        let bytes = encode_checkpoint(7, &journal);
+        assert_eq!(decode_checkpoint(&bytes), Some((7, journal)));
+    }
+
+    /// Regression (found by the `area-replay` fuzz target): a corrupt
+    /// checkpoint whose event count didn't match its body used to size
+    /// a `Vec::with_capacity` straight from the attacker-controlled
+    /// count — a capacity overflow panic (or OOM abort) instead of a
+    /// clean fallback. The fixture lives in
+    /// `tests/corpus/area-replay/regression-inflated-count.bin`.
+    #[test]
+    fn decode_checkpoint_rejects_inflated_event_count() {
+        let mut bytes = Vec::new();
+        put_u64(&mut bytes, 3); // seeded
+        put_u64(&mut bytes, u64::MAX); // claimed events, no body
+        assert_eq!(decode_checkpoint(&bytes), None);
+        // A count merely off-by-one from the body is just as corrupt.
+        let mut bytes = encode_checkpoint(3, &[ScaleEvent::Join(1)]);
+        bytes[8] = 2;
+        assert_eq!(decode_checkpoint(&bytes), None);
+    }
+
+    #[test]
+    fn decode_checkpoint_rejects_truncated_and_trailing_bytes() {
+        let good = encode_checkpoint(1, &[ScaleEvent::Join(1), ScaleEvent::MoveOut(2)]);
+        for cut in 0..good.len() {
+            assert_eq!(decode_checkpoint(&good[..cut]), None, "cut at {cut}");
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(decode_checkpoint(&trailing), None);
+        assert!(decode_checkpoint(&good).is_some());
+    }
+
+    #[test]
+    fn decode_checkpoint_rejects_bad_event_kind() {
+        let mut bytes = encode_checkpoint(0, &[ScaleEvent::Join(9)]);
+        bytes[16] = 0xFF; // unknown event kind
+        assert_eq!(decode_checkpoint(&bytes), None);
     }
 }

@@ -1,30 +1,50 @@
 //! Crash-durability regression tests (ISSUE 4): controllers and the
 //! registration server persist their authoritative state through a
-//! write-ahead log plus checkpoints (`mykil_net::NodeStorage`), and a
-//! crash wipes everything volatile. These scenarios pin down recovery
-//! composed with backup takeover and with injected storage faults:
-//! a primary that recovers before its backup promotes resumes its
-//! role from stable storage; one that recovers after promotion is
-//! epoch-fenced back down; a torn WAL tail falls back to the last
-//! checkpoint and the orphaned member re-syncs via its ticket; a
-//! corrupted checkpoint falls back to the older ping-pong slot.
+//! write-ahead log plus checkpoints, and a crash wipes everything
+//! volatile. These scenarios pin down recovery composed with backup
+//! takeover and with injected storage faults: a primary that recovers
+//! before its backup promotes resumes its role from stable storage;
+//! one that recovers after promotion is epoch-fenced back down; a torn
+//! WAL tail falls back to the last checkpoint and the orphaned member
+//! re-syncs via its ticket; a corrupted checkpoint falls back to the
+//! older ping-pong slot.
+//!
+//! Every scenario runs twice — once against the simulated
+//! [`SimStore`](mykil_net::SimStore) device and once against a real
+//! file-backed [`FileStore`](mykil_net::FileStore) in a scratch
+//! directory, wrapped in [`FaultyStore`](mykil_net::FaultyStore) so the
+//! same fault injection applies (the `*_file_backed` variants). The
+//! recovery outcome must be identical: the durable-state contract does
+//! not depend on the backend.
 
 use mykil::area::Role;
 use mykil::durable::{snapshot_summary, AcCheckpoint};
 use mykil::group::GroupBuilder;
 use mykil::invariants::InvariantChecker;
-use mykil_net::Duration;
+use mykil_net::{Duration, FaultyStore, FileStore, NodeId, StableStore};
+
+/// Routes a deployment's stable storage to per-node `FileStore`
+/// directories under a fresh scratch root, wrapped in `FaultyStore` so
+/// `arm_lying_sync`/`corrupt_latest_checkpoint` keep working.
+fn file_backed(b: GroupBuilder, tag: &'static str) -> GroupBuilder {
+    let root = mykil_net::scratch_dir(tag);
+    b.storage_factory(move |n: NodeId| {
+        let dir = root.join(format!("node{}", n.index()));
+        Box::new(FaultyStore::new(
+            FileStore::open(&dir).expect("open file-backed store"),
+        )) as Box<dyn StableStore>
+    })
+}
 
 /// A primary that crashes and restarts before the backup's watchdog
 /// fires reconstructs its membership, tree and replication state from
 /// stable storage — no takeover, no member churn.
-#[test]
-fn primary_recovers_from_storage_before_backup_promotion() {
-    let mut g = GroupBuilder::new(61)
-        .rsa_bits(512)
-        .areas(2)
-        .replicated(true)
-        .build();
+fn primary_recovers_before_promotion(file: bool) {
+    let mut b = GroupBuilder::new(61).rsa_bits(512).areas(2).replicated(true);
+    if file {
+        b = file_backed(b, "durability-recover-pre-promotion");
+    }
+    let mut g = b.build();
     let members: Vec<_> = (0..3).map(|i| g.register_member(i)).collect();
     g.settle();
     let mut checker = InvariantChecker::new();
@@ -63,18 +83,27 @@ fn primary_recovers_from_storage_before_backup_promotion() {
     );
 }
 
+#[test]
+fn primary_recovers_from_storage_before_backup_promotion() {
+    primary_recovers_before_promotion(false);
+}
+
+#[test]
+fn primary_recovers_from_storage_before_backup_promotion_file_backed() {
+    primary_recovers_before_promotion(true);
+}
+
 /// A primary that recovers *after* its backup promoted wakes up with a
 /// durable `Primary` role — and must still lose the epoch fence: the
 /// promoted backup's higher takeover epoch demotes it, and the
 /// demotion itself is made durable (checked by the durability
 /// invariant at the end).
-#[test]
-fn recovered_primary_after_promotion_is_fenced_down() {
-    let mut g = GroupBuilder::new(62)
-        .rsa_bits(512)
-        .areas(2)
-        .replicated(true)
-        .build();
+fn recovered_primary_is_fenced_down(file: bool) {
+    let mut b = GroupBuilder::new(62).rsa_bits(512).areas(2).replicated(true);
+    if file {
+        b = file_backed(b, "durability-fenced-down");
+    }
+    let mut g = b.build();
     let members: Vec<_> = (0..2).map(|i| g.register_member(i)).collect();
     g.settle();
     let mut checker = InvariantChecker::new();
@@ -105,18 +134,27 @@ fn recovered_primary_after_promotion_is_fenced_down() {
     }
 }
 
+#[test]
+fn recovered_primary_after_promotion_is_fenced_down() {
+    recovered_primary_is_fenced_down(false);
+}
+
+#[test]
+fn recovered_primary_after_promotion_is_fenced_down_file_backed() {
+    recovered_primary_is_fenced_down(true);
+}
+
 /// A lying fsync leaves a torn record at the WAL tail: the admission
 /// committed there is genuinely lost, recovery falls back to the last
 /// checkpoint plus the valid WAL prefix, and the orphaned member —
 /// admitted by the pre-crash primary but unknown to the recovered one
 /// — re-enters through its durable ticket.
-#[test]
-fn torn_wal_tail_falls_back_to_checkpoint_and_member_resyncs() {
-    let mut g = GroupBuilder::new(63)
-        .rsa_bits(512)
-        .areas(1)
-        .replicated(true)
-        .build();
+fn torn_wal_tail_recovery(file: bool) {
+    let mut b = GroupBuilder::new(63).rsa_bits(512).areas(1).replicated(true);
+    if file {
+        b = file_backed(b, "durability-torn-tail");
+    }
+    let mut g = b.build();
     let old_timers: Vec<_> = (0..2).map(|i| g.register_member(i)).collect();
     g.settle();
     let mut checker = InvariantChecker::new();
@@ -152,16 +190,25 @@ fn torn_wal_tail_falls_back_to_checkpoint_and_member_resyncs() {
     );
 }
 
+#[test]
+fn torn_wal_tail_falls_back_to_checkpoint_and_member_resyncs() {
+    torn_wal_tail_recovery(false);
+}
+
+#[test]
+fn torn_wal_tail_falls_back_to_checkpoint_and_member_resyncs_file_backed() {
+    torn_wal_tail_recovery(true);
+}
+
 /// Bit-rot in the newest checkpoint slot: recovery must fall back to
 /// the older ping-pong slot and replay the longer WAL suffix, landing
 /// on the same membership.
-#[test]
-fn corrupt_checkpoint_falls_back_to_older_slot() {
-    let mut g = GroupBuilder::new(64)
-        .rsa_bits(512)
-        .areas(1)
-        .replicated(true)
-        .build();
+fn corrupt_checkpoint_fallback(file: bool) {
+    let mut b = GroupBuilder::new(64).rsa_bits(512).areas(1).replicated(true);
+    if file {
+        b = file_backed(b, "durability-ckpt-fallback");
+    }
+    let mut g = b.build();
     let members: Vec<_> = (0..3).map(|i| g.register_member(i)).collect();
     g.settle();
     let mut checker = InvariantChecker::new();
@@ -200,17 +247,26 @@ fn corrupt_checkpoint_falls_back_to_older_slot() {
     );
 }
 
+#[test]
+fn corrupt_checkpoint_falls_back_to_older_slot() {
+    corrupt_checkpoint_fallback(false);
+}
+
+#[test]
+fn corrupt_checkpoint_falls_back_to_older_slot_file_backed() {
+    corrupt_checkpoint_fallback(true);
+}
+
 /// Drift guard: the lightweight [`snapshot_summary`] parser and the
 /// full replica-snapshot format must agree. If the snapshot encoding
 /// grows a field without the summary (and thus the durability
 /// invariant) learning about it, this fails at the exact seam.
-#[test]
-fn checkpoint_snapshot_summary_matches_live_state() {
-    let mut g = GroupBuilder::new(65)
-        .rsa_bits(512)
-        .areas(1)
-        .replicated(true)
-        .build();
+fn snapshot_summary_matches(file: bool) {
+    let mut b = GroupBuilder::new(65).rsa_bits(512).areas(1).replicated(true);
+    if file {
+        b = file_backed(b, "durability-snapshot-summary");
+    }
+    let mut g = b.build();
     for i in 0..3 {
         g.register_member(i);
     }
@@ -226,12 +282,25 @@ fn checkpoint_snapshot_summary_matches_live_state() {
     assert_eq!(summary.epoch, g.ac(0).epoch());
 }
 
+#[test]
+fn checkpoint_snapshot_summary_matches_live_state() {
+    snapshot_summary_matches(false);
+}
+
+#[test]
+fn checkpoint_snapshot_summary_matches_live_state_file_backed() {
+    snapshot_summary_matches(true);
+}
+
 /// The registration server's client-id counter is burned to the WAL
 /// before any reply leaves the node: a crash/restart cycle can drop
 /// in-flight handshakes but must never reissue an id.
-#[test]
-fn rs_recovery_never_reissues_client_ids() {
-    let mut g = GroupBuilder::new(66).rsa_bits(512).areas(2).build();
+fn rs_recovery_id_monotonic(file: bool) {
+    let mut b = GroupBuilder::new(66).rsa_bits(512).areas(2);
+    if file {
+        b = file_backed(b, "durability-rs-ids");
+    }
+    let mut g = b.build();
     let first = g.register_member(0);
     g.settle();
     assert!(g.is_member(first));
@@ -255,4 +324,14 @@ fn rs_recovery_never_reissues_client_ids() {
         first_id,
         "recovered RS reissued a client id"
     );
+}
+
+#[test]
+fn rs_recovery_never_reissues_client_ids() {
+    rs_recovery_id_monotonic(false);
+}
+
+#[test]
+fn rs_recovery_never_reissues_client_ids_file_backed() {
+    rs_recovery_id_monotonic(true);
 }

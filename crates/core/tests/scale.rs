@@ -8,7 +8,22 @@
 
 use mykil::invariants::check_scale;
 use mykil::scale::{ScaleConfig, ScaleGroup};
-use mykil_net::{Duration, FaultPlan, FaultSpec, Time};
+use mykil_net::{
+    Duration, FaultPlan, FaultSpec, FaultyStore, FileStore, NodeId, StableStore, Time,
+};
+
+/// A storm group whose controllers persist to real per-node
+/// [`FileStore`] directories (wrapped in [`FaultyStore`] so the storm's
+/// storage verbs still inject) instead of the in-memory `SimStore`.
+fn file_backed_group(cfg: ScaleConfig, tag: &'static str) -> ScaleGroup {
+    let root = mykil_net::scratch_dir(tag);
+    ScaleGroup::new_with_storage(cfg, move |n: NodeId| {
+        let dir = root.join(format!("node{}", n.index()));
+        Box::new(FaultyStore::new(
+            FileStore::open(&dir).expect("open file-backed store"),
+        )) as Box<dyn StableStore>
+    })
+}
 
 fn tiny_config() -> ScaleConfig {
     ScaleConfig {
@@ -207,9 +222,7 @@ fn mobility_storm_is_deterministic() {
     assert_eq!(run(), run(), "identical storms must replay identically");
 }
 
-#[test]
-fn storage_faults_recover_through_directory_resync() {
-    let mut g = ScaleGroup::new(storm_config());
+fn storage_fault_storm(mut g: ScaleGroup) {
     g.seed_cold_population();
     let node = g.controller_ids()[1];
     let mut plan = FaultPlan::new();
@@ -238,6 +251,44 @@ fn storage_faults_recover_through_directory_resync() {
     // is byte-exact: nothing the faults ate was actually lost.
     let violations = check_scale(&g);
     assert!(violations.is_empty(), "storage-fault violations: {violations:?}");
+}
+
+#[test]
+fn storage_faults_recover_through_directory_resync() {
+    storage_fault_storm(ScaleGroup::new(storm_config()));
+}
+
+#[test]
+fn storage_faults_recover_through_directory_resync_file_backed() {
+    storage_fault_storm(file_backed_group(storm_config(), "scale-storage-faults"));
+}
+
+/// The mobility + durability matrix on real files: the same chaos storm
+/// recovers identically whether controllers persist to `SimStore` or to
+/// a `FileStore` directory — the byte ledger, the recovery count and
+/// the surviving membership all match the sim-backed run exactly.
+#[test]
+fn mobility_storm_on_file_backed_storage_matches_sim() {
+    let run = |mut g: ScaleGroup| {
+        g.seed_cold_population();
+        let plan = g.mobility_fault_plan(9, 11, Duration::from_millis(2500));
+        let report = g
+            .run_mobility_storm(60, &plan)
+            .unwrap_or_else(|stall| panic!("file-backed storm stalled: {stall}"));
+        let violations = check_scale(&g);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        (
+            report.moves,
+            report.crashes,
+            report.recoveries.len(),
+            g.live_members(),
+            g.sim.stats().counter("scale-rekey-multicast-bytes"),
+            g.sim.stats().counter("scale-rekey-unicast-bytes"),
+        )
+    };
+    let sim = run(ScaleGroup::new(storm_config()));
+    let file = run(file_backed_group(storm_config(), "scale-storm-file"));
+    assert_eq!(sim, file, "file-backed storm diverged from the sim-backed run");
 }
 
 #[test]

@@ -34,10 +34,16 @@ pub const EXPLANATIONS: &[Explanation] = &[
                     SecretBytes) must not derive Debug/PartialEq/Hash and must \
                     impl Drop. Derived Debug prints key bytes into logs; derived \
                     equality walks bytes with early exit (timing leak); a missing \
-                    Drop leaves key material in freed memory.",
+                    Drop leaves key material in freed memory. In at-rest storage \
+                    files (FileStore), every buffer handed to a write call must \
+                    be SecretBytes::as_slice() output or fixed framing metadata \
+                    (SCREAMING_CASE consts, to_le_bytes integers): checkpoint \
+                    payloads and WAL records hold wrapped keys, and a raw Vec at \
+                    the write boundary never zeroizes.",
         example: "#[derive(Debug, Clone, PartialEq)]\npub struct SymmetricKey([u8; 16]);",
         fix: "Drop the offending derives, compare through ct_eq, and zeroize in \
-              an explicit Drop impl.",
+              an explicit Drop impl. At the disk boundary, carry payloads as \
+              SecretBytes end to end and write payload.as_slice().",
     },
     Explanation {
         id: "L003",

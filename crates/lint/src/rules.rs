@@ -52,6 +52,15 @@ pub const SECRET_TYPES: &[&str] = &[
 /// `PartialEq`/`Hash` walk the bytes with early exit (timing leak).
 const FORBIDDEN_DERIVES: &[&str] = &["Debug", "PartialEq", "Hash"];
 
+/// Files that persist buffers to a real filesystem (L002's at-rest
+/// pass): `FileStore` today, any future disk-backed store by addition.
+const AT_REST_PATHS: &[&str] = &["crates/net/src/file_store.rs"];
+
+/// Idents that mark a written buffer as hygienic at-rest output:
+/// `as_slice` is the `SecretBytes` read accessor, `to_le_bytes`
+/// produces fixed framing integers (lengths, CRCs, sequence numbers).
+const AT_REST_OK_CALLS: &[&str] = &["as_slice", "to_le_bytes"];
+
 /// Identifier segments that mark a value as MAC/digest material (L003).
 const SECRET_COMPARE_SEGMENTS: &[&str] = &["mac", "tag", "digest", "hmac"];
 
@@ -117,7 +126,8 @@ pub const RULES: &[RuleInfo] = &[
         id: "L002",
         description: "secret-bearing types (SymmetricKey, Rc4, ChaCha20, RsaKeyPair, \
                       SecretBytes) must not derive Debug/PartialEq/Hash and must \
-                      impl Drop (zeroize)",
+                      impl Drop (zeroize); at-rest storage files must write \
+                      payloads only through SecretBytes::as_slice",
         check: Check::Token(check_l002),
     },
     RuleInfo {
@@ -288,7 +298,110 @@ fn check_l002(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
             }
         }
     }
+
+    // Pass 3: at-rest write hygiene. In files that persist to a real
+    // filesystem, every buffer handed to a write call must be either
+    // fixed framing metadata (SCREAMING_CASE constants, `to_le_bytes`
+    // integers) or the `as_slice()` view of a `SecretBytes` — a raw
+    // `Vec<u8>` / `&[u8]` payload at the write boundary is how key
+    // material reaches disk via buffers that never zeroize.
+    if AT_REST_PATHS.contains(&ctx.path) {
+        let mut i = 0;
+        while i < t.len() {
+            if ctx.test_mask.get(i).copied().unwrap_or(false) {
+                i += 1;
+                continue;
+            }
+            let name = &t[i];
+            // `write` only as the path call `fs::write` — the method
+            // position is `OpenOptions::write(bool)` here, and buffer
+            // writes through the io trait all use `write_all`.
+            let is_write_call = name.kind == TokenKind::Ident
+                && (name.text == "write_all"
+                    || (name.text == "write" && i > 0 && t[i - 1].is_punct(':')))
+                && t.get(i + 1).is_some_and(|x| x.is_punct('('));
+            if !is_write_call {
+                i += 1;
+                continue;
+            }
+            let Some(close) = matching_paren(t, i + 1) else {
+                i += 1;
+                continue;
+            };
+            // The written buffer is the last top-level argument
+            // (`fs::write(path, bytes)` / `f.write_all(bytes)`).
+            let arg = last_top_level_arg(t.get(i + 2..close).unwrap_or(&[]));
+            if !at_rest_hygienic(arg) {
+                out.push(diag(
+                    "L002",
+                    ctx,
+                    name.line,
+                    format!(
+                        "raw buffer passed to `{}` in at-rest storage: wrap \
+                         key-bearing payloads in `SecretBytes` and write \
+                         `.as_slice()` (framing metadata stays SCREAMING_CASE \
+                         consts / `to_le_bytes`)",
+                        name.text
+                    ),
+                ));
+            }
+            i = close + 1;
+        }
+    }
     out
+}
+
+/// Index of the close paren matching the `(` at `open`.
+fn matching_paren(t: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, tok) in t.iter().enumerate().skip(open) {
+        if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// The tokens of the last top-level (depth-0) comma-separated argument.
+fn last_top_level_arg(args: &[Token]) -> &[Token] {
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (j, tok) in args.iter().enumerate() {
+        if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 && tok.is_punct(',') {
+            start = j + 1;
+        }
+    }
+    args.get(start..).unwrap_or(args)
+}
+
+/// Whether a written expression is hygienic at-rest output: it reads
+/// through an approved accessor, or touches only SCREAMING_CASE
+/// constants and literals.
+fn at_rest_hygienic(arg: &[Token]) -> bool {
+    let mut idents = arg.iter().filter(|x| x.kind == TokenKind::Ident);
+    if idents
+        .clone()
+        .any(|x| AT_REST_OK_CALLS.contains(&x.text.as_str()))
+    {
+        return true;
+    }
+    idents.all(|x| is_screaming(&x.text))
+}
+
+/// `SCREAMING_CASE`: the shape of a framing const (`WAL_MAGIC`).
+fn is_screaming(s: &str) -> bool {
+    s.chars().any(|c| c.is_ascii_uppercase())
+        && s.chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
 }
 
 /// Parses `#[derive(A, B, …)]` starting at the `#` token. Returns the

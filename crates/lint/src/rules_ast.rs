@@ -31,7 +31,10 @@ pub const DETERMINISTIC_ITER_CRATES: &[&str] = &["core", "net", "tree"];
 
 /// Files that parse or build wire bytes (L009/L010): hostile input
 /// flows through these, so casts must be checked and indexing
-/// non-panicking.
+/// non-panicking. The stable-storage files qualify because recovery
+/// parses whatever a crashed (or lying) disk left behind, and the fuzz
+/// crate qualifies because it frames arbitrary mutated bytes before
+/// handing them to the decoders under test.
 pub const WIRE_SENSITIVE_PATHS: &[&str] = &[
     "crates/core/src/wire.rs",
     "crates/core/src/msg.rs",
@@ -40,6 +43,11 @@ pub const WIRE_SENSITIVE_PATHS: &[&str] = &[
     "crates/core/src/welcome.rs",
     "crates/core/src/ticket.rs",
     "crates/crypto/src/envelope.rs",
+    "crates/net/src/chaos.rs",
+    "crates/net/src/storage.rs",
+    "crates/net/src/file_store.rs",
+    "crates/fuzz/src/engine.rs",
+    "crates/fuzz/src/targets.rs",
 ];
 
 /// Iteration methods whose order is the hash map's bucket order.

@@ -166,6 +166,46 @@ fn l002_suppressed_with_directive() {
     assert!(rule_ids("crates/crypto/src/keys.rs", src).is_empty());
 }
 
+#[test]
+fn l002_fires_on_raw_buffer_written_in_at_rest_storage() {
+    // A plain Vec at the disk boundary never zeroizes: both the io
+    // trait's write_all and fs::write must go through SecretBytes.
+    let src = "fn persist(f: &mut std::fs::File, key_material: &[u8]) {\n    f.write_all(key_material).unwrap_or(());\n}\n";
+    assert_eq!(
+        rules_at("crates/net/src/file_store.rs", src),
+        vec![("L002".to_string(), 2)]
+    );
+    let src = "fn persist(path: &Path, wrapped_key: Vec<u8>) {\n    let _ = fs::write(path, wrapped_key);\n}\n";
+    assert_eq!(
+        rules_at("crates/net/src/file_store.rs", src),
+        vec![("L002".to_string(), 2)]
+    );
+}
+
+#[test]
+fn l002_quiet_on_secret_bytes_and_framing_writes() {
+    // The sanctioned shapes: SecretBytes::as_slice for payloads, and
+    // SCREAMING_CASE consts / to_le_bytes integers for framing.
+    let src = "fn persist(f: &mut std::fs::File, payload: &SecretBytes, len: u32) {\n    let _ = f.write_all(&WAL_MAGIC);\n    let _ = f.write_all(&len.to_le_bytes());\n    let _ = f.write_all(payload.as_slice());\n}\n";
+    assert!(rule_ids("crates/net/src/file_store.rs", src).is_empty());
+}
+
+#[test]
+fn l002_at_rest_pass_scoped_to_storage_files() {
+    // Elsewhere in the net crate a raw write is fine (e.g. the trace
+    // dumper); the at-rest pass covers only the disk-backed store.
+    let src = "fn dump(f: &mut std::fs::File, line: &[u8]) {\n    let _ = f.write_all(line);\n}\n";
+    assert!(rule_ids("crates/net/src/trace.rs", src).is_empty());
+}
+
+#[test]
+fn l002_at_rest_pass_skips_test_code_and_mode_setters() {
+    // Tests write deliberate garbage to model crashes, and
+    // OpenOptions::write(true) is a mode setter, not a buffer write.
+    let src = "fn open(p: &Path) -> std::fs::File {\n    OpenOptions::new().write(true).open(p).unwrap_or_else(|e| panic!(\"{e}\"))\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn tear() { let garbage = vec![7u8; 3]; let _ = std::fs::write(\"x\", &garbage); }\n}\n";
+    assert!(rule_ids("crates/net/src/file_store.rs", src).is_empty());
+}
+
 // ---------------------------------------------------------------- L003
 
 #[test]

@@ -3,7 +3,7 @@
 
 use crate::id::{GroupId, NodeId};
 use crate::stats::Stats;
-use crate::storage::NodeStorage;
+use crate::storage::StableStore;
 use crate::time::{Duration, Time};
 use mykil_crypto::drbg::Drbg;
 
@@ -78,7 +78,7 @@ pub struct Context<'a> {
     pub(crate) compute: Duration,
     pub(crate) next_token: &'a mut u64,
     pub(crate) next_msg_id: &'a mut u64,
-    pub(crate) storage: &'a mut NodeStorage,
+    pub(crate) storage: &'a mut dyn StableStore,
 }
 
 impl<'a> Context<'a> {
@@ -107,7 +107,7 @@ impl<'a> Context<'a> {
     /// written and synced here survives crashes — modulo any injected
     /// storage fault — and is what [`Node::on_restarted`]
     /// (crate::Node::on_restarted) recovers from.
-    pub fn storage(&mut self) -> &mut NodeStorage {
+    pub fn storage(&mut self) -> &mut dyn StableStore {
         self.storage
     }
 

@@ -55,6 +55,7 @@
 mod chaos;
 mod context;
 mod event;
+mod file_store;
 mod id;
 mod latency;
 mod sim;
@@ -66,10 +67,13 @@ mod trace;
 
 pub use chaos::{ChaosDriver, ChaosOptions, FaultPlan, FaultSpec, TimedFault};
 pub use context::{Context, MsgToken, TimerToken};
+pub use file_store::{crc32, scratch_dir, FileStore};
 pub use id::{GroupId, NodeId};
 pub use latency::LatencyModel;
-pub use sim::{Node, Simulator};
+pub use sim::{Node, Simulator, StorageFactory};
 pub use stats::Stats;
-pub use storage::{NodeStorage, Recovered, SecretBytes};
+pub use storage::{
+    FaultyStore, NodeStorage, Recovered, SecretBytes, SimStore, StableStore, StoreFault,
+};
 pub use time::{Duration, Time};
 pub use trace::{DropReason, TraceEvent};

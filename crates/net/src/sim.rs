@@ -5,7 +5,7 @@ use crate::event::{Event, EventHandle, EventKind, EventQueue, Transport};
 use crate::id::{GroupId, NodeId};
 use crate::latency::LatencyModel;
 use crate::stats::Stats;
-use crate::storage::NodeStorage;
+use crate::storage::{SimStore, StableStore, StoreFault};
 use crate::time::{Duration, Time};
 use crate::topology::Topology;
 use crate::trace::{DropReason, Trace, TraceEvent};
@@ -116,6 +116,10 @@ impl DedupWindow {
     }
 }
 
+/// Builds a node's stable-storage backend (see
+/// [`Simulator::set_storage_factory`]).
+pub type StorageFactory = Box<dyn FnMut(NodeId) -> Box<dyn StableStore> + Send>;
+
 /// Deterministic discrete-event simulator.
 ///
 /// See the [crate docs](crate) for an overview and example.
@@ -123,7 +127,10 @@ pub struct Simulator {
     nodes: Vec<Option<Box<dyn Node>>>,
     /// Per-node stable storage, parallel to `nodes`. Survives crashes
     /// (modulo injected storage faults) while volatile state does not.
-    storage: Vec<NodeStorage>,
+    storage: Vec<Box<dyn StableStore>>,
+    /// Builds the storage backend for each node added from here on;
+    /// `None` means the default in-memory [`SimStore`].
+    storage_factory: Option<StorageFactory>,
     queue: EventQueue,
     topo: Topology,
     groups: Vec<BTreeSet<NodeId>>,
@@ -182,6 +189,7 @@ impl Simulator {
         Simulator {
             nodes: Vec::new(),
             storage: Vec::new(),
+            storage_factory: None,
             queue: EventQueue::new(),
             topo: Topology::new(),
             groups: Vec::new(),
@@ -243,7 +251,10 @@ impl Simulator {
     pub fn add_node<N: Node>(&mut self, node: N) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Some(Box::new(node)));
-        self.storage.push(NodeStorage::new());
+        self.storage.push(match &mut self.storage_factory {
+            Some(make) => make(id),
+            None => Box::new(SimStore::new()),
+        });
         self.queue.push(self.now, id, EventKind::Start);
         id
     }
@@ -450,14 +461,38 @@ impl Simulator {
 
     /// Read access to a node's stable storage (e.g. for invariant
     /// checkers replaying a durable log).
-    pub fn storage(&self, node: NodeId) -> &NodeStorage {
-        &self.storage[node.index()]
+    pub fn storage(&self, node: NodeId) -> &dyn StableStore {
+        &*self.storage[node.index()]
     }
 
     /// Mutable access to a node's stable storage (fault injection:
     /// arming lying syncs, corrupting checkpoints, healing).
-    pub fn storage_mut(&mut self, node: NodeId) -> &mut NodeStorage {
-        &mut self.storage[node.index()]
+    pub fn storage_mut(&mut self, node: NodeId) -> &mut dyn StableStore {
+        &mut *self.storage[node.index()]
+    }
+
+    /// Installs a factory that builds the stable-storage backend for
+    /// every node added *from here on* (already-added nodes keep their
+    /// stores). Without a factory every node gets an in-memory
+    /// [`SimStore`]; deployments that want real files install one
+    /// returning [`FileStore`](crate::FileStore)s (usually wrapped in
+    /// [`FaultyStore`](crate::FaultyStore) so the chaos fault verbs
+    /// keep working).
+    pub fn set_storage_factory(
+        &mut self,
+        make: impl FnMut(NodeId) -> Box<dyn StableStore> + Send + 'static,
+    ) {
+        self.storage_factory = Some(Box::new(make));
+    }
+
+    /// Injects a storage fault into `node`'s backend. When the backend
+    /// does not support the fault kind, nothing changes and the
+    /// `storage-fault-unsupported` stat is bumped so chaos runs can
+    /// tell a skipped verb from a survived one.
+    pub fn inject_storage_fault(&mut self, node: NodeId, fault: StoreFault) {
+        if !self.storage[node.index()].inject(fault) {
+            self.stats.bump("storage-fault-unsupported", 1);
+        }
     }
 
     // ---- node access ----
@@ -518,7 +553,7 @@ impl Simulator {
             compute: Duration::ZERO,
             next_token: &mut self.next_token,
             next_msg_id: &mut self.next_msg_id,
-            storage: &mut self.storage[id.index()],
+            storage: &mut *self.storage[id.index()],
         };
         let any: &mut dyn Any = boxed.as_mut();
         // mykil-lint: allow(L001) -- documented panic: harness accessor, not a protocol path
@@ -675,7 +710,7 @@ impl Simulator {
             compute: Duration::ZERO,
             next_token: &mut self.next_token,
             next_msg_id: &mut self.next_msg_id,
-            storage: &mut self.storage[dst.index()],
+            storage: &mut *self.storage[dst.index()],
         };
         let trace_note = match &kind {
             EventKind::Deliver {
@@ -728,7 +763,7 @@ impl Simulator {
             compute: Duration::ZERO,
             next_token: &mut self.next_token,
             next_msg_id: &mut self.next_msg_id,
-            storage: &mut self.storage[id.index()],
+            storage: &mut *self.storage[id.index()],
         };
         f(boxed.as_mut(), &mut ctx);
         let actions = std::mem::take(&mut ctx.actions);

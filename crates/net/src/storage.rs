@@ -1,36 +1,45 @@
-//! Simulated stable storage: a per-node write-ahead log plus dual
-//! checkpoint slots, with deterministic crash-fault injection.
+//! Stable storage: a per-node write-ahead log plus dual checkpoint
+//! slots, behind the pluggable [`StableStore`] trait.
 //!
-//! Every simulated process owns one [`NodeStorage`], reachable from any
-//! callback via [`Context::storage`](crate::Context::storage). The model
-//! mirrors a real fsync-based design:
+//! Every simulated process owns one `Box<dyn StableStore>`, reachable
+//! from any callback via [`Context::storage`](crate::Context::storage).
+//! Three implementations ship:
 //!
-//! - [`NodeStorage::wal_append`] stages a record in the device cache;
-//!   [`NodeStorage::sync`] makes the cached tail durable (protocol code
-//!   normally uses the combined [`NodeStorage::wal_commit`]).
-//! - [`NodeStorage::checkpoint`] writes a full-state snapshot into the
-//!   older of two slots (classic ping-pong), records the WAL position it
-//!   covers, and truncates the log prefix no longer needed by either
-//!   slot. Slot metadata (sequence, WAL position) is kept apart from the
-//!   payload, so payload corruption never forges a valid newer slot.
-//! - [`NodeStorage::load`] is the recovery read path: it returns the
+//! - [`SimStore`] — the in-memory simulated device (the historical
+//!   `NodeStorage`, which remains as a type alias). Deterministic,
+//!   allocation-only, with built-in lying-fsync and checkpoint-bit-rot
+//!   fault hooks. This is the default backend for every simulation.
+//! - [`FileStore`](crate::FileStore) — real files: an append-only WAL
+//!   of checksummed length-prefixed records plus two ping-pong
+//!   checkpoint slot files, with explicit sync barriers modeling
+//!   `O_SYNC` (see `file_store.rs` for the on-disk layout).
+//! - [`FaultyStore`] — a wrapper that injects lost-tail, torn-write,
+//!   short-read, append-failure and checkpoint-corruption faults
+//!   against *any* backend, subsuming `arm_lying_sync` /
+//!   `corrupt_latest_checkpoint` so the whole fault matrix runs
+//!   against real files too.
+//!
+//! The storage model mirrors a real fsync-based design:
+//!
+//! - [`StableStore::wal_append`] stages a record in the device cache;
+//!   [`StableStore::sync`] makes the cached tail durable (protocol
+//!   code normally uses the combined [`StableStore::wal_commit`]).
+//! - [`StableStore::checkpoint`] writes a full-state snapshot into the
+//!   older of two slots (classic ping-pong), records the WAL position
+//!   it covers, and truncates the log prefix no longer needed by
+//!   either slot. Slot metadata (sequence, WAL position) is kept apart
+//!   from the payload, so payload corruption never forges a valid
+//!   newer slot.
+//! - [`StableStore::load`] is the recovery read path: it returns the
 //!   newest *valid* checkpoint and the durable WAL suffix past it,
 //!   stopping at the first record whose checksum fails.
 //!
-//! Checksums are modeled, not computed: a record or slot carries a
-//! validity flag that the fault injector clears, exactly as a real CRC
-//! mismatch would read back. Three faults are injectable (see the
-//! `torn` / `lost-tail` / `ckpt-corrupt` chaos verbs):
-//!
-//! - **Lost tail** (`arm_lying_sync(false)`): from arming until the next
-//!   crash, `sync` lies — it reports success but leaves the tail in the
-//!   cache, and the crash discards it (a lying-fsync power loss).
-//! - **Torn write** (`arm_lying_sync(true)`): like lost-tail, except the
-//!   first cached record survives the crash *partially* — present but
-//!   checksum-invalid, so recovery must detect and discard it.
-//! - **Checkpoint corruption** ([`NodeStorage::corrupt_latest_checkpoint`]):
-//!   bit-rot in the newest slot's payload; recovery falls back to the
-//!   other slot and a longer WAL replay.
+//! In [`SimStore`] checksums are modeled, not computed: a record or
+//! slot carries a validity flag that the fault injector clears,
+//! exactly as a real CRC mismatch would read back. Faults are
+//! injected through [`StableStore::inject`] with a [`StoreFault`]
+//! (the `torn` / `lost-tail` / `ckpt-corrupt` / `wal-short-read` /
+//! `wal-append-fail` / `ckpt-slot-corrupt` chaos verbs route there).
 //!
 //! All buffers that may hold key material are wrapped in
 //! [`SecretBytes`], which zeroizes on drop.
@@ -89,6 +98,135 @@ impl std::fmt::Debug for SecretBytes {
     }
 }
 
+/// A fault injectable into a [`StableStore`] via
+/// [`StableStore::inject`]. Backends support different subsets; an
+/// unsupported injection returns `false` and changes nothing (the
+/// simulator surfaces it as a `storage-fault-unsupported` stat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// Lying fsync: every `sync` until the next crash reports success
+    /// without persisting; the crash discards the unsynced tail
+    /// cleanly (a lying-fsync power loss).
+    LostTail,
+    /// Like [`StoreFault::LostTail`], except the crash leaves the
+    /// first cached record *torn* — present but checksum-invalid, so
+    /// recovery must detect and discard it.
+    TornWrite,
+    /// Bit-rot in the newest valid checkpoint slot's payload, applied
+    /// immediately; recovery falls back to the other slot and a
+    /// longer WAL replay.
+    CorruptCheckpoint,
+    /// Reads of the WAL come back short until healed: `load` returns
+    /// the final record truncated to half its length. Models a
+    /// partial read of the log tail; decoders must reject the stub.
+    ShortRead,
+    /// WAL appends are silently dropped until healed (a device that
+    /// acknowledges writes it never performs).
+    AppendFail,
+    /// Bit-rot targeting a specific ping-pong slot (0 or 1),
+    /// regardless of which is newest.
+    CorruptSlot(u8),
+}
+
+/// What a recovering node reads back from stable storage.
+#[derive(Debug, Clone, Default)]
+pub struct Recovered {
+    /// Newest valid checkpoint payload, with its sequence number.
+    // mykil-lint: allow(L002) -- recovery output, consumed and parsed
+    // within the restart callback; at-rest copies stay SecretBytes.
+    pub checkpoint: Option<(u64, Vec<u8>)>,
+    /// Durable, checksum-valid WAL records past the checkpoint (all
+    /// records when there is no checkpoint), oldest first.
+    // mykil-lint: allow(L002) -- recovery output, consumed and parsed
+    // within the restart callback; at-rest copies stay SecretBytes.
+    pub wal: Vec<Vec<u8>>,
+}
+
+/// Pluggable stable storage for one node: WAL + ping-pong checkpoint
+/// slots + crash/fault semantics. See the [module docs](self) for the
+/// storage model and the implementations.
+///
+/// Object-safe: the simulator holds one `Box<dyn StableStore>` per
+/// node and a factory can swap the backend per deployment
+/// ([`Simulator::set_storage_factory`](crate::Simulator::set_storage_factory)).
+pub trait StableStore: std::fmt::Debug + Send {
+    /// Stages a WAL record in the device cache; not durable until
+    /// [`Self::sync`] (use [`Self::wal_commit`] for the common
+    /// append-then-fsync pattern).
+    fn wal_append(&mut self, bytes: Vec<u8>);
+
+    /// Flushes the cache to the durable log (an fsync barrier). Under
+    /// an armed lying-sync fault this *reports* success but persists
+    /// nothing — the lie is only observable through the next crash.
+    fn sync(&mut self);
+
+    /// Appends one record and syncs: the write-ahead discipline
+    /// protocol code uses before acknowledging a state change.
+    fn wal_commit(&mut self, bytes: Vec<u8>) {
+        self.wal_append(bytes);
+        self.sync();
+    }
+
+    /// Writes a full-state snapshot covering everything appended so
+    /// far (implicitly syncing the WAL tail first) into the older of
+    /// the two ping-pong slots, then truncates the WAL prefix neither
+    /// slot needs any more.
+    fn checkpoint(&mut self, payload: Vec<u8>);
+
+    /// Appends one record that is durable but reads back
+    /// checksum-invalid, as a torn write would leave it. The record
+    /// occupies a WAL position; [`Self::load`] stops in front of it.
+    /// Used by [`FaultyStore`] to realize torn-write crashes against
+    /// any backend, and by tests crafting hostile logs.
+    fn append_torn(&mut self, bytes: Vec<u8>);
+
+    /// Recovery read path: newest valid checkpoint plus the durable,
+    /// checksum-valid WAL suffix past it. A checksum-invalid (torn)
+    /// record ends the replayable suffix.
+    fn load(&self) -> Recovered;
+
+    /// Injects `fault`; returns whether this backend supports that
+    /// fault kind. Lying-sync faults are consumed by the next crash;
+    /// read-path faults persist until [`Self::heal`].
+    fn inject(&mut self, fault: StoreFault) -> bool;
+
+    /// Disarms injected device faults (lying sync, short read, append
+    /// failure) and honestly flushes the cache — the device comes
+    /// back well-behaved. Already-written corruption stays.
+    fn heal(&mut self);
+
+    /// Applies crash semantics to the device cache and consumes any
+    /// armed lying-sync fault; returns a stat label when an armed
+    /// fault actually fired. Called by the simulator when the owning
+    /// node crashes; tests may call it directly to model a crash.
+    fn on_crash(&mut self) -> Option<&'static str>;
+
+    /// Whether anything durable exists (a checkpoint or WAL record).
+    fn has_durable_state(&self) -> bool;
+
+    /// Number of `sync` calls (honest or lied-to) so far.
+    fn sync_count(&self) -> u64;
+
+    /// Number of checkpoints written so far.
+    fn checkpoint_count(&self) -> u64;
+
+    /// Back-compat spelling of [`StoreFault::LostTail`] /
+    /// [`StoreFault::TornWrite`] injection.
+    fn arm_lying_sync(&mut self, torn: bool) {
+        self.inject(if torn {
+            StoreFault::TornWrite
+        } else {
+            StoreFault::LostTail
+        });
+    }
+
+    /// Back-compat spelling of [`StoreFault::CorruptCheckpoint`]
+    /// injection.
+    fn corrupt_latest_checkpoint(&mut self) {
+        self.inject(StoreFault::CorruptCheckpoint);
+    }
+}
+
 /// One durable WAL record. `valid` models the stored checksum: a torn
 /// write reads back with `valid == false` and recovery discards it
 /// (and, by append-only construction, everything after it).
@@ -114,16 +252,6 @@ struct CheckpointSlot {
     valid: bool,
 }
 
-/// What a recovering node reads back from stable storage.
-#[derive(Debug, Clone, Default)]
-pub struct Recovered {
-    /// Newest valid checkpoint payload, with its sequence number.
-    pub checkpoint: Option<(u64, Vec<u8>)>,
-    /// Durable, checksum-valid WAL records past the checkpoint (all
-    /// records when there is no checkpoint), oldest first.
-    pub wal: Vec<Vec<u8>>,
-}
-
 /// The armed lying-sync failure mode (consumed by the next crash).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ArmedFault {
@@ -135,9 +263,13 @@ enum ArmedFault {
     TornWrite,
 }
 
+/// The historical name of [`SimStore`], kept so existing deployments
+/// and tests read unchanged.
+pub type NodeStorage = SimStore;
+
 /// Simulated stable storage for one node. See the [module docs](self).
 #[derive(Debug)]
-pub struct NodeStorage {
+pub struct SimStore {
     /// Durable log records; index 0 is absolute position `wal_base`.
     wal: Vec<WalRecord>,
     /// Absolute position of `wal[0]` (the prefix below it has been
@@ -149,7 +281,7 @@ pub struct NodeStorage {
     slots: [Option<CheckpointSlot>; 2],
     /// A checkpoint written while a lying sync is armed parks here
     /// instead of reaching a slot; the crash discards it, an honest
-    /// [`Self::heal`] installs it.
+    /// [`StableStore::heal`] installs it.
     pending_checkpoint: Option<CheckpointSlot>,
     next_ckpt_seq: u64,
     armed: ArmedFault,
@@ -158,16 +290,16 @@ pub struct NodeStorage {
     checkpoints: u64,
 }
 
-impl Default for NodeStorage {
+impl Default for SimStore {
     fn default() -> Self {
-        NodeStorage::new()
+        SimStore::new()
     }
 }
 
-impl NodeStorage {
+impl SimStore {
     /// Creates empty storage (factory-fresh disk).
-    pub fn new() -> NodeStorage {
-        NodeStorage {
+    pub fn new() -> SimStore {
+        SimStore {
             wal: Vec::new(),
             wal_base: 0,
             cached: Vec::new(),
@@ -185,16 +317,12 @@ impl NodeStorage {
         self.wal_base + self.wal.len() as u64 + self.cached.len() as u64
     }
 
-    /// Stages a WAL record in the device cache; not durable until
-    /// [`Self::sync`] (use [`Self::wal_commit`] for the common
-    /// append-then-fsync pattern).
+    /// See [`StableStore::wal_append`].
     pub fn wal_append(&mut self, bytes: Vec<u8>) {
         self.cached.push(SecretBytes::new(bytes));
     }
 
-    /// Flushes the cache to the durable log. Under an armed lying-sync
-    /// fault this *reports* success but retains the cache — the lie is
-    /// only observable through the next crash.
+    /// See [`StableStore::sync`].
     pub fn sync(&mut self) {
         self.syncs += 1;
         if self.armed != ArmedFault::None {
@@ -211,15 +339,13 @@ impl NodeStorage {
         }
     }
 
-    /// Appends one record and syncs: the write-ahead discipline protocol
-    /// code uses before acknowledging a state change.
+    /// See [`StableStore::wal_commit`].
     pub fn wal_commit(&mut self, bytes: Vec<u8>) {
         self.wal_append(bytes);
         self.sync();
     }
 
-    /// Writes a full-state snapshot covering everything appended so far
-    /// (implicitly syncing the WAL tail first), into the older slot.
+    /// See [`StableStore::checkpoint`].
     pub fn checkpoint(&mut self, payload: Vec<u8>) {
         self.checkpoints += 1;
         let slot = CheckpointSlot {
@@ -242,12 +368,15 @@ impl NodeStorage {
     /// Writes `slot` over the older of the two ping-pong slots, then
     /// truncates the WAL prefix neither slot needs any more.
     fn install_slot(&mut self, slot: CheckpointSlot) {
-        let target = match (&self.slots[0], &self.slots[1]) {
+        let [slot0, slot1] = &self.slots;
+        let target = match (slot0, slot1) {
             (None, _) => 0,
             (_, None) => 1,
             (Some(a), Some(b)) => usize::from(a.seq > b.seq),
         };
-        self.slots[target] = Some(slot);
+        if let Some(t) = self.slots.get_mut(target) {
+            *t = Some(slot);
+        }
         let keep_from = self
             .slots
             .iter()
@@ -262,9 +391,7 @@ impl NodeStorage {
         }
     }
 
-    /// Recovery read path: newest valid checkpoint plus the durable,
-    /// checksum-valid WAL suffix past it. A checksum-invalid (torn)
-    /// record ends the replayable suffix.
+    /// See [`StableStore::load`].
     pub fn load(&self) -> Recovered {
         let best = self
             .slots
@@ -313,17 +440,83 @@ impl NodeStorage {
         }
     }
 
-    /// Disarms any lying-sync fault and honestly flushes the cache
-    /// (the device comes back well-behaved).
+    /// See [`StableStore::heal`].
     pub fn heal(&mut self) {
         self.armed = ArmedFault::None;
         self.sync();
     }
 
-    /// Applies crash semantics to the device cache and consumes the
-    /// armed fault; returns a stat label when an armed fault actually
-    /// fired. Called by the simulator when the owning node crashes.
-    pub(crate) fn on_crash(&mut self) -> Option<&'static str> {
+    /// See [`StableStore::sync_count`].
+    pub fn sync_count(&self) -> u64 {
+        self.syncs
+    }
+
+    /// See [`StableStore::checkpoint_count`].
+    pub fn checkpoint_count(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// See [`StableStore::has_durable_state`].
+    pub fn has_durable_state(&self) -> bool {
+        !self.wal.is_empty() || self.slots.iter().any(|s| s.is_some())
+    }
+}
+
+impl StableStore for SimStore {
+    fn wal_append(&mut self, bytes: Vec<u8>) {
+        SimStore::wal_append(self, bytes);
+    }
+
+    fn sync(&mut self) {
+        SimStore::sync(self);
+    }
+
+    fn checkpoint(&mut self, payload: Vec<u8>) {
+        SimStore::checkpoint(self, payload);
+    }
+
+    fn append_torn(&mut self, bytes: Vec<u8>) {
+        self.wal.push(WalRecord {
+            bytes: SecretBytes::new(bytes),
+            valid: false,
+        });
+    }
+
+    fn load(&self) -> Recovered {
+        SimStore::load(self)
+    }
+
+    fn inject(&mut self, fault: StoreFault) -> bool {
+        match fault {
+            StoreFault::LostTail => {
+                self.arm_lying_sync(false);
+                true
+            }
+            StoreFault::TornWrite => {
+                self.arm_lying_sync(true);
+                true
+            }
+            StoreFault::CorruptCheckpoint => {
+                self.corrupt_latest_checkpoint();
+                true
+            }
+            StoreFault::CorruptSlot(i) => {
+                if let Some(slot) = self.slots.get_mut(usize::from(i)).and_then(|s| s.as_mut()) {
+                    slot.valid = false;
+                }
+                true
+            }
+            // Read-path and append-drop faults need the FaultyStore
+            // wrapper; the bare sim device does not model them.
+            StoreFault::ShortRead | StoreFault::AppendFail => false,
+        }
+    }
+
+    fn heal(&mut self) {
+        SimStore::heal(self);
+    }
+
+    fn on_crash(&mut self) -> Option<&'static str> {
         let armed = std::mem::replace(&mut self.armed, ArmedFault::None);
         let had_tail = !self.cached.is_empty() || self.pending_checkpoint.is_some();
         match armed {
@@ -347,19 +540,201 @@ impl NodeStorage {
         }
     }
 
-    /// Number of `sync` calls (honest or lied-to) so far.
-    pub fn sync_count(&self) -> u64 {
+    fn has_durable_state(&self) -> bool {
+        SimStore::has_durable_state(self)
+    }
+
+    fn sync_count(&self) -> u64 {
         self.syncs
     }
 
-    /// Number of checkpoints written so far.
-    pub fn checkpoint_count(&self) -> u64 {
+    fn checkpoint_count(&self) -> u64 {
         self.checkpoints
     }
+}
 
-    /// Whether anything durable exists (a checkpoint or a WAL record).
-    pub fn has_durable_state(&self) -> bool {
-        !self.wal.is_empty() || self.slots.iter().any(|s| s.is_some())
+/// An unflushed write parked in the [`FaultyStore`] device cache, in
+/// arrival order. Checkpoints park too: a lying sync swallows the slot
+/// write together with the WAL tail.
+#[derive(Debug)]
+enum Parked {
+    Rec(SecretBytes),
+    Ckpt(SecretBytes),
+}
+
+/// A fault-injection layer over any [`StableStore`] backend.
+///
+/// `FaultyStore` owns the device cache itself: appends and (while a
+/// lying sync is armed) checkpoints park in the wrapper and only reach
+/// the inner store on an honest `sync`. That realizes the full
+/// [`StoreFault`] matrix — including lost-tail and torn-write crashes
+/// — against backends that have no native fault hooks, such as
+/// [`FileStore`](crate::FileStore). Against [`SimStore`] it is
+/// observationally equivalent to the built-in `arm_lying_sync` /
+/// `corrupt_latest_checkpoint` hooks, modulo checkpoint sequence
+/// numbers (the wrapper assigns them at flush time, the sim device at
+/// call time; a crash can discard an assigned number).
+#[derive(Debug)]
+pub struct FaultyStore<S> {
+    inner: S,
+    /// The device cache: writes not yet flushed to `inner`.
+    parked: Vec<Parked>,
+    armed: ArmedFault,
+    short_read: bool,
+    append_fail: bool,
+    syncs: u64,
+    checkpoints: u64,
+}
+
+impl<S: StableStore> FaultyStore<S> {
+    /// Wraps `inner` with no faults armed.
+    pub fn new(inner: S) -> FaultyStore<S> {
+        FaultyStore {
+            inner,
+            parked: Vec::new(),
+            armed: ArmedFault::None,
+            short_read: false,
+            append_fail: false,
+            syncs: 0,
+            checkpoints: 0,
+        }
+    }
+
+    /// Read access to the wrapped backend.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the backend, dropping any parked (unflushed) writes.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Flushes every parked write into the inner store, in order, and
+    /// syncs it. A parked checkpoint lands at the WAL position of the
+    /// records flushed before it, exactly where it would have landed
+    /// had the device been honest.
+    fn flush_parked(&mut self) {
+        for entry in self.parked.drain(..) {
+            match entry {
+                Parked::Rec(bytes) => self.inner.wal_append(bytes.as_slice().to_vec()),
+                Parked::Ckpt(payload) => self.inner.checkpoint(payload.as_slice().to_vec()),
+            }
+        }
+        self.inner.sync();
+    }
+}
+
+impl<S: StableStore> StableStore for FaultyStore<S> {
+    fn wal_append(&mut self, bytes: Vec<u8>) {
+        if self.append_fail {
+            // Acknowledged and dropped; zeroize the buffer on the way out.
+            drop(SecretBytes::new(bytes));
+            return;
+        }
+        self.parked.push(Parked::Rec(SecretBytes::new(bytes)));
+    }
+
+    fn sync(&mut self) {
+        self.syncs += 1;
+        if self.armed != ArmedFault::None {
+            return;
+        }
+        self.flush_parked();
+    }
+
+    fn checkpoint(&mut self, payload: Vec<u8>) {
+        self.checkpoints += 1;
+        if self.armed != ArmedFault::None {
+            // Park at the current cache position. Only the most recent
+            // parked checkpoint survives to a heal — a newer snapshot
+            // written into the same lying cache supersedes the older
+            // one, matching the sim device's single pending slot.
+            self.parked.retain(|p| matches!(p, Parked::Rec(_)));
+            self.parked.push(Parked::Ckpt(SecretBytes::new(payload)));
+            return;
+        }
+        self.sync();
+        self.inner.checkpoint(payload);
+    }
+
+    fn append_torn(&mut self, bytes: Vec<u8>) {
+        self.inner.append_torn(bytes);
+    }
+
+    fn load(&self) -> Recovered {
+        let mut r = self.inner.load();
+        if self.short_read {
+            if let Some(last) = r.wal.last_mut() {
+                // The tail read comes back short: half the record.
+                last.truncate(last.len() / 2);
+            }
+        }
+        r
+    }
+
+    fn inject(&mut self, fault: StoreFault) -> bool {
+        match fault {
+            StoreFault::LostTail => {
+                self.armed = ArmedFault::LostTail;
+                true
+            }
+            StoreFault::TornWrite => {
+                self.armed = ArmedFault::TornWrite;
+                true
+            }
+            StoreFault::ShortRead => {
+                self.short_read = true;
+                true
+            }
+            StoreFault::AppendFail => {
+                self.append_fail = true;
+                true
+            }
+            StoreFault::CorruptCheckpoint | StoreFault::CorruptSlot(_) => {
+                self.inner.inject(fault)
+            }
+        }
+    }
+
+    fn heal(&mut self) {
+        self.armed = ArmedFault::None;
+        self.short_read = false;
+        self.append_fail = false;
+        self.sync();
+        self.inner.heal();
+    }
+
+    fn on_crash(&mut self) -> Option<&'static str> {
+        let armed = std::mem::replace(&mut self.armed, ArmedFault::None);
+        let had_tail = !self.parked.is_empty();
+        if armed == ArmedFault::TornWrite {
+            if let Some(first) = self.parked.iter().find_map(|p| match p {
+                Parked::Rec(b) => Some(b.as_slice().to_vec()),
+                Parked::Ckpt(_) => None,
+            }) {
+                self.inner.append_torn(first);
+            }
+        }
+        self.parked.clear();
+        let inner_stat = self.inner.on_crash();
+        match armed {
+            ArmedFault::TornWrite if had_tail => Some("storage-torn-write"),
+            ArmedFault::LostTail if had_tail => Some("storage-lost-tail"),
+            _ => inner_stat,
+        }
+    }
+
+    fn has_durable_state(&self) -> bool {
+        self.inner.has_durable_state()
+    }
+
+    fn sync_count(&self) -> u64 {
+        self.syncs
+    }
+
+    fn checkpoint_count(&self) -> u64 {
+        self.checkpoints
     }
 }
 
@@ -367,13 +742,13 @@ impl NodeStorage {
 mod tests {
     use super::*;
 
-    fn crash(s: &mut NodeStorage) -> Option<&'static str> {
+    fn crash(s: &mut dyn StableStore) -> Option<&'static str> {
         s.on_crash()
     }
 
     #[test]
     fn commit_then_load_replays_everything() {
-        let mut s = NodeStorage::new();
+        let mut s = SimStore::new();
         s.wal_commit(vec![1]);
         s.wal_commit(vec![2]);
         crash(&mut s);
@@ -384,7 +759,7 @@ mod tests {
 
     #[test]
     fn unsynced_tail_is_lost_even_without_faults() {
-        let mut s = NodeStorage::new();
+        let mut s = SimStore::new();
         s.wal_commit(vec![1]);
         s.wal_append(vec![2]); // never synced
         crash(&mut s);
@@ -393,7 +768,7 @@ mod tests {
 
     #[test]
     fn checkpoint_covers_wal_and_truncates() {
-        let mut s = NodeStorage::new();
+        let mut s = SimStore::new();
         s.wal_commit(vec![1]);
         s.checkpoint(vec![0xAA]);
         s.wal_commit(vec![2]);
@@ -411,7 +786,7 @@ mod tests {
 
     #[test]
     fn lying_sync_lost_tail_discards_synced_records_at_crash() {
-        let mut s = NodeStorage::new();
+        let mut s = SimStore::new();
         s.wal_commit(vec![1]);
         s.arm_lying_sync(false);
         s.wal_commit(vec![2]); // sync lies
@@ -426,7 +801,7 @@ mod tests {
 
     #[test]
     fn torn_write_leaves_invalid_record_that_load_discards() {
-        let mut s = NodeStorage::new();
+        let mut s = SimStore::new();
         s.wal_commit(vec![1]);
         s.arm_lying_sync(true);
         s.wal_commit(vec![2]);
@@ -440,7 +815,7 @@ mod tests {
 
     #[test]
     fn lying_sync_swallows_checkpoints_too() {
-        let mut s = NodeStorage::new();
+        let mut s = SimStore::new();
         s.checkpoint(vec![0xAA]);
         s.arm_lying_sync(false);
         s.wal_commit(vec![1]);
@@ -453,7 +828,7 @@ mod tests {
 
     #[test]
     fn heal_installs_the_parked_tail() {
-        let mut s = NodeStorage::new();
+        let mut s = SimStore::new();
         s.arm_lying_sync(false);
         s.wal_commit(vec![1]);
         s.checkpoint(vec![0xAA]);
@@ -466,7 +841,7 @@ mod tests {
 
     #[test]
     fn corrupt_checkpoint_falls_back_to_older_slot() {
-        let mut s = NodeStorage::new();
+        let mut s = SimStore::new();
         s.wal_commit(vec![1]);
         s.checkpoint(vec![0xAA]); // covers record 1
         s.wal_commit(vec![2]);
@@ -487,7 +862,7 @@ mod tests {
 
     #[test]
     fn corruption_never_forges_a_newer_slot() {
-        let mut s = NodeStorage::new();
+        let mut s = SimStore::new();
         s.checkpoint(vec![0xAA]);
         s.checkpoint(vec![0xBB]);
         s.corrupt_latest_checkpoint();
@@ -505,5 +880,120 @@ mod tests {
         assert_eq!(sb.len(), 32);
         assert!(!sb.is_empty());
         drop(sb);
+    }
+
+    // ---- FaultyStore: the wrapper must reproduce the sim device's
+    // fault semantics against an arbitrary backend. ----
+
+    fn faulty() -> FaultyStore<SimStore> {
+        FaultyStore::new(SimStore::new())
+    }
+
+    #[test]
+    fn faulty_honest_path_delegates() {
+        let mut f = faulty();
+        f.wal_commit(vec![1]);
+        f.checkpoint(vec![0xAA]);
+        f.wal_commit(vec![2]);
+        let r = f.load();
+        assert_eq!(r.checkpoint.map(|(_, p)| p), Some(vec![0xAA]));
+        assert_eq!(r.wal, vec![vec![2]]);
+        assert!(f.has_durable_state());
+    }
+
+    #[test]
+    fn faulty_lost_tail_matches_sim_semantics() {
+        let mut f = faulty();
+        f.wal_commit(vec![1]);
+        f.inject(StoreFault::LostTail);
+        f.wal_commit(vec![2]);
+        f.wal_commit(vec![3]);
+        assert_eq!(f.on_crash(), Some("storage-lost-tail"));
+        assert_eq!(f.load().wal, vec![vec![1]]);
+        f.wal_commit(vec![4]);
+        f.on_crash();
+        assert_eq!(f.load().wal, vec![vec![1], vec![4]]);
+    }
+
+    #[test]
+    fn faulty_torn_write_tears_first_parked_record() {
+        let mut f = faulty();
+        f.wal_commit(vec![1]);
+        f.inject(StoreFault::TornWrite);
+        f.wal_commit(vec![2]);
+        f.wal_commit(vec![3]);
+        assert_eq!(f.on_crash(), Some("storage-torn-write"));
+        // The torn record occupies a log position: a later commit sits
+        // behind it and the replayable suffix still ends at record 1.
+        f.wal_commit(vec![4]);
+        assert_eq!(f.load().wal, vec![vec![1]]);
+    }
+
+    #[test]
+    fn faulty_heal_installs_parked_checkpoint_at_original_position() {
+        let mut f = faulty();
+        f.inject(StoreFault::LostTail);
+        f.wal_commit(vec![1]);
+        f.checkpoint(vec![0xAA]); // parks after record 1
+        f.wal_commit(vec![2]); // parks after the checkpoint
+        f.heal();
+        let r = f.load();
+        assert_eq!(r.checkpoint.map(|(_, p)| p), Some(vec![0xAA]));
+        assert_eq!(r.wal, vec![vec![2]], "post-checkpoint record replays");
+    }
+
+    #[test]
+    fn faulty_short_read_truncates_the_tail_record() {
+        let mut f = faulty();
+        f.wal_commit(vec![1, 2, 3, 4]);
+        f.wal_commit(vec![5, 6, 7, 8]);
+        f.inject(StoreFault::ShortRead);
+        let r = f.load();
+        assert_eq!(r.wal, vec![vec![1, 2, 3, 4], vec![5, 6]]);
+        f.heal();
+        assert_eq!(f.load().wal, vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]]);
+    }
+
+    #[test]
+    fn faulty_append_fail_drops_writes_until_heal() {
+        let mut f = faulty();
+        f.wal_commit(vec![1]);
+        f.inject(StoreFault::AppendFail);
+        f.wal_commit(vec![2]);
+        assert_eq!(f.load().wal, vec![vec![1]]);
+        f.heal();
+        f.wal_commit(vec![3]);
+        assert_eq!(f.load().wal, vec![vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn faulty_corruption_verbs_reach_the_inner_store() {
+        let mut f = faulty();
+        f.wal_commit(vec![1]);
+        f.checkpoint(vec![0xAA]);
+        f.wal_commit(vec![2]);
+        f.checkpoint(vec![0xBB]);
+        assert!(f.inject(StoreFault::CorruptCheckpoint));
+        let r = f.load();
+        assert_eq!(r.checkpoint.map(|(_, p)| p), Some(vec![0xAA]));
+        assert!(f.inject(StoreFault::CorruptSlot(0)));
+        assert!(f.inject(StoreFault::CorruptSlot(1)));
+        assert!(f.load().checkpoint.is_none());
+    }
+
+    #[test]
+    fn faulty_counters_mirror_sim_counting() {
+        let mut a = SimStore::new();
+        let mut b = faulty();
+        for s in [&mut a as &mut dyn StableStore, &mut b as &mut dyn StableStore] {
+            s.wal_commit(vec![1]);
+            s.checkpoint(vec![2]);
+            s.arm_lying_sync(false);
+            s.wal_commit(vec![3]);
+            s.checkpoint(vec![4]); // armed: no sync bump
+            s.heal();
+        }
+        assert_eq!(a.sync_count(), b.sync_count());
+        assert_eq!(a.checkpoint_count(), b.checkpoint_count());
     }
 }

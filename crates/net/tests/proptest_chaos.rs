@@ -30,6 +30,9 @@ fn fault_spec() -> impl Strategy<Value = FaultSpec> {
         node_id().prop_map(FaultSpec::StorageLostTail),
         node_id().prop_map(FaultSpec::StorageTorn),
         node_id().prop_map(FaultSpec::CorruptCheckpoint),
+        node_id().prop_map(FaultSpec::StorageShortRead),
+        node_id().prop_map(FaultSpec::StorageAppendFail),
+        (node_id(), 0u8..2).prop_map(|(n, s)| FaultSpec::CorruptSlot(n, s)),
         node_id().prop_map(FaultSpec::StorageHeal),
     ]
 }
@@ -63,6 +66,15 @@ proptest! {
             Just("12 crash".to_string()),
             Just("12 partition 3".to_string()),
             Just("12 reorder 100".to_string()),
+            // fs-level verbs: missing args, bad slot, and values that a
+            // bare `as u32` would have silently truncated onto a real
+            // node / rate / label instead of rejecting.
+            Just("12 wal-short-read".to_string()),
+            Just("12 ckpt-slot-corrupt 1".to_string()),
+            (2u64..256).prop_map(|s| format!("12 ckpt-slot-corrupt 1 {s}")),
+            (u32::MAX as u64 + 1..u64::MAX).prop_map(|n| format!("12 wal-append-fail {n}")),
+            (u32::MAX as u64 + 1..u64::MAX).prop_map(|n| format!("12 loss {n}")),
+            (u32::MAX as u64 + 1..u64::MAX).prop_map(|n| format!("12 partition 0 {n}")),
         ],
     ) {
         let mut text = String::new();
