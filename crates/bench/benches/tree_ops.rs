@@ -25,7 +25,11 @@ fn bench_tree(c: &mut Criterion) {
         });
     });
     g.bench_function("path_keys", |b| {
-        b.iter(|| tree.path_keys(MemberId(AREA / 2)).unwrap())
+        let mut path = Vec::new();
+        b.iter(|| {
+            tree.path_keys_into(MemberId(AREA / 2), &mut path).unwrap();
+            std::hint::black_box(path.len())
+        })
     });
     g.bench_function("snapshot", |b| b.iter(|| tree.snapshot()));
     let snap = tree.snapshot();

@@ -1,9 +1,14 @@
 //! Rekey hot-path performance gate.
 //!
-//! Runs the three rekey-critical workloads — single-leave rekey,
-//! batched mixed join/leave, and wire encode/decode — under a counting
-//! allocator and reports ops/sec, bytes/op and allocations/op as
-//! machine-readable JSON (`BENCH_rekey.json` at the repo root).
+//! Runs the rekey-critical workloads — single-leave rekey, batched
+//! mixed join/leave, and a 5000-member controller-storage build, each
+//! on *both* tree backends (explicit keys and the keyed-hash forest),
+//! plus wire encode/decode — under a counting allocator and reports
+//! ops/sec, bytes/op, allocations/op and resident key bytes as
+//! machine-readable JSON (`BENCH_rekey.json` at the repo root). Either
+//! backend regressing past the tolerance fails the gate, and the KHF
+//! backend's resident key bytes must stay sublinear (< 1/4) relative
+//! to the explicit backend's O(n) at the 5000-member scale.
 //!
 //! ```text
 //! perfgate                  # run and print
@@ -24,7 +29,7 @@ use mykil::wire::{Reader, Writer};
 use mykil_bench::alloc_track::{alloc_count, CountingAllocator};
 use mykil_crypto::drbg::Drbg;
 use mykil_crypto::sha256::Sha256;
-use mykil_tree::{KeyTree, MemberId, TreeConfig};
+use mykil_tree::{ExplicitKeys, KeyStore, KhfKeys, MemberId, Tree, TreeConfig};
 use std::time::Instant;
 
 #[global_allocator]
@@ -37,15 +42,18 @@ struct Sample {
     ops_per_sec: f64,
     bytes_per_op: f64,
     allocs_per_op: f64,
+    /// Key material resident in the controller's tree after the run
+    /// (the storage axis the KHF backend trades compute for).
+    resident_key_bytes: f64,
 }
 
 /// Single-member leave rekey, the paper's Figure 5 path: tree mutation,
 /// envelope sealing and wire encoding of the key-update body. The
 /// vacated slot is re-joined outside the measured region to keep the
 /// population stable.
-fn rekey_single_leave() -> Sample {
+fn rekey_single_leave<S: KeyStore>(name: &'static str) -> Sample {
     let mut rng = Drbg::from_seed(0xBE9C_0001);
-    let mut tree = KeyTree::new(TreeConfig::quad(), &mut rng);
+    let mut tree = Tree::<S>::new(TreeConfig::quad(), &mut rng);
     const N: u64 = 1024;
     const OPS: u64 = 2000;
     for m in 0..N {
@@ -75,19 +83,20 @@ fn rekey_single_leave() -> Sample {
         tree.join(victim, &mut rng).expect("slot just vacated");
     }
     Sample {
-        name: "rekey_single_leave",
+        name,
         ops: OPS,
         ops_per_sec: OPS as f64 / elapsed.as_secs_f64(),
         bytes_per_op: bytes as f64 / OPS as f64,
         allocs_per_op: allocs as f64 / OPS as f64,
+        resident_key_bytes: tree.resident_key_bytes() as f64,
     }
 }
 
 /// Batched mixed join/leave (Section III-E aggregation): eight leavers
 /// and eight joiners per flush, one combined plan, sealed and encoded.
-fn rekey_batch_mixed() -> Sample {
+fn rekey_batch_mixed<S: KeyStore>(name: &'static str) -> Sample {
     let mut rng = Drbg::from_seed(0xBE9C_0002);
-    let mut tree = KeyTree::new(TreeConfig::quad(), &mut rng);
+    let mut tree = Tree::<S>::new(TreeConfig::quad(), &mut rng);
     const N: u64 = 4096;
     const OPS: u64 = 250;
     const CHURN: u64 = 8;
@@ -118,11 +127,44 @@ fn rekey_batch_mixed() -> Sample {
         scratch = w.into_bytes();
     }
     Sample {
-        name: "rekey_batch_mixed",
+        name,
         ops: OPS,
         ops_per_sec: OPS as f64 / elapsed.as_secs_f64(),
         bytes_per_op: bytes as f64 / OPS as f64,
         allocs_per_op: allocs as f64 / OPS as f64,
+        resident_key_bytes: tree.resident_key_bytes() as f64,
+    }
+}
+
+/// Controller storage at scale: build a 5000-member area, then one
+/// mixed 64-leave/64-join batch (so the KHF override table reflects
+/// realistic leave churn). The headline metric is `resident_key_bytes`
+/// — O(n) for the explicit store, O(overrides) for the forest.
+fn resident_keys_5000<S: KeyStore>(name: &'static str) -> Sample {
+    let mut rng = Drbg::from_seed(0xBE9C_0003);
+    let mut tree = Tree::<S>::new(TreeConfig::quad(), &mut rng);
+    const N: u64 = 5000;
+    const CHURN: u64 = 64;
+    let t0 = Instant::now();
+    let a0 = alloc_count();
+    for m in 0..N {
+        // mykil-lint: allow(L001) -- bench setup with fresh ids
+        tree.join(MemberId(m), &mut rng).expect("fresh id");
+    }
+    let joins: Vec<MemberId> = (N..N + CHURN).map(MemberId).collect();
+    let leaves: Vec<MemberId> = (0..CHURN).map(MemberId).collect();
+    // mykil-lint: allow(L001) -- ids validated by construction
+    let out = tree.batch(&joins, &leaves, &mut rng).expect("valid batch");
+    let allocs = alloc_count() - a0;
+    let elapsed = t0.elapsed();
+    let ops = N + 1;
+    Sample {
+        name,
+        ops,
+        ops_per_sec: ops as f64 / elapsed.as_secs_f64(),
+        bytes_per_op: out.plan.multicast_bytes() as f64,
+        allocs_per_op: allocs as f64 / ops as f64,
+        resident_key_bytes: tree.resident_key_bytes() as f64,
     }
 }
 
@@ -172,6 +214,7 @@ fn wire_encode_decode() -> Sample {
         ops_per_sec: OPS as f64 / elapsed.as_secs_f64(),
         bytes_per_op: bytes as f64 / OPS as f64,
         allocs_per_op: allocs as f64 / OPS as f64,
+        resident_key_bytes: 0.0,
     }
 }
 
@@ -201,12 +244,13 @@ fn render_json(samples: &[Sample], calibration: f64) -> String {
     out.push_str("  \"workloads\": {\n");
     for (i, s) in samples.iter().enumerate() {
         out.push_str(&format!(
-            "    \"{}\": {{ \"ops\": {}, \"ops_per_sec\": {:.1}, \"bytes_per_op\": {:.2}, \"allocs_per_op\": {:.3} }}{}\n",
+            "    \"{}\": {{ \"ops\": {}, \"ops_per_sec\": {:.1}, \"bytes_per_op\": {:.2}, \"allocs_per_op\": {:.3}, \"resident_key_bytes\": {:.0} }}{}\n",
             s.name,
             s.ops,
             s.ops_per_sec,
             s.bytes_per_op,
             s.allocs_per_op,
+            s.resident_key_bytes,
             if i + 1 == samples.len() { "" } else { "," }
         ));
     }
@@ -277,6 +321,18 @@ fn check(baseline: &str, samples: &[Sample], calibration: f64, tol_pct: f64) -> 
                 limit_pct: tol_pct,
             });
         }
+        // Resident key bytes are deterministic too (a new tree built
+        // from fixed seeds); absent from older baselines -> skip.
+        if let Some(base_resident) = json_num(baseline, s.name, "resident_key_bytes") {
+            if s.resident_key_bytes > base_resident * (1.0 + tol_pct / 100.0) + 16.0 {
+                bad.push(Regression {
+                    what: format!("{}: resident_key_bytes", s.name),
+                    base: base_resident,
+                    fresh: s.resident_key_bytes,
+                    limit_pct: tol_pct,
+                });
+            }
+        }
 
         // Throughput: normalize by the calibration ratio, then allow a
         // doubled band for residual host noise.
@@ -321,19 +377,47 @@ fn main() {
     }
 
     let calibration = calibrate();
-    let samples = vec![rekey_single_leave(), rekey_batch_mixed(), wire_encode_decode()];
+    let samples = vec![
+        rekey_single_leave::<ExplicitKeys>("rekey_single_leave"),
+        rekey_single_leave::<KhfKeys>("rekey_single_leave_khf"),
+        rekey_batch_mixed::<ExplicitKeys>("rekey_batch_mixed"),
+        rekey_batch_mixed::<KhfKeys>("rekey_batch_mixed_khf"),
+        resident_keys_5000::<ExplicitKeys>("resident_keys_5000"),
+        resident_keys_5000::<KhfKeys>("resident_keys_5000_khf"),
+        wire_encode_decode(),
+    ];
 
     println!(
-        "{:<22} {:>12} {:>12} {:>14}",
-        "workload", "ops/sec", "bytes/op", "allocs/op"
+        "{:<24} {:>12} {:>12} {:>12} {:>14}",
+        "workload", "ops/sec", "bytes/op", "allocs/op", "resident-keys"
     );
     for s in &samples {
         println!(
-            "{:<22} {:>12.0} {:>12.1} {:>14.2}",
-            s.name, s.ops_per_sec, s.bytes_per_op, s.allocs_per_op
+            "{:<24} {:>12.0} {:>12.1} {:>12.2} {:>14.0}",
+            s.name, s.ops_per_sec, s.bytes_per_op, s.allocs_per_op, s.resident_key_bytes
         );
     }
     println!("calibration: {calibration:.0} sha256-4k/sec");
+
+    // The KHF backend's reason to exist: resident key bytes must be
+    // decisively sublinear relative to the explicit store's O(n) at
+    // the 5000-member scale. This is structural, not host-dependent.
+    let explicit_resident = samples
+        .iter()
+        .find(|s| s.name == "resident_keys_5000")
+        .map(|s| s.resident_key_bytes)
+        .unwrap_or(0.0);
+    let khf_resident = samples
+        .iter()
+        .find(|s| s.name == "resident_keys_5000_khf")
+        .map(|s| s.resident_key_bytes)
+        .unwrap_or(f64::MAX);
+    if khf_resident * 4.0 >= explicit_resident {
+        eprintln!(
+            "khf resident key bytes not sublinear: khf {khf_resident:.0} vs explicit {explicit_resident:.0}"
+        );
+        std::process::exit(1);
+    }
 
     let json = render_json(&samples, calibration);
     if let Some(path) = &out_path {

@@ -72,7 +72,7 @@ impl AreaController {
 
         // Multicast into our area under the (possibly new) area key.
         ctx.charge_compute(self.cost.symmetric_op);
-        let rewrapped = envelope::seal(self.tree.area_key(), k_r.as_bytes(), ctx.rng());
+        let rewrapped = envelope::seal(&self.tree.area_key(), k_r.as_bytes(), ctx.rng());
         ctx.multicast(
             self.deploy.group,
             "data",

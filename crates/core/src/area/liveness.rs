@@ -433,9 +433,14 @@ impl AreaController {
                 self.deny_rejoin(ctx, from, RejoinDenyReason::NotMember);
                 return;
             }
-            let Ok(path) = self.tree.path_keys(mykil_tree::MemberId(client.0)) else {
+            let mut path = Vec::new();
+            if self
+                .tree
+                .path_keys_into(mykil_tree::MemberId(client.0), &mut path)
+                .is_err()
+            {
                 return;
-            };
+            }
             let Some(pubkey) = self.directory_pubkey(from) else {
                 return;
             };

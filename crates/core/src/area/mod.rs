@@ -33,7 +33,7 @@ use crate::rekey::KeyState;
 use mykil_crypto::keys::SymmetricKey;
 use mykil_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use mykil_net::{Context, GroupId, MsgToken, Node, NodeId, SecretBytes, Time};
-use mykil_tree::{KeyTree, MemberId};
+use mykil_tree::{AreaTree, MemberId};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 pub(crate) const TIMER_IDLE_ALIVE: u64 = 1;
@@ -176,7 +176,7 @@ pub struct AreaController {
     pub(crate) tree_seed: u64,
     pub(crate) role: Role,
 
-    pub(crate) tree: KeyTree,
+    pub(crate) tree: AreaTree,
     pub(crate) members: BTreeMap<ClientId, MemberRecord>,
     pub(crate) pending_admissions: BTreeMap<u64, PendingAdmission>,
     pub(crate) pending_rejoins: BTreeMap<NodeId, PendingRejoin>,
@@ -282,7 +282,7 @@ impl AreaController {
         tree_seed: u64,
     ) -> AreaController {
         let mut rng = mykil_crypto::drbg::Drbg::from_seed(tree_seed);
-        let tree = KeyTree::new(cfg.tree, &mut rng);
+        let tree = AreaTree::new(cfg.tree, &mut rng);
         let repl_key = k_shared.derive(format!("repl-{}", deploy.area.0).as_bytes());
         let role = deploy.role;
         AreaController {
@@ -368,11 +368,11 @@ impl AreaController {
 
     /// The current area key (root of the auxiliary tree).
     pub fn area_key(&self) -> SymmetricKey {
-        self.tree.area_key().clone()
+        self.tree.area_key()
     }
 
     /// The auxiliary-key tree (inspection only).
-    pub fn tree(&self) -> &KeyTree {
+    pub fn tree(&self) -> &AreaTree {
         &self.tree
     }
 
@@ -457,8 +457,7 @@ impl AreaController {
     /// Records the current area key before a tree mutation rotates it.
     pub(crate) fn note_area_key(&mut self) {
         let current = self.tree.area_key();
-        if self.prev_area_keys.front() != Some(current) {
-            let current = current.clone();
+        if self.prev_area_keys.front() != Some(&current) {
             self.prev_area_keys.push_front(current);
             self.prev_area_keys.truncate(crate::rekey::AREA_KEY_HISTORY);
         }
@@ -468,7 +467,7 @@ impl AreaController {
     /// first).
     pub(crate) fn own_area_keys(&self) -> Vec<SymmetricKey> {
         let mut out = Vec::with_capacity(1 + self.prev_area_keys.len());
-        out.push(self.tree.area_key().clone());
+        out.push(self.tree.area_key());
         out.extend(self.prev_area_keys.iter().cloned());
         out
     }

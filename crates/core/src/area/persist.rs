@@ -26,7 +26,7 @@ use crate::msg::Msg;
 use mykil_crypto::envelope::HybridCiphertext;
 use mykil_crypto::rsa::RsaPublicKey;
 use mykil_net::{Context, NodeId, SecretBytes, Time};
-use mykil_tree::{KeyTree, MemberId};
+use mykil_tree::MemberId;
 
 impl AreaController {
     /// Commits one WAL record (append + fsync) to stable storage.
@@ -83,7 +83,7 @@ impl AreaController {
         self.role = self.deploy.role;
         self.parent = self.deploy.parent.clone();
         let mut rng = mykil_crypto::drbg::Drbg::from_seed(self.tree_seed);
-        self.tree = KeyTree::new(self.cfg.tree, &mut rng);
+        self.tree = mykil_tree::AreaTree::new(self.cfg.tree, &mut rng);
         self.members.clear();
         self.pending_admissions.clear();
         self.pending_rejoins.clear();
@@ -282,9 +282,10 @@ impl AreaController {
             .map(|(m, n)| (*m, *n))
             .collect();
         for (member, node) in children {
-            let Ok(path) = self.tree.path_keys(MemberId(member)) else {
+            let mut path = Vec::new();
+            if self.tree.path_keys_into(MemberId(member), &mut path).is_err() {
                 continue;
-            };
+            }
             let Some(pubkey) = self.directory_pubkey(node) else {
                 continue;
             };

@@ -40,9 +40,10 @@ impl AreaController {
         let Some(rec) = self.members.get(&client) else {
             return;
         };
-        let Ok(path) = self.tree.path_keys(MemberId(client.0)) else {
+        let mut path = Vec::new();
+        if self.tree.path_keys_into(MemberId(client.0), &mut path).is_err() {
             return;
-        };
+        }
         ctx.charge_compute(self.cost.rsa_public(self.cfg.rsa_bits));
         if let Ok(ct) = mykil_crypto::envelope::HybridCiphertext::encrypt(
             &rec.pubkey,
@@ -168,7 +169,7 @@ impl AreaController {
             if leave_changed.contains(node) {
                 continue;
             }
-            let current = self.tree.key_of(mykil_tree::NodeIdx::from_raw(*node as usize));
+            let current = self.tree.node_key(mykil_tree::NodeIdx::from_raw(*node as usize));
             ctx.charge_compute(self.cost.symmetric_op);
             w.u32(*node).u8(0).u32(KEY_ENV_LEN as u32);
             w.append_with(|buf| envelope::seal_into(old_key, current.as_bytes(), ctx.rng(), buf));

@@ -19,7 +19,7 @@ use crate::wire::{Reader, Writer};
 use mykil_crypto::envelope;
 use mykil_crypto::rsa::RsaPublicKey;
 use mykil_net::{Context, GroupId, NodeId, SecretBytes, Time};
-use mykil_tree::KeyTree;
+use mykil_tree::AreaTree;
 
 impl AreaController {
     /// Serializes the replicated state (tree, members, hierarchy,
@@ -77,7 +77,7 @@ impl AreaController {
 
     pub(crate) fn apply_replica_snapshot(&mut self, bytes: &[u8], now: Time) -> Option<()> {
         let mut r = Reader::new(bytes);
-        let tree = KeyTree::restore(r.bytes().ok()?).ok()?;
+        let tree = AreaTree::restore(r.bytes().ok()?).ok()?;
         let count = r.u32().ok()? as usize;
         let mut members = std::collections::BTreeMap::new();
         for _ in 0..count {

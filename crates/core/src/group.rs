@@ -119,6 +119,13 @@ impl GroupBuilder {
         self
     }
 
+    /// Selects the auxiliary-tree key backend for every area controller
+    /// (default: [`mykil_tree::TreeBackend::Explicit`]).
+    pub fn tree_backend(mut self, backend: mykil_tree::TreeBackend) -> Self {
+        self.cfg.tree = self.cfg.tree.with_backend(backend);
+        self
+    }
+
     /// Sets the virtual crypto cost model.
     pub fn cost(mut self, cost: CryptoCost) -> Self {
         self.cost = cost;
@@ -271,9 +278,10 @@ impl GroupBuilder {
         for i in 1..self.areas {
             let p = (i - 1) / 2;
             let member = mykil_tree::MemberId(crate::area::AC_MEMBER_BASE + i as u64);
-            let path = acs[p]
+            let mut path = Vec::new();
+            acs[p]
                 .tree()
-                .path_keys(member)
+                .path_keys_into(member, &mut path)
                 // mykil-lint: allow(L001) -- deployment harness: children enrolled in the loop above
                 .expect("child enrolled above");
             acs[i].seed_parent_tree_keys(&path);

@@ -1,4 +1,4 @@
-//! The five fuzz targets and their structure-aware seed corpora.
+//! The six fuzz targets and their structure-aware seed corpora.
 //!
 //! Every target is a total function of its input bytes: the contract
 //! under test is "no panic, no hang, no allocation proportional to a
@@ -58,6 +58,11 @@ pub fn all() -> Vec<Target> {
             name: "fault-plan",
             run: run_fault_plan,
             seeds: seeds_fault_plan,
+        },
+        Target {
+            name: "tree-snapshot",
+            run: run_tree_snapshot,
+            seeds: seeds_tree_snapshot,
         },
     ]
 }
@@ -424,6 +429,77 @@ fn seeds_fault_plan() -> Vec<(&'static str, Vec<u8>)> {
             "regression-rate-range.txt",
             b"0 loss 4294967296\n".to_vec(),
         ),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// tree-snapshot: auxiliary-tree replica image decode (both backends)
+// ---------------------------------------------------------------------
+
+/// Feeds arbitrary bytes to [`AreaTree::restore`] — the decoder a
+/// backup controller runs on every replicated snapshot, dispatching on
+/// the `MKT1`/`MKH1` magic. Any input that restores must (a) pass the
+/// tree's full structural invariant check and (b) re-encode to exactly
+/// the input bytes: restore hardening makes every accepted image
+/// canonical, so both oracles are safe on fuzz-shaped data.
+fn run_tree_snapshot(data: &[u8]) {
+    use mykil_tree::AreaTree;
+    if let Ok(tree) = AreaTree::restore(data) {
+        tree.check_invariants();
+        assert_eq!(
+            tree.snapshot(),
+            data,
+            "restored tree re-encoded differently (snapshot not canonical)"
+        );
+    }
+}
+
+fn seeds_tree_snapshot() -> Vec<(&'static str, Vec<u8>)> {
+    use mykil_tree::{AreaTree, MemberId, TreeBackend, TreeConfig};
+    let mut rng = Drbg::from_seed(23);
+
+    // Explicit (MKT1) image with joins and a leave.
+    let mut explicit = AreaTree::new(TreeConfig::quad(), &mut rng);
+    for m in 0..12 {
+        let _ = explicit.join(MemberId(m), &mut rng);
+    }
+    let _ = explicit.leave(MemberId(4), &mut rng);
+
+    // KHF (MKH1) image whose override table is non-empty: leaves force
+    // Fresh rotations, exercising the tail decode with override
+    // entries (count, strictly-increasing node indices, key bytes).
+    let mut khf = AreaTree::new(TreeConfig::quad().with_backend(TreeBackend::Khf), &mut rng);
+    for m in 0..12 {
+        let _ = khf.join(MemberId(m), &mut rng);
+    }
+    let _ = khf.leave(MemberId(2), &mut rng);
+    let _ = khf.leave(MemberId(9), &mut rng);
+
+    // Empty trees: smallest valid image of each format.
+    let empty_explicit = AreaTree::new(TreeConfig::binary(), &mut rng);
+    let empty_khf = AreaTree::new(TreeConfig::binary().with_backend(TreeBackend::Khf), &mut rng);
+
+    // A truncated KHF tail: valid nodes, override count pointing past
+    // the end — the exact shape the hardened restore must reject.
+    let mut truncated = khf.snapshot();
+    truncated.truncate(truncated.len().saturating_sub(9));
+
+    // Regression fixture: a valid header claiming 2^64-1 nodes over a
+    // tiny body. The original restore passed the claimed count straight
+    // to `Vec::with_capacity` (capacity-overflow abort); restore now
+    // bounds the count by what the input bytes can actually hold.
+    let mut inflated = b"MKT1".to_vec();
+    inflated.push(4);
+    inflated.extend_from_slice(&u64::MAX.to_be_bytes());
+    inflated.extend_from_slice(&[0u8; 24]);
+
+    vec![
+        ("seed-explicit.bin", explicit.snapshot()),
+        ("seed-khf-overrides.bin", khf.snapshot()),
+        ("seed-empty-explicit.bin", empty_explicit.snapshot()),
+        ("seed-empty-khf.bin", empty_khf.snapshot()),
+        ("seed-khf-truncated-tail.bin", truncated),
+        ("regression-inflated-count.bin", inflated),
     ]
 }
 

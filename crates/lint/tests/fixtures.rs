@@ -71,6 +71,30 @@ fn l001_suppressed_with_directive() {
 }
 
 #[test]
+fn l001_fires_on_batch_planner_expect_pattern() {
+    // The exact shape that used to live in the batch planner: an
+    // "invariant" lookup unwrapped with .expect() in protocol code. A
+    // forged snapshot restored into the tree can violate the invariant,
+    // so the panic was a remote crash vector; the planner now returns
+    // TreeError::Inconsistent instead.
+    let src = "fn plan(&self, m: MemberId) {\n    \
+               let leaf = self.leaf_of(m).expect(\"just placed\");\n    \
+               let old = self.displaced.get(&m).expect(\"displaced member present\");\n    \
+               use_them(leaf, old);\n}\n";
+    assert_eq!(
+        rules_at("crates/tree/src/batch.rs", src),
+        vec![("L001".to_string(), 2), ("L001".to_string(), 3)]
+    );
+    // The typed-error replacement is clean.
+    let fixed = "fn plan(&self, m: MemberId) -> Result<(), TreeError> {\n    \
+                 let leaf = self.leaf_of(m).ok_or(TreeError::Inconsistent(\"leaf missing\"))?;\n    \
+                 let old = self\n        .displaced\n        .get(&m)\n        \
+                 .ok_or(TreeError::Inconsistent(\"displaced member missing\"))?;\n    \
+                 use_them(leaf, old);\n    Ok(())\n}\n";
+    assert!(rule_ids("crates/tree/src/batch.rs", fixed).is_empty());
+}
+
+#[test]
 fn l001_quiet_in_harness_allowlisted_files() {
     // The chaos fault injector and the invariant checker live inside
     // protocol crates but run only under the test harness; intentional

@@ -9,7 +9,8 @@
 
 use crate::error::TreeError;
 use crate::plan::{RekeyPlan, UnicastKeys};
-use crate::tree::{KeyTree, NodeIdx};
+use crate::store::KeyStore;
+use crate::tree::{NodeIdx, Tree};
 use crate::MemberId;
 use rand::RngCore;
 use std::collections::BTreeSet;
@@ -25,7 +26,7 @@ pub struct BatchOutcome {
     pub left: Vec<MemberId>,
 }
 
-impl KeyTree {
+impl<S: KeyStore> Tree<S> {
     /// Processes a batch of leave events as one rekey (Figure 6).
     ///
     /// # Errors
@@ -96,8 +97,11 @@ impl KeyTree {
 
         // 1. Remove leavers, remembering where each rekey must start.
         for &m in leaves {
-            // mykil-lint: allow(L001) -- leavers filtered with contains() by the caller
-            let leaf = self.leaf_of(m).expect("validated above");
+            // Validated above; a miss here is a planner bug surfaced as
+            // a typed error rather than a panic in protocol code.
+            let leaf = self
+                .leaf_of(m)
+                .map_err(|_| TreeError::Inconsistent("batch leaver vanished after validation"))?;
             if let Some(start) = self.remove_member(m, leaf) {
                 rekey_starts.push(start);
             }
@@ -123,12 +127,13 @@ impl KeyTree {
         let mut plan = self.rekey_paths_leave_style(&rekey_starts, rng);
 
         // 4. Unicast full fresh paths to newcomers and displaced members.
+        // The plan owns its key copies (it outlives this borrow of the
+        // tree); each path is collected once, straight into the entry.
         for (m, _) in &new_leaves {
-            plan.unicasts.push(UnicastKeys {
-                member: *m,
-                // mykil-lint: allow(L001) -- member placed two lines above
-                keys: self.path_keys(*m).expect("just placed"),
-            });
+            let mut keys = Vec::new();
+            self.path_keys_into(*m, &mut keys)
+                .map_err(|_| TreeError::Inconsistent("just-placed member missing from tree"))?;
+            plan.unicasts.push(UnicastKeys { member: *m, keys });
         }
         for m in displaced {
             // A member may be both displaced and a newcomer's neighbor;
@@ -136,11 +141,10 @@ impl KeyTree {
             if new_leaves.iter().any(|(nm, _)| *nm == m) {
                 continue;
             }
-            plan.unicasts.push(UnicastKeys {
-                member: m,
-                // mykil-lint: allow(L001) -- displaced members remain resident by construction
-                keys: self.path_keys(m).expect("displaced member present"),
-            });
+            let mut keys = Vec::new();
+            self.path_keys_into(m, &mut keys)
+                .map_err(|_| TreeError::Inconsistent("displaced member missing from tree"))?;
+            plan.unicasts.push(UnicastKeys { member: m, keys });
         }
 
         Ok(BatchOutcome {
@@ -158,7 +162,7 @@ impl KeyTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tree::TreeConfig;
+    use crate::tree::{KeyTree, TreeConfig};
     use mykil_crypto::drbg::Drbg;
 
     fn tree_with(n: u64, cfg: TreeConfig, r: &mut Drbg) -> KeyTree {

@@ -4,10 +4,11 @@
 //! interior auxiliary-key nodes, occupied leaves labeled with their
 //! member, and vacant leaves (Mykil keeps them) dashed.
 
-use crate::tree::{KeyTree, NodeIdx};
+use crate::store::KeyStore;
+use crate::tree::{NodeIdx, Tree};
 use std::fmt::Write;
 
-impl KeyTree {
+impl<S: KeyStore> Tree<S> {
     /// Renders the tree in Graphviz `dot` syntax.
     ///
     /// Key *values* are never included — only structure, key versions,

@@ -14,6 +14,9 @@ pub enum TreeError {
     /// A batch contained the same member twice, or a member in both the
     /// join and leave sets.
     DuplicateInBatch(MemberId),
+    /// An internal structural invariant did not hold (a planner or
+    /// restore bug surfaced as a typed error instead of a panic).
+    Inconsistent(&'static str),
 }
 
 impl fmt::Display for TreeError {
@@ -23,6 +26,9 @@ impl fmt::Display for TreeError {
             TreeError::NotAMember(m) => write!(f, "member {m} is not in the tree"),
             TreeError::DuplicateInBatch(m) => {
                 write!(f, "member {m} appears more than once in the batch")
+            }
+            TreeError::Inconsistent(what) => {
+                write!(f, "tree invariant violated: {what}")
             }
         }
     }
@@ -42,6 +48,8 @@ mod tests {
         assert!(e.to_string().contains("m1"));
         let e = TreeError::DuplicateInBatch(MemberId(2));
         assert!(e.to_string().contains("m2"));
+        let e = TreeError::Inconsistent("planner bug");
+        assert!(e.to_string().contains("planner bug"));
     }
 
     #[test]

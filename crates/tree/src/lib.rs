@@ -43,20 +43,24 @@
 //! # Ok::<(), mykil_tree::TreeError>(())
 //! ```
 
+mod aux;
 mod batch;
 mod dot;
 mod error;
 mod member_view;
 mod plan;
 mod snapshot;
+mod store;
 mod tree;
 
+pub use aux::{AreaTree, AuxTree};
 pub use batch::BatchOutcome;
 pub use error::TreeError;
 pub use member_view::MemberView;
 pub use plan::{EncryptUnder, KeyChange, RekeyPlan, UnicastKeys};
 pub use snapshot::SnapshotError;
-pub use tree::{KeyTree, NodeIdx, TreeConfig};
+pub use store::{ExplicitKeys, KeyStore, KhfKeys, RotateStyle};
+pub use tree::{KeyTree, KhfTree, NodeIdx, Tree, TreeBackend, TreeConfig};
 
 /// Identifier of a group member within one area's key tree.
 ///

@@ -150,8 +150,10 @@ mod tests {
     fn views_match_tree_paths() {
         let mut r = Drbg::from_seed(2);
         let (tree, views) = build(25, TreeConfig::quad(), &mut r);
+        let mut path = Vec::new();
         for (m, v) in &views {
-            for (node, key) in tree.path_keys(*m).unwrap() {
+            tree.path_keys_into(*m, &mut path).unwrap();
+            for (node, key) in path.drain(..) {
                 assert_eq!(v.key(node), Some(key), "{m} stale at {node}");
             }
         }
@@ -235,8 +237,10 @@ mod tests {
                 .or_insert_with(|| MemberView::new(u.member))
                 .apply_unicast(u);
         }
+        let mut path = Vec::new();
         for (m, v) in &views {
-            for (node, key) in tree.path_keys(*m).unwrap() {
+            tree.path_keys_into(*m, &mut path).unwrap();
+            for (node, key) in path.drain(..) {
                 assert_eq!(v.key(node), Some(key), "{m} stale at {node} after split");
             }
         }
@@ -249,8 +253,9 @@ mod tests {
         let v = &views[&MemberId(0)];
         assert_eq!(v.storage_bytes(), v.key_count() * 16);
         // Path length = keys stored (leaf..root).
-        let path_len = tree.path_keys(MemberId(0)).unwrap().len();
-        assert!(v.key_count() >= path_len);
+        let mut path = Vec::new();
+        tree.path_keys_into(MemberId(0), &mut path).unwrap();
+        assert!(v.key_count() >= path.len());
     }
 
     #[test]

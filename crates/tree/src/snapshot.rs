@@ -2,17 +2,39 @@
 //!
 //! Section IV-C of the paper: a Mykil area controller is replicated with
 //! a primary-backup scheme, and the replicated state includes "the
-//! complete auxiliary tree". [`KeyTree::snapshot`] serializes exactly
-//! that state; [`KeyTree::restore`] rebuilds a tree a backup can take
-//! over with.
+//! complete auxiliary tree". [`Tree::snapshot`] serializes exactly that
+//! state; [`Tree::restore`] rebuilds a tree a backup can take over with.
+//!
+//! Two formats exist, one per [`KeyStore`] backend, distinguished by a
+//! 4-byte magic:
+//!
+//! - `MKT1` ([`crate::KeyTree`]): structure, per-node key bytes,
+//!   versions, occupancy — byte-for-byte the original format.
+//! - `MKH1` ([`crate::KhfTree`]): structure, versions, occupancy, then
+//!   the 32-byte forest secret and the override table. Derived keys are
+//!   never serialized; the backup re-derives them, so the snapshot is
+//!   O(updated set) like the resident state. Per-node `version`
+//!   counters travel in both formats — a restored replica that reset
+//!   them would derive stale `(node, version)` keys and desynchronize
+//!   from the members.
+//!
+//! [`crate::AreaTree::restore`] dispatches on the magic so replicated
+//! state moves between controllers regardless of backend.
 
-use crate::tree::{KeyTree, TreeConfig};
+use crate::store::KeyStore;
+use crate::tree::{Tree, TreeConfig};
 use crate::MemberId;
 use std::fmt;
 
-/// Error returned by [`KeyTree::restore`] on corrupt input.
+/// Error returned by [`Tree::restore`] on corrupt input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SnapshotError(&'static str);
+
+impl SnapshotError {
+    pub(crate) fn new(what: &'static str) -> SnapshotError {
+        SnapshotError(what)
+    }
+}
 
 impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -22,11 +44,9 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-const MAGIC: &[u8; 4] = b"MKT1";
-
 struct Reader<'a>(&'a [u8]);
 
-impl<'a> Reader<'a> {
+impl Reader<'_> {
     fn u8(&mut self) -> Result<u8, SnapshotError> {
         let (&b, rest) = self.0.split_first().ok_or(SnapshotError("truncated"))?;
         self.0 = rest;
@@ -42,23 +62,14 @@ impl<'a> Reader<'a> {
         let arr: [u8; 8] = head.try_into().map_err(|_| SnapshotError("truncated"))?;
         Ok(u64::from_be_bytes(arr))
     }
-
-    fn bytes16(&mut self) -> Result<[u8; 16], SnapshotError> {
-        if self.0.len() < 16 {
-            return Err(SnapshotError("truncated"));
-        }
-        let (head, rest) = self.0.split_at(16);
-        self.0 = rest;
-        head.try_into().map_err(|_| SnapshotError("truncated"))
-    }
 }
 
-impl KeyTree {
-    /// Serializes the complete tree (structure, keys, versions,
+impl<S: KeyStore> Tree<S> {
+    /// Serializes the complete tree (structure, key state, versions,
     /// occupancy) for transfer to a backup controller.
     pub fn snapshot(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.node_count() * 40 + 16);
-        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(S::SNAPSHOT_MAGIC);
         out.push(self.config().arity() as u8);
         out.extend_from_slice(&(self.node_count() as u64).to_be_bytes());
         for i in 0..self.node_count() {
@@ -67,7 +78,7 @@ impl KeyTree {
             out.extend_from_slice(
                 &(parent.map(|p| p.raw() as u64 + 1).unwrap_or(0)).to_be_bytes(),
             );
-            out.extend_from_slice(self.key_of(node).as_bytes());
+            self.store().snapshot_node(i, &mut out);
             out.extend_from_slice(&self.version_of(node).to_be_bytes());
             match self.occupant_of(node) {
                 Some(m) => {
@@ -77,16 +88,19 @@ impl KeyTree {
                 None => out.push(0),
             }
         }
+        self.store().snapshot_tail(&mut out);
         out
     }
 
-    /// Rebuilds a tree from [`Self::snapshot`] output.
+    /// Rebuilds a tree from [`Self::snapshot`] output of the same
+    /// backend (use [`crate::AreaTree::restore`] when the backend is
+    /// not statically known).
     ///
     /// # Errors
     ///
     /// Returns [`SnapshotError`] on truncated or malformed input.
-    pub fn restore(bytes: &[u8]) -> Result<KeyTree, SnapshotError> {
-        if bytes.len() < 4 || &bytes[..4] != MAGIC {
+    pub fn restore(bytes: &[u8]) -> Result<Tree<S>, SnapshotError> {
+        if bytes.len() < 4 || &bytes[..4] != S::SNAPSHOT_MAGIC {
             return Err(SnapshotError("bad magic"));
         }
         let mut r = Reader(&bytes[4..]);
@@ -98,7 +112,15 @@ impl KeyTree {
         if count == 0 {
             return Err(SnapshotError("no root"));
         }
-        let mut tree = KeyTree::restore_shell(TreeConfig::with_arity(arity), count);
+        // Bound allocation by what the input can actually hold: every
+        // node costs at least 17 bytes (parent u64, version u64, and an
+        // occupancy tag), so a claimed count past that is a lie and
+        // must not reach `Vec::with_capacity`.
+        if count > r.0.len() / 17 {
+            return Err(SnapshotError("node count exceeds input"));
+        }
+        let mut tree =
+            Tree::<S>::restore_shell(TreeConfig::with_arity(arity).with_backend(S::BACKEND), count);
         for i in 0..count {
             let parent_raw = r.u64()?;
             let parent = if parent_raw == 0 {
@@ -113,33 +135,36 @@ impl KeyTree {
             if (parent.is_none()) != (i == 0) {
                 return Err(SnapshotError("root/parent mismatch"));
             }
-            let key = r.bytes16()?;
+            tree.store_mut()
+                .restore_node(i, parent.map(|p| p.raw()), &mut r.0)
+                .map_err(SnapshotError::new)?;
             let version = r.u64()?;
             let occupant = match r.u8()? {
                 0 => None,
                 1 => Some(MemberId(r.u64()?)),
                 _ => return Err(SnapshotError("bad occupancy tag")),
             };
-            tree.restore_node(i, parent, key, version, occupant)
+            tree.restore_node(i, parent, version, occupant)
                 .map_err(|_| SnapshotError("inconsistent node"))?;
         }
+        tree.store_mut()
+            .restore_tail(count, &mut r.0)
+            .map_err(SnapshotError::new)?;
         if !r.0.is_empty() {
             return Err(SnapshotError("trailing bytes"));
+        }
+        if tree.has_interior_occupant() {
+            return Err(SnapshotError("occupant on interior node"));
         }
         tree.rebuild_indices();
         Ok(tree)
     }
 }
 
-/// Internal restore plumbing lives on `KeyTree` in `tree.rs`; this
-/// module only owns the byte format.
-#[allow(unused)]
-fn _doc_anchor() {}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tree::TreeConfig;
+    use crate::tree::{KeyTree, KhfTree, TreeConfig};
     use mykil_crypto::drbg::Drbg;
 
     fn sample_tree(n: u64) -> KeyTree {
@@ -156,6 +181,30 @@ mod tests {
         t
     }
 
+    fn sample_khf(n: u64) -> KhfTree {
+        let mut rng = Drbg::from_seed(9);
+        let mut t = KhfTree::new(TreeConfig::quad(), &mut rng);
+        for m in 0..n {
+            t.join(MemberId(m), &mut rng).unwrap();
+        }
+        for m in [1u64, 4, 9] {
+            if m < n {
+                t.leave(MemberId(m), &mut rng).unwrap();
+            }
+        }
+        t
+    }
+
+    fn paths_equal<S: KeyStore>(a: &Tree<S>, b: &Tree<S>) {
+        let (mut pa, mut pb) = (Vec::new(), Vec::new());
+        for m in a.members() {
+            assert!(b.contains(m));
+            a.path_keys_into(m, &mut pa).unwrap();
+            b.path_keys_into(m, &mut pb).unwrap();
+            assert_eq!(pa, pb, "{m} path differs");
+        }
+    }
+
     #[test]
     fn round_trip_preserves_everything() {
         let tree = sample_tree(30);
@@ -164,14 +213,40 @@ mod tests {
         assert_eq!(restored.node_count(), tree.node_count());
         assert_eq!(restored.member_count(), tree.member_count());
         assert_eq!(restored.area_key(), tree.area_key());
-        for m in tree.members() {
-            assert!(restored.contains(m));
-            assert_eq!(
-                tree.path_keys(m).unwrap(),
-                restored.path_keys(m).unwrap(),
-                "{m} path differs"
-            );
+        paths_equal(&tree, &restored);
+    }
+
+    #[test]
+    fn khf_round_trip_preserves_everything() {
+        let tree = sample_khf(30);
+        let restored = KhfTree::restore(&tree.snapshot()).unwrap();
+        restored.check_invariants();
+        assert_eq!(restored.node_count(), tree.node_count());
+        assert_eq!(restored.member_count(), tree.member_count());
+        assert_eq!(restored.node_key(tree.root()), tree.node_key(tree.root()));
+        assert_eq!(
+            restored.store().override_count(),
+            tree.store().override_count()
+        );
+        for i in 0..tree.node_count() {
+            let n = crate::tree::NodeIdx::from_raw(i);
+            assert_eq!(restored.version_of(n), tree.version_of(n), "{n} version");
         }
+        paths_equal(&tree, &restored);
+    }
+
+    #[test]
+    fn khf_snapshot_is_compact() {
+        let tree = sample_khf(200);
+        let explicit = sample_tree(200);
+        // No per-node key bytes: the KHF image is 16 bytes/node smaller,
+        // minus the forest secret and the (small) override table.
+        assert!(
+            tree.snapshot().len() < explicit.snapshot().len(),
+            "khf {} explicit {}",
+            tree.snapshot().len(),
+            explicit.snapshot().len()
+        );
     }
 
     #[test]
@@ -180,6 +255,17 @@ mod tests {
         let mut rng = Drbg::from_seed(10);
         let mut restored = KeyTree::restore(&tree.snapshot()).unwrap();
         // The backup can continue where the primary stopped.
+        restored.join(MemberId(1000), &mut rng).unwrap();
+        restored.leave(MemberId(0), &mut rng).unwrap();
+        restored.check_invariants();
+        assert_eq!(restored.member_count(), tree.member_count());
+    }
+
+    #[test]
+    fn restored_khf_tree_is_operable() {
+        let tree = sample_khf(20);
+        let mut rng = Drbg::from_seed(10);
+        let mut restored = KhfTree::restore(&tree.snapshot()).unwrap();
         restored.join(MemberId(1000), &mut rng).unwrap();
         restored.leave(MemberId(0), &mut rng).unwrap();
         restored.check_invariants();
@@ -212,10 +298,27 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_khf_snapshots_rejected() {
+        let tree = sample_khf(10);
+        let snap = tree.snapshot();
+        assert!(KhfTree::restore(&snap[..snap.len() - 1]).is_err());
+        let mut extra = snap.clone();
+        extra.push(0);
+        assert!(KhfTree::restore(&extra).is_err());
+        // One backend's image does not restore as the other's.
+        assert!(KeyTree::restore(&snap).is_err());
+        assert!(KhfTree::restore(&sample_tree(10).snapshot()).is_err());
+    }
+
+    #[test]
     fn snapshot_is_deterministic() {
         let tree = sample_tree(15);
         assert_eq!(tree.snapshot(), tree.snapshot());
         let restored = KeyTree::restore(&tree.snapshot()).unwrap();
         assert_eq!(restored.snapshot(), tree.snapshot());
+        let khf = sample_khf(15);
+        assert_eq!(khf.snapshot(), khf.snapshot());
+        let restored = KhfTree::restore(&khf.snapshot()).unwrap();
+        assert_eq!(restored.snapshot(), khf.snapshot());
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::error::TreeError;
 use crate::plan::{EncryptUnder, KeyChange, RekeyPlan, UnicastKeys};
+use crate::store::{ExplicitKeys, KeyStore, KhfKeys, RotateStyle};
 use crate::MemberId;
 use mykil_crypto::keys::SymmetricKey;
 use rand::RngCore;
@@ -39,11 +40,24 @@ impl std::fmt::Display for NodeIdx {
     }
 }
 
+/// Which [`KeyStore`] backend an area's tree uses (selected through
+/// `TreeConfig` and, one level up, `GroupBuilder::tree_backend`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TreeBackend {
+    /// Every node key stored explicitly (the paper's design).
+    #[default]
+    Explicit,
+    /// Keys derived from a keyed-hash forest; only the forest secret
+    /// and leave-rotated overrides are resident.
+    Khf,
+}
+
 /// Tree shape configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TreeConfig {
     arity: usize,
     prune_on_leave: bool,
+    backend: TreeBackend,
 }
 
 impl TreeConfig {
@@ -57,6 +71,7 @@ impl TreeConfig {
         TreeConfig {
             arity,
             prune_on_leave: false,
+            backend: TreeBackend::Explicit,
         }
     }
 
@@ -88,6 +103,19 @@ impl TreeConfig {
         self.prune_on_leave
     }
 
+    /// Selects the key-storage backend used when the tree is built
+    /// through [`crate::AreaTree::new`] (a concrete `Tree<S>` ignores
+    /// this and is whatever its type parameter says).
+    pub fn with_backend(mut self, backend: TreeBackend) -> TreeConfig {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured key-storage backend.
+    pub fn backend(&self) -> TreeBackend {
+        self.backend
+    }
+
     /// The configured maximum children per node.
     pub fn arity(&self) -> usize {
         self.arity
@@ -104,7 +132,6 @@ impl Default for TreeConfig {
 struct NodeEntry {
     parent: Option<NodeIdx>,
     children: Vec<NodeIdx>,
-    key: SymmetricKey,
     version: u64,
     occupant: Option<MemberId>,
     depth: u32,
@@ -116,14 +143,18 @@ impl NodeEntry {
     }
 }
 
-/// An area's auxiliary-key tree (see the [crate docs](crate)).
+/// An area's auxiliary-key tree (see the [crate docs](crate)), generic
+/// over where key material lives.
 ///
 /// Node 0 is the root and its key is the **area key**. Interior nodes
 /// hold auxiliary keys; occupied leaves hold member individual keys.
+/// The structure (arena, placement, rekey planning) is shared by every
+/// backend; key storage and derivation is delegated to `S`.
 #[derive(Debug, Clone)]
-pub struct KeyTree {
+pub struct Tree<S: KeyStore> {
     cfg: TreeConfig,
     nodes: Vec<NodeEntry>,
+    store: S,
     members: BTreeMap<MemberId, NodeIdx>,
     /// Vacant leaves ordered by (depth, index): shallowest-leftmost first.
     vacant: BTreeSet<(u32, NodeIdx)>,
@@ -140,22 +171,29 @@ pub struct KeyTree {
     visit_epoch: u32,
 }
 
-impl KeyTree {
+/// The paper's tree: every key stored explicitly.
+pub type KeyTree = Tree<ExplicitKeys>;
+
+/// Keyed-hash-forest tree: keys derived on demand, O(updated set)
+/// resident key bytes.
+pub type KhfTree = Tree<KhfKeys>;
+
+impl<S: KeyStore> Tree<S> {
     /// Creates a tree containing only the root (area-key) node.
-    pub fn new<R: RngCore + ?Sized>(cfg: TreeConfig, rng: &mut R) -> KeyTree {
+    pub fn new<R: RngCore + ?Sized>(cfg: TreeConfig, rng: &mut R) -> Tree<S> {
         let root = NodeEntry {
             parent: None,
             children: Vec::new(),
-            key: SymmetricKey::random(rng),
             version: 0,
             occupant: None,
             depth: 0,
         };
         let mut open_internal = BTreeSet::new();
         open_internal.insert((0, NodeIdx(0)));
-        KeyTree {
+        Tree {
             cfg,
             nodes: vec![root],
+            store: S::new_root(rng),
             members: BTreeMap::new(),
             vacant: BTreeSet::new(),
             open_internal,
@@ -193,28 +231,27 @@ impl KeyTree {
         NodeIdx(0)
     }
 
-    /// The current area key (the root key), borrowed from the tree.
-    ///
-    /// Key storage lives in the tree's node arena; accessors hand out
-    /// borrowed views so reading a key never copies (or later zeroizes)
-    /// key material. Callers that must retain a key across a tree
-    /// mutation clone explicitly.
-    pub fn area_key(&self) -> &SymmetricKey {
-        &self.nodes[0].key
-    }
-
-    /// Current key of a node, borrowed from the tree.
+    /// Current key of a node, owned (a derivation backend has no stored
+    /// key to borrow; explicit trees additionally offer the borrowed
+    /// [`KeyTree::key_of`]).
     ///
     /// # Panics
     ///
     /// Panics on an index from a different tree.
-    pub fn key_of(&self, node: NodeIdx) -> &SymmetricKey {
-        &self.nodes[node.0].key
+    pub fn node_key(&self, node: NodeIdx) -> SymmetricKey {
+        self.store.key(node.0, self.nodes[node.0].version)
     }
 
     /// Version counter of a node's key (bumped on every change).
     pub fn version_of(&self, node: NodeIdx) -> u64 {
         self.nodes[node.0].version
+    }
+
+    /// Bytes of key material resident in controller memory. Explicit
+    /// storage pays O(node count); the KHF backend pays the forest
+    /// secret plus one key per leave-rotated node.
+    pub fn resident_key_bytes(&self) -> usize {
+        self.store.resident_key_bytes()
     }
 
     /// Whether the member is present.
@@ -239,40 +276,36 @@ impl KeyTree {
             .ok_or(TreeError::NotAMember(member))
     }
 
-    /// `(node, key)` pairs on the member's path, leaf first, root last.
+    /// Collects the `(node, key)` pairs on the member's path into `out`
+    /// (cleared first), leaf first, root last.
     ///
     /// This is exactly the key set a Mykil member stores — about 11 keys
     /// for a 5000-member area in the paper's Section V-A arithmetic.
+    /// Callers on hot paths reuse `out` across calls; explicit trees can
+    /// iterate [`KeyTree::path_key_refs`] instead and copy nothing.
     ///
     /// # Errors
     ///
     /// [`TreeError::NotAMember`] when absent.
-    pub fn path_keys(&self, member: MemberId) -> Result<Vec<(NodeIdx, SymmetricKey)>, TreeError> {
-        let leaf = self.leaf_of(member)?;
-        let mut out = Vec::with_capacity(self.nodes[leaf.0].depth as usize + 1);
-        for n in self.ancestors(leaf) {
-            out.push((n, self.nodes[n.0].key.clone()));
-        }
-        Ok(out)
-    }
-
-    /// Borrowed `(node, key)` pairs on the member's path, leaf first,
-    /// root last — the allocation-free view behind [`Self::path_keys`].
-    /// Serializers iterate this directly instead of materializing a
-    /// cloned path vector.
-    pub fn path_key_refs(
+    pub fn path_keys_into(
         &self,
         member: MemberId,
-    ) -> Result<impl Iterator<Item = (NodeIdx, &SymmetricKey)> + '_, TreeError> {
+        out: &mut Vec<(NodeIdx, SymmetricKey)>,
+    ) -> Result<(), TreeError> {
         let leaf = self.leaf_of(member)?;
-        Ok(self.ancestors(leaf).map(|n| (n, &self.nodes[n.0].key)))
+        out.clear();
+        out.reserve(self.nodes[leaf.0].depth as usize + 1);
+        for n in self.ancestors(leaf) {
+            out.push((n, self.node_key(n)));
+        }
+        Ok(())
     }
 
     /// Nodes from `node` (inclusive) up to the root (inclusive),
     /// without allocating. The precomputed parent links and depths make
     /// this (and the sibling lookups during leave-style rekeys) a pure
     /// pointer chase.
-    pub fn ancestors(&self, node: NodeIdx) -> Ancestors<'_> {
+    pub fn ancestors(&self, node: NodeIdx) -> Ancestors<'_, S> {
         Ancestors {
             tree: self,
             cur: Some(node),
@@ -300,13 +333,20 @@ impl KeyTree {
 
     // ---- mutation helpers ----
 
-    /// Installs a fresh random key at `node`, returning the **previous**
-    /// key (moved out, not copied — the caller either records it in a
-    /// plan or lets it drop and zeroize).
-    fn fresh_key<R: RngCore + ?Sized>(&mut self, node: NodeIdx, rng: &mut R) -> SymmetricKey {
-        let new = SymmetricKey::random(rng);
+    /// Rotates the key at `node`, returning the **previous** key (moved
+    /// out of the store, not copied — the caller either records it in a
+    /// plan or lets it drop and zeroize). `style` tells a derivation
+    /// backend whether the new key may come from the forest
+    /// (join-style) or must be fresh randomness (leave-style).
+    fn rotate_key<R: RngCore + ?Sized>(
+        &mut self,
+        node: NodeIdx,
+        style: RotateStyle,
+        rng: &mut R,
+    ) -> SymmetricKey {
+        let old_version = self.nodes[node.0].version;
         self.nodes[node.0].version += 1;
-        std::mem::replace(&mut self.nodes[node.0].key, new)
+        self.store.rotate(node.0, old_version, style, rng)
     }
 
     fn alloc_leaf<R: RngCore + ?Sized>(&mut self, parent: NodeIdx, rng: &mut R) -> NodeIdx {
@@ -315,11 +355,11 @@ impl KeyTree {
         self.nodes.push(NodeEntry {
             parent: Some(parent),
             children: Vec::new(),
-            key: SymmetricKey::random(rng),
             version: 0,
             occupant: None,
             depth,
         });
+        self.store.on_alloc(idx.0, Some(parent.0), rng);
         self.nodes[parent.0].children.push(idx);
         let pdepth = self.nodes[parent.0].depth;
         if self.nodes[parent.0].children.len() >= self.cfg.arity {
@@ -387,7 +427,9 @@ impl KeyTree {
         let depth = self.nodes[leaf.0].depth;
         self.occupied.insert((depth, leaf));
         self.members.insert(member, leaf);
-        self.fresh_key(leaf, rng);
+        // Join-style: the vacating occupant (if any) only ever saw the
+        // previous key *value*, so a derived successor is safe.
+        self.rotate_key(leaf, RotateStyle::Derivable, rng);
     }
 
     // ---- single-event operations ----
@@ -418,10 +460,10 @@ impl KeyTree {
         let mut changes = Vec::with_capacity(depth);
         let mut cur = self.nodes[leaf.0].parent;
         while let Some(node) = cur {
-            let old = self.fresh_key(node, rng);
+            let old = self.rotate_key(node, RotateStyle::Derivable, rng);
             changes.push(KeyChange {
                 node,
-                new_key: self.nodes[node.0].key.clone(),
+                new_key: self.node_key(node),
                 encryptions: vec![(EncryptUnder::PreviousSelf, old)],
             });
             cur = self.nodes[node.0].parent;
@@ -429,7 +471,7 @@ impl KeyTree {
 
         let mut newcomer_keys = Vec::with_capacity(depth + 1);
         for n in self.ancestors(leaf) {
-            newcomer_keys.push((n, self.nodes[n.0].key.clone()));
+            newcomer_keys.push((n, self.node_key(n)));
         }
         let mut unicasts = Vec::with_capacity(2);
         unicasts.push(UnicastKeys {
@@ -441,7 +483,7 @@ impl KeyTree {
             // old keys; it only needs its fresh leaf key.
             unicasts.push(UnicastKeys {
                 member: displaced_member,
-                keys: vec![(new_leaf, self.nodes[new_leaf.0].key.clone())],
+                keys: vec![(new_leaf, self.node_key(new_leaf))],
             });
         }
         Ok(RekeyPlan { changes, unicasts })
@@ -558,7 +600,9 @@ impl KeyTree {
         changed.sort_unstable_by(|a, b| b.cmp(a));
         let mut changes = Vec::with_capacity(changed.len());
         for &(_, node) in &changed {
-            let _superseded = self.fresh_key(node, rng);
+            // Leave-style: the departed member must not be able to
+            // derive the successor, so the backend draws fresh.
+            let _superseded = self.rotate_key(node, RotateStyle::Fresh, rng);
             let children = &self.nodes[node.0].children;
             let mut encryptions = Vec::with_capacity(children.len());
             for &child in children {
@@ -568,13 +612,16 @@ impl KeyTree {
                 if c.is_leaf() && c.occupant.is_none() {
                     continue;
                 }
-                // `c.key` is the fresh key when the child itself changed
-                // (deeper nodes were processed first).
-                encryptions.push((EncryptUnder::Child(child), c.key.clone()));
+                // The child's key is the fresh one when the child itself
+                // changed (deeper nodes were processed first).
+                encryptions.push((
+                    EncryptUnder::Child(child),
+                    self.store.key(child.0, c.version),
+                ));
             }
             changes.push(KeyChange {
                 node,
-                new_key: self.nodes[node.0].key.clone(),
+                new_key: self.node_key(node),
                 encryptions,
             });
         }
@@ -588,11 +635,11 @@ impl KeyTree {
     /// change distributed under the previous area key — the periodic
     /// freshness rekey of the paper's Section III-E.
     pub fn rotate_area_key<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> RekeyPlan {
-        let old = self.fresh_key(NodeIdx(0), rng);
+        let old = self.rotate_key(NodeIdx(0), RotateStyle::Derivable, rng);
         RekeyPlan {
             changes: vec![KeyChange {
                 node: NodeIdx(0),
-                new_key: self.nodes[0].key.clone(),
+                new_key: self.node_key(NodeIdx(0)),
                 encryptions: vec![(EncryptUnder::PreviousSelf, old)],
             }],
             unicasts: Vec::new(),
@@ -606,11 +653,12 @@ impl KeyTree {
 
     // ---- snapshot-restore plumbing (see `snapshot.rs`) ----
 
-    /// Creates an empty tree shell for [`KeyTree::restore`].
-    pub(crate) fn restore_shell(cfg: TreeConfig, capacity: usize) -> KeyTree {
-        KeyTree {
+    /// Creates an empty tree shell for restore.
+    pub(crate) fn restore_shell(cfg: TreeConfig, capacity: usize) -> Tree<S> {
+        Tree {
             cfg,
             nodes: Vec::with_capacity(capacity),
+            store: S::restore_shell(capacity),
             members: BTreeMap::new(),
             vacant: BTreeSet::new(),
             open_internal: BTreeSet::new(),
@@ -620,13 +668,20 @@ impl KeyTree {
         }
     }
 
+    pub(crate) fn store(&self) -> &S {
+        &self.store
+    }
+
+    pub(crate) fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
     /// Appends node `index` during restore; nodes must arrive in index
     /// order with parents before children.
     pub(crate) fn restore_node(
         &mut self,
         index: usize,
         parent: Option<NodeIdx>,
-        key: [u8; 16],
         version: u64,
         occupant: Option<MemberId>,
     ) -> Result<(), TreeError> {
@@ -638,13 +693,17 @@ impl KeyTree {
         self.nodes.push(NodeEntry {
             parent,
             children: Vec::new(),
-            key: SymmetricKey::from_bytes(key),
             version,
             occupant,
             depth,
         });
         if let Some(p) = parent {
             self.nodes[p.0].children.push(NodeIdx(index));
+            if self.nodes[p.0].children.len() > self.cfg.arity {
+                return Err(TreeError::Inconsistent(
+                    "node has more children than the arity allows",
+                ));
+            }
         }
         if let Some(m) = occupant {
             if self.members.insert(m, NodeIdx(index)).is_some() {
@@ -674,6 +733,14 @@ impl KeyTree {
                 self.open_internal.insert((n.depth, idx));
             }
         }
+    }
+
+    /// Whether any interior node carries an occupant (a malformed state
+    /// a snapshot must never produce; checked during restore).
+    pub(crate) fn has_interior_occupant(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| n.occupant.is_some() && !n.is_leaf())
     }
 
     /// Verifies internal consistency; used by tests and property checks.
@@ -728,14 +795,49 @@ impl KeyTree {
     }
 }
 
+impl Tree<ExplicitKeys> {
+    /// The current area key (the root key), borrowed from the tree.
+    ///
+    /// Explicit key storage lives in the store's arena; accessors hand
+    /// out borrowed views so reading a key never copies (or later
+    /// zeroizes) key material. Callers that must retain a key across a
+    /// tree mutation clone explicitly. Derivation backends have nothing
+    /// to borrow — generic code uses the owned
+    /// [`Tree::node_key`]/[`crate::AuxTree::area_key`] instead.
+    pub fn area_key(&self) -> &SymmetricKey {
+        self.store.key_ref(0)
+    }
+
+    /// Current key of a node, borrowed from the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an index from a different tree.
+    pub fn key_of(&self, node: NodeIdx) -> &SymmetricKey {
+        self.store.key_ref(node.0)
+    }
+
+    /// Borrowed `(node, key)` pairs on the member's path, leaf first,
+    /// root last — the allocation-free view behind
+    /// [`Tree::path_keys_into`]. Serializers iterate this directly
+    /// instead of materializing a cloned path vector.
+    pub fn path_key_refs(
+        &self,
+        member: MemberId,
+    ) -> Result<impl Iterator<Item = (NodeIdx, &SymmetricKey)> + '_, TreeError> {
+        let leaf = self.leaf_of(member)?;
+        Ok(self.ancestors(leaf).map(|n| (n, self.store.key_ref(n.0))))
+    }
+}
+
 /// Iterator over a node's path to the root via the stored parent links.
-/// See [`KeyTree::ancestors`].
-pub struct Ancestors<'a> {
-    tree: &'a KeyTree,
+/// See [`Tree::ancestors`].
+pub struct Ancestors<'a, S: KeyStore> {
+    tree: &'a Tree<S>,
     cur: Option<NodeIdx>,
 }
 
-impl Iterator for Ancestors<'_> {
+impl<S: KeyStore> Iterator for Ancestors<'_, S> {
     type Item = NodeIdx;
 
     fn next(&mut self) -> Option<NodeIdx> {
@@ -900,12 +1002,20 @@ mod tests {
         for m in 0..6 {
             tree.join(MemberId(m), &mut r).unwrap();
         }
-        let path = tree.path_keys(MemberId(5)).unwrap();
+        let mut path = Vec::new();
+        tree.path_keys_into(MemberId(5), &mut path).unwrap();
         assert!(path.len() >= 2);
         assert_eq!(path.last().unwrap().0, tree.root());
         assert_eq!(&path.last().unwrap().1, tree.area_key());
         // First entry is the member's own leaf.
         assert_eq!(tree.occupant_of(path[0].0), Some(MemberId(5)));
+        // The borrowed view walks the same pairs without copying.
+        let refs: Vec<(NodeIdx, SymmetricKey)> = tree
+            .path_key_refs(MemberId(5))
+            .unwrap()
+            .map(|(n, k)| (n, k.clone()))
+            .collect();
+        assert_eq!(refs, path);
     }
 
     #[test]
@@ -955,11 +1065,57 @@ mod tests {
     }
 
     #[test]
+    fn khf_tree_runs_the_same_protocol() {
+        let mut r = rng();
+        let mut tree: KhfTree = KhfTree::new(TreeConfig::quad(), &mut r);
+        for m in 0..20 {
+            let plan = tree.join(MemberId(m), &mut r).unwrap();
+            assert!(!plan.unicasts.is_empty());
+        }
+        let plan = tree.leave(MemberId(7), &mut r).unwrap();
+        assert!(plan.changes.iter().any(|c| c.node == tree.root()));
+        tree.check_invariants();
+        assert_eq!(tree.member_count(), 19);
+        // Join-heavy history leaves almost nothing resident: the leave
+        // overrode one path, the joins derived everything else.
+        assert!(
+            tree.resident_key_bytes() < tree.node_count() * crate::KEY_LEN,
+            "resident {} not sublinear in {} nodes",
+            tree.resident_key_bytes(),
+            tree.node_count()
+        );
+    }
+
+    #[test]
+    fn khf_leave_key_is_not_forest_derived() {
+        let mut r = rng();
+        let mut tree: KhfTree = KhfTree::new(TreeConfig::quad(), &mut r);
+        for m in 0..5 {
+            tree.join(MemberId(m), &mut r).unwrap();
+        }
+        let overrides_before = tree.store().override_count();
+        let plan = tree.leave(MemberId(2), &mut r).unwrap();
+        assert!(
+            tree.store().override_count() > overrides_before,
+            "leave must add overrides"
+        );
+        // The plan's new keys match what the tree now reports.
+        for c in &plan.changes {
+            assert_eq!(c.new_key, tree.node_key(c.node));
+        }
+    }
+
+    #[test]
     fn config_validation() {
         assert_eq!(TreeConfig::binary().arity(), 2);
         assert_eq!(TreeConfig::quad().arity(), 4);
         assert_eq!(TreeConfig::with_arity(8).arity(), 8);
         assert_eq!(TreeConfig::default(), TreeConfig::quad());
+        assert_eq!(TreeConfig::default().backend(), TreeBackend::Explicit);
+        assert_eq!(
+            TreeConfig::quad().with_backend(TreeBackend::Khf).backend(),
+            TreeBackend::Khf
+        );
     }
 
     #[test]

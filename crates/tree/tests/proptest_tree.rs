@@ -91,9 +91,11 @@ fn run_schedule_cfg(cfg: TreeConfig, seed: u64, ops: &[Op]) {
         }
         tree.check_invariants();
         // Liveness: every present member's view matches its tree path.
+        let mut path = Vec::new();
         for m in tree.members() {
             let v = &views[&m];
-            for (node, key) in tree.path_keys(m).unwrap() {
+            tree.path_keys_into(m, &mut path).unwrap();
+            for (node, key) in path.drain(..) {
                 assert_eq!(v.key(node), Some(key), "{m} stale at {node}");
             }
         }
@@ -171,8 +173,9 @@ proptest! {
             tree.join(MemberId(m), &mut rng).unwrap();
         }
         let bound = ((n as f64).log(arity as f64).ceil() as usize + 2).max(2);
+        let mut path = Vec::new();
         for m in tree.members() {
-            let path = tree.path_keys(m).unwrap();
+            tree.path_keys_into(m, &mut path).unwrap();
             prop_assert!(
                 path.len() <= bound + 1,
                 "path {} exceeds bound {} for n={} arity={}",

@@ -46,6 +46,57 @@ fn pay_per_view_lifecycle() {
     assert!(!g.received_data(late).contains(&b"frame-1".to_vec()));
 }
 
+/// The whole protocol stack runs unchanged on the keyed-hash-forest
+/// tree backend: joins, data flow, secrecy-preserving churn, and a
+/// primary crash where the backup takes over from an `MKH1` snapshot.
+#[test]
+fn khf_backend_full_protocol_with_failover() {
+    use mykil_tree::TreeBackend;
+
+    let mut g = GroupBuilder::new(103)
+        .areas(1)
+        .replicated(true)
+        .tree_backend(TreeBackend::Khf)
+        .build();
+    let members: Vec<_> = (0..5).map(|i| g.register_member(i)).collect();
+    g.settle();
+    for &m in &members {
+        assert!(g.is_member(m));
+    }
+    assert_eq!(g.ac(0).tree().backend(), TreeBackend::Khf);
+
+    g.send_data(members[0], b"khf frame");
+    g.run_for(Duration::from_secs(1));
+    for &m in &members {
+        assert!(g.received_data(m).contains(&b"khf frame".to_vec()));
+    }
+
+    // Forward secrecy holds on the derivation backend: the evicted
+    // member's leave is a Fresh (non-derivable) rotation.
+    g.sim.partition(members[4], 7);
+    g.run_for(Duration::from_secs(5));
+    g.send_data(members[0], b"khf frame 2");
+    g.run_for(Duration::from_secs(1));
+    assert!(!g.received_data(members[4]).contains(&b"khf frame 2".to_vec()));
+    assert!(g.received_data(members[1]).contains(&b"khf frame 2".to_vec()));
+
+    // The controller machine dies; the backup restores the replicated
+    // MKH1 snapshot and continues on the same backend.
+    g.crash_ac(0);
+    g.run_for(Duration::from_secs(3));
+    assert_eq!(g.backup(0).role(), mykil::area::Role::Primary);
+    assert_eq!(g.backup(0).tree().backend(), TreeBackend::Khf);
+
+    let late = g.register_member(50);
+    g.run_for(Duration::from_secs(3));
+    assert!(g.is_member(late));
+    g.send_data(members[0], b"khf frame 3");
+    g.run_for(Duration::from_secs(2));
+    for m in [members[0], members[1], members[2], members[3], late] {
+        assert!(g.received_data(m).contains(&b"khf frame 3".to_vec()));
+    }
+}
+
 /// The protocol's storage numbers match the analytic model's
 /// predictions from `mykil-analysis` (Section V-A cross-check).
 #[test]
@@ -139,7 +190,9 @@ fn member_keys_match_controller_tree() {
     g.settle();
     let client = g.member(m).client_id().unwrap();
     let tree = g.ac(0).tree();
-    let path = tree.path_keys(mykil_tree::MemberId(client.0)).unwrap();
+    let mut path = Vec::new();
+    tree.path_keys_into(mykil_tree::MemberId(client.0), &mut path)
+        .unwrap();
     // Root (area key) agreement end to end.
     assert_eq!(
         g.member(m).current_area_key(),
